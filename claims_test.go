@@ -1,0 +1,174 @@
+package twolevel_test
+
+import (
+	"testing"
+
+	"twolevel"
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+// claimsRefs keeps these integration tests affordable while preserving
+// the qualitative shapes the paper claims.
+const claimsRefs = 300_000
+
+func claimsSweep(t *testing.T, name string, opt sweep.Options) []sweep.Point {
+	t.Helper()
+	w, err := spec.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Refs = claimsRefs
+	return sweep.Run(w, opt)
+}
+
+// TestClaimSingleLevelMinimum (§3): every workload's single-level TPI
+// minimum falls at an interior cache size — larger caches lose to their
+// own cycle time.
+func TestClaimSingleLevelMinimum(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	for _, name := range []string{"gcc1", "espresso", "tomcatv"} {
+		pts := claimsSweep(t, name, sweep.Options{SingleLevelOnly: true})
+		best, ok := sweep.MinTPI(pts)
+		if !ok {
+			t.Fatal("empty sweep")
+		}
+		kb := best.Config.L1I.Size >> 10
+		if kb < 8 || kb > 128 {
+			t.Errorf("%s: single-level minimum at %dKB, paper says 8KB-128KB", name, kb)
+		}
+	}
+}
+
+// TestClaimExclusiveBeatsConventional (§8): at identical geometry the
+// exclusive envelope is at least as good as the conventional one.
+func TestClaimExclusiveBeatsConventional(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	conv := claimsSweep(t, "gcc1", sweep.Options{Policy: core.Conventional})
+	excl := claimsSweep(t, "gcc1", sweep.Options{Policy: core.Exclusive})
+	adv := sweep.EnvelopeAdvantage(excl, conv)
+	if adv < 0.999 {
+		t.Errorf("exclusive envelope advantage = %.4f, want >= 1 (paper §8)", adv)
+	}
+}
+
+// TestClaimExclusiveDMMatches4Way (§8): an exclusive direct-mapped L2
+// performs about as well as a conventional 4-way L2.
+func TestClaimExclusiveDMMatches4Way(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	exDM := claimsSweep(t, "gcc1", sweep.Options{Policy: core.Exclusive, L2Assoc: 1})
+	conv4 := claimsSweep(t, "gcc1", sweep.Options{Policy: core.Conventional, L2Assoc: 4})
+	adv := sweep.EnvelopeAdvantage(exDM, conv4)
+	if adv < 0.95 || adv > 1.05 {
+		t.Errorf("exclusive-DM vs conventional-4-way advantage = %.4f, want ~1 (within 5%%)", adv)
+	}
+}
+
+// TestClaimLongMissFavorsTwoLevel (§7): at 200ns the envelope holds more
+// two-level configurations than at 50ns.
+func TestClaimLongMissFavorsTwoLevel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	countTwoLevel := func(pts []sweep.Point) int {
+		n := 0
+		for _, p := range sweep.Envelope(pts) {
+			if p.TwoLevel() {
+				n++
+			}
+		}
+		return n
+	}
+	at50 := countTwoLevel(claimsSweep(t, "gcc1", sweep.Options{OffChipNS: 50}))
+	at200 := countTwoLevel(claimsSweep(t, "gcc1", sweep.Options{OffChipNS: 200}))
+	if at200 <= at50 {
+		t.Errorf("two-level envelope members: %d at 200ns vs %d at 50ns; paper says two-level wins more without a board cache", at200, at50)
+	}
+}
+
+// TestClaimLongMissTriplesSmallCacheTPI (§7): a 1KB system pays about 3x
+// in run time when the off-chip service grows from 50ns to 200ns.
+func TestClaimLongMissTriplesSmallCacheTPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	w, err := spec.ByName("gcc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sweep.Configs(sweep.Options{L1Sizes: []int64{1 << 10}, L2Sizes: []int64{0}})[0]
+	at50 := sweep.Evaluate(w, cfg, sweep.Options{Refs: claimsRefs, OffChipNS: 50})
+	at200 := sweep.Evaluate(w, cfg, sweep.Options{Refs: claimsRefs, OffChipNS: 200})
+	ratio := at200.TPINS / at50.TPINS
+	if ratio < 2.2 || ratio > 4.5 {
+		t.Errorf("1KB TPI ratio 200ns/50ns = %.2f, paper says about 3x", ratio)
+	}
+}
+
+// TestClaimDualPortedCrossover (§6): the dual-ported cell loses at small
+// areas and wins at large ones, with the crossover in a plausible band.
+func TestClaimDualPortedCrossover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	base := sweep.Envelope(claimsSweep(t, "gcc1", sweep.Options{SingleLevelOnly: true}))
+	dual := sweep.Envelope(claimsSweep(t, "gcc1", sweep.Options{SingleLevelOnly: true, DualPorted: true}))
+
+	// Smallest configurations: base must win (most time is misses;
+	// doubling issue bandwidth is wasted area).
+	if len(base) == 0 || len(dual) == 0 {
+		t.Fatal("empty envelopes")
+	}
+	smallBase, smallDual := base[0], dual[0]
+	if smallDual.TPINS < smallBase.TPINS && smallDual.AreaRbe <= smallBase.AreaRbe {
+		t.Error("dual-ported cell dominates even the smallest configuration")
+	}
+	// Largest areas: dual must win somewhere.
+	won := false
+	for _, p := range dual {
+		if q, ok := sweep.BestAtArea(base, p.AreaRbe); ok && p.TPINS < q.TPINS {
+			won = true
+			break
+		}
+	}
+	if !won {
+		t.Error("dual-ported cell never beats the base cell (paper: crossover at 50K-400K rbe)")
+	}
+}
+
+// TestClaimExclusiveCutsOffChipTraffic: the write-back extension's
+// headline — at identical geometry the exclusive policy reduces both
+// off-chip fetches and off-chip write-backs versus conventional.
+func TestClaimExclusiveCutsOffChipTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep integration test in -short mode")
+	}
+	w, err := spec.ByName("doduc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pol twolevel.Policy) twolevel.Stats {
+		sys := twolevel.NewSystem(twolevel.Hierarchy{
+			L1I:    twolevel.CacheConfig{Size: 8 << 10, LineSize: 16, Assoc: 1},
+			L1D:    twolevel.CacheConfig{Size: 8 << 10, LineSize: 16, Assoc: 1},
+			L2:     twolevel.CacheConfig{Size: 64 << 10, LineSize: 16, Assoc: 4},
+			Policy: pol,
+		})
+		return sys.Run(w.Stream(claimsRefs))
+	}
+	conv, excl := run(twolevel.Conventional), run(twolevel.Exclusive)
+	if excl.OffChipFetches >= conv.OffChipFetches {
+		t.Errorf("exclusive fetches %d not below conventional %d", excl.OffChipFetches, conv.OffChipFetches)
+	}
+	if excl.WriteBacksOffChip >= conv.WriteBacksOffChip {
+		t.Errorf("exclusive off-chip write-backs %d not below conventional %d",
+			excl.WriteBacksOffChip, conv.WriteBacksOffChip)
+	}
+}

@@ -1,0 +1,198 @@
+// Command cachesim runs one workload (or a trace file) through one cache
+// hierarchy configuration and reports miss statistics, cycle times, chip
+// area, and TPI.
+//
+// Usage:
+//
+//	cachesim -workload gcc1 -l1 8KB -l2 64KB -l2assoc 4 -policy exclusive
+//	cachesim -trace prog.din -l1 16KB
+//	cachesim -workload li -l1 4KB -l2 32KB -offchip 200 -refs 5000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twolevel/internal/area"
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/perf"
+	"twolevel/internal/spec"
+	"twolevel/internal/timing"
+	"twolevel/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "synthetic workload name (see -list)")
+		traceIn  = flag.String("trace", "", "trace file to replay instead of a workload (.din text or binary)")
+		l1Size   = flag.String("l1", "8KB", "size of EACH split L1 cache (e.g. 8KB)")
+		l2Size   = flag.String("l2", "0", "L2 size (0 for single-level)")
+		l2Assoc  = flag.Int("l2assoc", 4, "L2 associativity")
+		lineSize = flag.Int("line", 16, "line size in bytes")
+		policy   = flag.String("policy", "conventional", "two-level policy: conventional, exclusive, inclusive")
+		offchip  = flag.Float64("offchip", 50, "off-chip miss service time, ns")
+		refs     = flag.Uint64("refs", spec.DefaultRefs, "trace length for synthetic workloads")
+		dual     = flag.Bool("dual", false, "dual-ported L1 cells (2x area, 2x issue rate)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(spec.Names(), "\n"))
+		return
+	}
+
+	cfg, err := buildConfig(*l1Size, *l2Size, *l2Assoc, *lineSize, *policy)
+	if err != nil {
+		fatal(err)
+	}
+
+	stream, label, err := openStream(*traceIn, *workload, *refs)
+	if err != nil {
+		fatal(err)
+	}
+
+	ports, issue := 1, 1
+	if *dual {
+		ports, issue = 2, 2
+	}
+	l1p := timing.Params{Size: cfg.L1I.Size, LineSize: cfg.L1I.LineSize, Assoc: 1, OutputBits: 64, Ports: ports}
+	l1t := timing.Optimal(timing.Paper05um, l1p)
+	totalArea := 2 * area.Cache(l1p, l1t.Org)
+	m := perf.Machine{L1CycleNS: l1t.CycleTime, OffChipNS: *offchip, IssueRate: issue}
+	if cfg.TwoLevel() {
+		l2p := timing.Params{Size: cfg.L2.Size, LineSize: cfg.L2.LineSize, Assoc: cfg.L2.Assoc, OutputBits: 64}
+		l2t := timing.Optimal(timing.Paper05um, l2p)
+		m.L2CycleNS = l2t.CycleTime
+		totalArea += area.Cache(l2p, l2t.Org)
+	}
+
+	sys := core.NewSystem(cfg)
+	st := sys.Run(stream)
+
+	fmt.Printf("configuration : %s\n", cfg)
+	fmt.Printf("workload      : %s (%d refs)\n", label, st.Refs())
+	fmt.Printf("L1 cycle      : %.2f ns (processor cycle)\n", m.L1CycleNS)
+	if cfg.TwoLevel() {
+		fmt.Printf("L2 cycle      : %.2f ns raw, %d CPU cycles rounded\n", m.L2CycleNS, m.L2Cycles())
+		fmt.Printf("L2 hit penalty: %.2f ns; L2 miss penalty: %.2f ns\n", m.L2HitPenaltyNS(), m.L2MissPenaltyNS())
+	} else {
+		fmt.Printf("miss penalty  : %.2f ns\n", m.SingleLevelMissPenaltyNS())
+	}
+	fmt.Printf("chip area     : %.0f rbe\n", totalArea)
+	fmt.Println()
+	fmt.Printf("L1I: %d refs, %d misses (%.4f)\n", st.InstrRefs, st.L1IMisses, rate(st.L1IMisses, st.InstrRefs))
+	fmt.Printf("L1D: %d refs, %d misses (%.4f)\n", st.DataRefs, st.L1DMisses, rate(st.L1DMisses, st.DataRefs))
+	if cfg.TwoLevel() {
+		fmt.Printf("L2 : %d probes, %d hits, %d misses (local miss rate %.4f)\n",
+			st.L2Hits+st.L2Misses, st.L2Hits, st.L2Misses, st.LocalL2MissRate())
+		if cfg.Policy == core.Exclusive {
+			fmt.Printf("exclusive     : %d victims to L2, %d true swaps\n", st.VictimsToL2, st.Swaps)
+			fmt.Printf("on-chip lines : %d unique, %d duplicated in L2\n",
+				sys.UniqueOnChipLines(), sys.DuplicatedLines())
+		}
+		if cfg.Policy == core.Inclusive {
+			fmt.Printf("inclusion     : %d back-invalidations\n", st.BackInvalidations)
+		}
+	}
+	fmt.Printf("global miss rate: %.4f (off-chip fetches per reference)\n", st.GlobalMissRate())
+	fmt.Println()
+	fmt.Printf("TPI: %.3f ns  (CPI %.3f at %.2f ns/cycle)\n", m.TPI(st), m.CPI(st), m.L1CycleNS)
+}
+
+// buildConfig assembles the hierarchy from flag values.
+func buildConfig(l1s, l2s string, l2assoc, line int, policy string) (core.Config, error) {
+	l1, err := parseSize(l1s)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("bad -l1: %w", err)
+	}
+	l2, err := parseSize(l2s)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("bad -l2: %w", err)
+	}
+	var pol core.Policy
+	switch policy {
+	case "conventional":
+		pol = core.Conventional
+	case "exclusive":
+		pol = core.Exclusive
+	case "inclusive":
+		pol = core.Inclusive
+	default:
+		return core.Config{}, fmt.Errorf("unknown -policy %q", policy)
+	}
+	cfg := core.Config{
+		L1I:    cache.Config{Size: l1, LineSize: line, Assoc: 1},
+		L1D:    cache.Config{Size: l1, LineSize: line, Assoc: 1},
+		Policy: pol,
+	}
+	if l2 > 0 {
+		cfg.L2 = cache.Config{Size: l2, LineSize: line, Assoc: l2assoc, Policy: cache.Random}
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return cfg, nil
+}
+
+// openStream picks the trace source: a file or a synthetic workload.
+func openStream(path, workload string, refs uint64) (trace.Stream, string, error) {
+	if path == "" {
+		w, err := spec.ByName(workload)
+		if err != nil {
+			return nil, "", err
+		}
+		return w.Stream(refs), w.Name, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, "", err
+	}
+	// Sniff the format: binary traces start with the TLTRACE1 magic.
+	var magic [8]byte
+	n, _ := f.Read(magic[:])
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, "", err
+	}
+	if n == 8 && string(magic[:]) == "TLTRACE1" {
+		return trace.NewBinaryReader(f), path, nil
+	}
+	return trace.NewTextReader(f), path, nil
+}
+
+// parseSize parses "8KB", "64K", "0", or a plain byte count.
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return v * mult, nil
+}
+
+func rate(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cachesim:", err)
+	os.Exit(1)
+}

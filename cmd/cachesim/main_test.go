@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twolevel/internal/core"
+	"twolevel/internal/trace"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"8KB", 8 << 10, true},
+		{"8K", 8 << 10, true},
+		{"8kb", 8 << 10, true},
+		{"1MB", 1 << 20, true},
+		{"2M", 2 << 20, true},
+		{"0", 0, true},
+		{"4096", 4096, true},
+		{" 16K ", 16 << 10, true},
+		{"abc", 0, false},
+		{"", 0, false},
+		{"KB", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseSize(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseSize(%q) accepted", tc.in)
+		}
+	}
+}
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("8KB", "64KB", 4, 16, "exclusive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.L1I.Size != 8<<10 || cfg.L2.Size != 64<<10 || cfg.L2.Assoc != 4 {
+		t.Errorf("config = %+v", cfg)
+	}
+	if cfg.Policy != core.Exclusive {
+		t.Errorf("policy = %v", cfg.Policy)
+	}
+
+	cfg, err = buildConfig("16KB", "0", 4, 16, "conventional")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.TwoLevel() {
+		t.Error("L2 size 0 produced a two-level config")
+	}
+
+	for _, bad := range []struct{ l1, l2, pol string }{
+		{"x", "0", "conventional"},
+		{"8KB", "y", "conventional"},
+		{"8KB", "0", "bogus"},
+		{"3KB", "0", "conventional"}, // invalid geometry
+	} {
+		if _, err := buildConfig(bad.l1, bad.l2, 4, 16, bad.pol); err == nil {
+			t.Errorf("buildConfig(%v) accepted", bad)
+		}
+	}
+}
+
+func TestOpenStreamWorkload(t *testing.T) {
+	s, label, err := openStream("", "espresso", 100)
+	if err != nil || label != "espresso" {
+		t.Fatalf("openStream = %q, %v", label, err)
+	}
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 100 {
+		t.Errorf("workload stream yielded %d refs", n)
+	}
+	if _, _, err := openStream("", "nope", 100); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, _, err := openStream("/does/not/exist", "", 0); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestOpenStreamSniffsFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	// Binary trace.
+	binPath := filepath.Join(dir, "t.trace")
+	bf, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := trace.NewBinaryWriter(bf)
+	if err := bw.Write(trace.Ref{Kind: trace.Instr, Addr: 0x42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	bf.Close()
+
+	s, _, err := openStream(binPath, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := s.Next()
+	if !ok || r.Addr != 0x42 {
+		t.Errorf("binary sniff decoded %v, %v", r, ok)
+	}
+
+	// Text trace.
+	dinPath := filepath.Join(dir, "t.din")
+	if err := os.WriteFile(dinPath, []byte("2 42\n1 100\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, _, err = openStream(dinPath, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok = s.Next()
+	if !ok || r.Kind != trace.Instr || r.Addr != 0x42 {
+		t.Errorf("text sniff decoded %v, %v", r, ok)
+	}
+	r, ok = s.Next()
+	if !ok || r.Kind != trace.Write || r.Addr != 0x100 {
+		t.Errorf("text sniff decoded %v, %v", r, ok)
+	}
+}

@@ -1,0 +1,154 @@
+// Command compare runs the design-space sweep twice under two system
+// descriptions and reports their best-performance envelopes side by side
+// — the comparison behind the paper's §5 (DM vs 4-way L2), §7 (50ns vs
+// 200ns) and §8 (conventional vs exclusive) discussions.
+//
+// Each side is a comma-separated spec of the sweep options:
+//
+//	policy=conventional|exclusive|inclusive
+//	offchip=<ns>       l2assoc=<n>       dual
+//
+// or "@file.json" to load a sweep previously saved with `sweep -o`.
+//
+// Usage:
+//
+//	compare -workload gcc1 -a policy=conventional -b policy=exclusive
+//	compare -workload li -a offchip=50 -b offchip=200
+//	compare -workload gcc1 -a "l2assoc=4" -b "l2assoc=1,policy=exclusive"
+//	compare -a @saved.json -b policy=exclusive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "workload to sweep")
+		specA    = flag.String("a", "policy=conventional", "side A system spec")
+		specB    = flag.String("b", "policy=exclusive", "side B system spec")
+		refs     = flag.Uint64("refs", spec.DefaultRefs, "trace length per configuration")
+	)
+	flag.Parse()
+
+	w, err := spec.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload %s: A = {%s}  vs  B = {%s}\n\n", w.Name, *specA, *specB)
+	ptsA, err := sidePoints(w, *specA, *refs)
+	if err != nil {
+		fatal(fmt.Errorf("-a: %w", err))
+	}
+	ptsB, err := sidePoints(w, *specB, *refs)
+	if err != nil {
+		fatal(fmt.Errorf("-b: %w", err))
+	}
+	envA := sweep.Envelope(ptsA)
+	envB := sweep.Envelope(ptsB)
+
+	fmt.Printf("%-24s | %-24s\n", "A envelope", "B envelope")
+	fmt.Printf("%-9s %8s %5s | %-9s %8s %5s\n", "config", "area", "tpi", "config", "area", "tpi")
+	for i := 0; i < len(envA) || i < len(envB); i++ {
+		left, right := "", ""
+		if i < len(envA) {
+			p := envA[i]
+			left = fmt.Sprintf("%-9s %8.2g %5.2f", p.Label, p.AreaRbe, p.TPINS)
+		}
+		if i < len(envB) {
+			p := envB[i]
+			right = fmt.Sprintf("%-9s %8.2g %5.2f", p.Label, p.AreaRbe, p.TPINS)
+		}
+		fmt.Printf("%-24s | %-24s\n", left, right)
+	}
+
+	fmt.Println()
+	advB := sweep.EnvelopeAdvantage(ptsB, ptsA)
+	switch {
+	case advB > 1.0005:
+		fmt.Printf("B beats A by %.1f%% TPI on average at equal area\n", 100*(advB-1))
+	case advB < 0.9995:
+		fmt.Printf("A beats B by %.1f%% TPI on average at equal area\n", 100*(1/advB-1))
+	default:
+		fmt.Println("A and B are equivalent on average at equal area")
+	}
+	fmt.Printf("summary A: %s\n", sweep.Summarize(ptsA))
+	fmt.Printf("summary B: %s\n", sweep.Summarize(ptsB))
+}
+
+// sidePoints resolves one comparison side: "@file.json" loads a saved
+// sweep, anything else is parsed as sweep options and run.
+func sidePoints(w spec.Workload, s string, refs uint64) ([]sweep.Point, error) {
+	if name, ok := strings.CutPrefix(s, "@"); ok {
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return sweep.LoadJSON(f)
+	}
+	opt, err := parseSpec(s, refs)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Run(w, opt), nil
+}
+
+// parseSpec turns "policy=exclusive,offchip=200,l2assoc=1,dual" into
+// sweep options.
+func parseSpec(s string, refs uint64) (sweep.Options, error) {
+	opt := sweep.Options{Refs: refs}
+	if strings.TrimSpace(s) == "" {
+		return opt, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		key, val, hasVal := strings.Cut(part, "=")
+		switch key {
+		case "policy":
+			switch val {
+			case "conventional":
+				opt.Policy = core.Conventional
+			case "exclusive":
+				opt.Policy = core.Exclusive
+			case "inclusive":
+				opt.Policy = core.Inclusive
+			default:
+				return opt, fmt.Errorf("unknown policy %q", val)
+			}
+		case "offchip":
+			ns, err := strconv.ParseFloat(val, 64)
+			if err != nil || ns <= 0 {
+				return opt, fmt.Errorf("bad offchip %q", val)
+			}
+			opt.OffChipNS = ns
+		case "l2assoc":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return opt, fmt.Errorf("bad l2assoc %q", val)
+			}
+			opt.L2Assoc = n
+		case "dual":
+			if hasVal && val != "true" {
+				return opt, fmt.Errorf("dual takes no value")
+			}
+			opt.DualPorted = true
+		default:
+			return opt, fmt.Errorf("unknown key %q", key)
+		}
+	}
+	return opt, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "compare:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"twolevel/internal/core"
+)
+
+func TestParseSpec(t *testing.T) {
+	opt, err := parseSpec("policy=exclusive,offchip=200,l2assoc=1,dual", 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Policy != core.Exclusive || opt.OffChipNS != 200 || opt.L2Assoc != 1 || !opt.DualPorted {
+		t.Errorf("parsed = %+v", opt)
+	}
+	if opt.Refs != 1000 {
+		t.Errorf("refs = %d", opt.Refs)
+	}
+
+	opt, err = parseSpec("", 5)
+	if err != nil || opt.DualPorted || opt.Policy != core.Conventional {
+		t.Errorf("empty spec = %+v, %v", opt, err)
+	}
+
+	for _, bad := range []string{
+		"policy=bogus",
+		"offchip=abc",
+		"offchip=-5",
+		"l2assoc=zero",
+		"l2assoc=0",
+		"dual=no",
+		"mystery=1",
+	} {
+		if _, err := parseSpec(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}

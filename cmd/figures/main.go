@@ -1,0 +1,84 @@
+// Command figures regenerates the data behind every table and figure of
+// the paper's evaluation section.
+//
+// Usage:
+//
+//	figures -fig fig5            # one figure
+//	figures -fig all             # everything, in paper order
+//	figures -list                # list figure identifiers
+//	figures -refs 500000 -fig fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"twolevel/internal/figures"
+)
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "figure id (fig1..fig26, table1, ext...) or 'all'")
+		refs = flag.Uint64("refs", 0, "trace length per configuration (default 2,000,000)")
+		list = flag.Bool("list", false, "list figure identifiers and exit")
+		plot = flag.Bool("plot", false, "render series figures as ASCII log-log plots")
+		out  = flag.String("o", "", "write each figure to <dir>/<id>.txt instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(figures.IDs(), "\n"))
+		return
+	}
+
+	h := figures.NewHarness(figures.Config{Refs: *refs})
+	ids := figures.IDs()
+	if *fig != "all" {
+		ids = strings.Split(*fig, ",")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		f, err := h.ByID(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dst := io.Writer(os.Stdout)
+		var file *os.File
+		if *out != "" {
+			file, err = os.Create(filepath.Join(*out, id+".txt"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			dst = file
+		}
+		if err := figures.Render(dst, f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *plot {
+			if err := figures.Plot(dst, f, 0, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if file != nil {
+			if err := file.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", filepath.Join(*out, id+".txt"))
+		}
+	}
+}

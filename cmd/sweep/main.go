@@ -1,0 +1,112 @@
+// Command sweep runs the full design-space exploration for one or more
+// workloads and prints every evaluated configuration (optionally as CSV),
+// marking the best-performance envelope.
+//
+// Usage:
+//
+//	sweep -workload gcc1
+//	sweep -workload all -offchip 200 -l2assoc 4 -policy exclusive -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "workload name, comma list, or 'all'")
+		offchip  = flag.Float64("offchip", 50, "off-chip miss service time, ns")
+		l2assoc  = flag.Int("l2assoc", 4, "L2 associativity")
+		policy   = flag.String("policy", "conventional", "conventional, exclusive, or inclusive")
+		dual     = flag.Bool("dual", false, "dual-ported L1 cells")
+		refs     = flag.Uint64("refs", spec.DefaultRefs, "trace length per configuration")
+		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut  = flag.String("o", "", "also save the sweep(s) as JSON to this file (single workload only)")
+	)
+	flag.Parse()
+
+	var pol core.Policy
+	switch *policy {
+	case "conventional":
+		pol = core.Conventional
+	case "exclusive":
+		pol = core.Exclusive
+	case "inclusive":
+		pol = core.Inclusive
+	default:
+		fatal(fmt.Errorf("unknown -policy %q", *policy))
+	}
+	opt := sweep.Options{
+		OffChipNS: *offchip, L2Assoc: *l2assoc, Policy: pol,
+		DualPorted: *dual, Refs: *refs,
+	}
+
+	names := strings.Split(*workload, ",")
+	if *workload == "all" {
+		names = spec.Names()
+	}
+	headerDone := false
+	for _, name := range names {
+		w, err := spec.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		points := sweep.Run(w, opt)
+
+		title := fmt.Sprintf("%s (offchip %.0fns, L2 %d-way, %s", w.Name, *offchip, *l2assoc, pol)
+		if *dual {
+			title += ", dual-ported L1"
+		}
+		title += ")"
+
+		r := sweep.Report{CSV: *csv, Workload: w.Name, Title: title}
+		if *csv && headerDone {
+			// Strip the repeated CSV header for subsequent workloads.
+			var sb strings.Builder
+			if err := r.Write(&sb, points); err != nil {
+				fatal(err)
+			}
+			out := sb.String()
+			if i := strings.IndexByte(out, '\n'); i >= 0 {
+				out = out[i+1:]
+			}
+			fmt.Print(out)
+		} else {
+			if err := r.Write(os.Stdout, points); err != nil {
+				fatal(err)
+			}
+			headerDone = true
+		}
+		if !*csv {
+			fmt.Printf("summary: %s\n\n", sweep.Summarize(points))
+		}
+		if *jsonOut != "" {
+			if len(names) > 1 {
+				fatal(fmt.Errorf("-o supports a single workload, got %d", len(names)))
+			}
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sweep.SaveJSON(f, points); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "saved %s\n", *jsonOut)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

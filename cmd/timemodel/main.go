@@ -1,0 +1,90 @@
+// Command timemodel explores the Wilton–Jouppi-style access/cycle-time
+// and Mulder-area models directly: per-stage delay breakdowns for one
+// cache, or the full Figure-1-style size table.
+//
+// Usage:
+//
+//	timemodel                        # Figure-1 table, direct-mapped
+//	timemodel -size 64KB -assoc 4    # one cache's breakdown
+//	timemodel -table -assoc 4 -ports 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"twolevel/internal/area"
+	"twolevel/internal/timing"
+)
+
+func main() {
+	var (
+		size  = flag.String("size", "", "one cache size to break down (e.g. 64KB); empty = table")
+		assoc = flag.Int("assoc", 1, "associativity")
+		ports = flag.Int("ports", 1, "ports (2 = the §6 dual-ported cell)")
+		line  = flag.Int("line", 16, "line size in bytes")
+		scale = flag.Float64("scale", 0.5, "technology scale (0.5 = the paper's 0.5um; 1.0 = 0.8um)")
+	)
+	flag.Parse()
+
+	tech := timing.Tech{Scale: *scale, AddrBits: 32}
+
+	if *size != "" {
+		bytes, err := parseSize(*size)
+		if err != nil {
+			fatal(err)
+		}
+		p := timing.Params{Size: bytes, LineSize: *line, Assoc: *assoc, OutputBits: 64, Ports: *ports}
+		if err := p.Validate(); err != nil {
+			fatal(err)
+		}
+		r := timing.Optimal(tech, p)
+		fmt.Printf("%s %d-way %d-port (%dB lines), scale %.2f:\n",
+			*size, *assoc, *ports, *line, *scale)
+		if err := r.Describe(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("area: %.0f rbe (%.3f rbe/bit)\n",
+			area.Cache(p, r.Org), area.PerBit(p, r.Org))
+		return
+	}
+
+	fmt.Printf("%d-way, %d-port, %dB lines, scale %.2f:\n", *assoc, *ports, *line, *scale)
+	fmt.Printf("%8s %10s %10s %12s %10s\n", "size", "access", "cycle", "area(rbe)", "rbe/bit")
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		p := timing.Params{Size: kb << 10, LineSize: *line, Assoc: *assoc, OutputBits: 64, Ports: *ports}
+		if p.Validate() != nil {
+			continue // e.g. associativity too large for tiny sizes
+		}
+		r := timing.Optimal(tech, p)
+		fmt.Printf("%7dK %9.3f %9.3f %12.0f %10.3f\n",
+			kb, r.AccessTime, r.CycleTime, area.Cache(p, r.Org), area.PerBit(p, r.Org))
+	}
+}
+
+// parseSize parses "64KB", "64K", or a byte count.
+func parseSize(s string) (int64, error) {
+	s = strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "timemodel:", err)
+	os.Exit(1)
+}

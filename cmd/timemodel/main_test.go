@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"64KB", 64 << 10, true},
+		{"64K", 64 << 10, true},
+		{"1MB", 1 << 20, true},
+		{"4096", 4096, true},
+		{" 8kb ", 8 << 10, true},
+		{"", 0, false},
+		{"XKB", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := parseSize(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("parseSize(%q) accepted", tc.in)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Command tracegen writes a synthetic workload trace to a file, in the
+// compact binary format or classic Dinero "din" text.
+//
+// Usage:
+//
+//	tracegen -workload tomcatv -n 1000000 -o tomcatv.trace
+//	tracegen -workload gcc1 -n 500000 -format din -o gcc1.din
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "synthetic workload name")
+		n        = flag.Uint64("n", 1_000_000, "number of references")
+		out      = flag.String("o", "", "output file (default <workload>.trace or .din)")
+		format   = flag.String("format", "binary", "binary or din")
+	)
+	flag.Parse()
+
+	w, err := spec.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		ext := ".trace"
+		if *format == "din" {
+			ext = ".din"
+		}
+		path = w.Name + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	stream := w.Stream(*n)
+	var wrote uint64
+	switch *format {
+	case "binary":
+		bw := trace.NewBinaryWriter(f)
+		wrote, err = trace.WriteAll(stream, bw.Write)
+		if err == nil {
+			err = bw.Flush()
+		}
+	case "din":
+		tw := trace.NewTextWriter(f)
+		wrote, err = trace.WriteAll(stream, tw.Write)
+		if err == nil {
+			err = tw.Flush()
+		}
+	default:
+		err = fmt.Errorf("unknown -format %q (want binary or din)", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d references of %s to %s (%s)\n", wrote, w.Name, path, *format)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command traceinfo profiles a reference stream — a synthetic workload or
+// a trace file — reporting the reference mix, code/data footprints,
+// spatial locality, and the LRU stack-distance histogram that determines
+// miss rate as a function of cache capacity.
+//
+// Usage:
+//
+//	traceinfo -workload li -n 200000
+//	traceinfo -trace prog.din
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "synthetic workload name")
+		traceIn  = flag.String("trace", "", "trace file to profile instead (.din or binary)")
+		n        = flag.Uint64("n", 200_000, "references to profile (synthetic workloads)")
+	)
+	flag.Parse()
+
+	var stream trace.Stream
+	var label string
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		var magic [8]byte
+		cnt, _ := f.Read(magic[:])
+		if _, err := f.Seek(0, 0); err != nil {
+			fatal(err)
+		}
+		if cnt == 8 && string(magic[:]) == "TLTRACE1" {
+			stream = trace.NewBinaryReader(f)
+		} else {
+			stream = trace.NewTextReader(f)
+		}
+		label = *traceIn
+	} else {
+		w, err := spec.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		stream = w.Stream(*n)
+		label = w.Name
+	}
+
+	fmt.Printf("== profile of %s ==\n", label)
+	p := trace.Analyze(stream)
+	if err := p.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceinfo:", err)
+	os.Exit(1)
+}

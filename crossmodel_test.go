@@ -1,0 +1,106 @@
+package twolevel_test
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+	"twolevel/internal/trace"
+)
+
+// TestAnalyzerMatchesCacheSimulation cross-validates two independent
+// implementations: the trace analyzer's stack-distance-based miss-ratio
+// estimate and the actual cache simulator, on the same stream. For a
+// fully-associative LRU data cache the two must agree (the stack
+// histogram IS the miss function of such a cache), up to the analyzer's
+// power-of-two bucket granularity.
+func TestAnalyzerMatchesCacheSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-model validation in -short mode")
+	}
+	w, err := spec.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 150_000
+	prof := trace.Analyze(w.Stream(refs))
+
+	for _, lines := range []int{64, 256, 1024} {
+		// Simulate a fully-associative LRU cache over the data refs only.
+		c := cache.New(cache.Config{
+			Size:     int64(lines * 16),
+			LineSize: 16,
+			Assoc:    lines,
+			Policy:   cache.LRU,
+		})
+		s := w.Stream(refs)
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			if r.Kind.IsData() {
+				c.Access(cache.Addr(r.Addr))
+			}
+		}
+		simulated := c.Stats().MissRate()
+
+		// The analyzer's estimate is bucketed: a capacity of 2^k lines is
+		// bracketed by the estimates at the bucket edges.
+		upper := prof.MissRatioAtCapacity(lines / 2) // pessimistic
+		lower := prof.MissRatioAtCapacity(lines * 2) // optimistic
+		if simulated > upper+0.01 || simulated < lower-0.01 {
+			t.Errorf("capacity %d lines: simulated miss rate %.4f outside analyzer bracket [%.4f, %.4f]",
+				lines, simulated, lower, upper)
+		}
+		// And the point estimate should be close in absolute terms.
+		est := prof.MissRatioAtCapacity(lines)
+		if math.Abs(est-simulated) > 0.05 {
+			t.Errorf("capacity %d lines: analyzer %.4f vs simulator %.4f differ by more than 0.05",
+				lines, est, simulated)
+		}
+	}
+}
+
+// TestSweepMatchesDirectSimulation cross-validates the sweep pipeline's
+// miss counts against a hand-driven simulation of the same configuration
+// and stream.
+func TestSweepMatchesDirectSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-model validation in -short mode")
+	}
+	w, err := spec.ByName("doduc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const refs = 100_000
+
+	// Hand-driven.
+	sysCfg := hierarchy8to64()
+	direct := sysCfg.Run(w.Stream(refs))
+
+	// Through the sweep pipeline.
+	import1 := sweepEvaluate(t, w, refs)
+	if direct != import1 {
+		t.Errorf("sweep pipeline stats differ from direct simulation:\n%+v\n%+v", direct, import1)
+	}
+}
+
+// hierarchy8to64 builds the canonical 8:64 4-way system.
+func hierarchy8to64() *core.System {
+	return core.NewSystem(core.Config{
+		L1I: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L2:  cache.Config{Size: 64 << 10, LineSize: 16, Assoc: 4},
+	})
+}
+
+// sweepEvaluate runs the same configuration through the sweep pipeline.
+func sweepEvaluate(t *testing.T, w spec.Workload, refs uint64) core.Stats {
+	t.Helper()
+	cfg := sweep.Configs(sweep.Options{L1Sizes: []int64{8 << 10}, L2Sizes: []int64{64 << 10}})[0]
+	return sweep.Evaluate(w, cfg, sweep.Options{Refs: refs}).Stats
+}

@@ -1,0 +1,61 @@
+// Design-space exploration: the study's central question — given a chip
+// area budget, what cache organization is fastest? This example sweeps
+// the full 1KB–256KB configuration space for a workload, prints the
+// best-performance envelope, and answers the paper's worked example
+// ("if 3,000,000 rbe's are available...") for several budgets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"twolevel"
+)
+
+func main() {
+	workload := flag.String("workload", "gcc1", "workload to explore")
+	offchip := flag.Float64("offchip", 50, "off-chip miss service time, ns")
+	exclusive := flag.Bool("exclusive", false, "use the exclusive two-level policy")
+	flag.Parse()
+
+	w, err := twolevel.WorkloadByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := twolevel.Conventional
+	if *exclusive {
+		policy = twolevel.Exclusive
+	}
+	opt := twolevel.SweepOptions{
+		OffChipNS: *offchip,
+		L2Assoc:   4,
+		Policy:    policy,
+		Refs:      1_000_000,
+	}
+
+	fmt.Printf("sweeping %d configurations for %s (%.0fns off-chip, %v policy)...\n",
+		len(twolevel.SweepConfigs(opt)), w.Name, *offchip, policy)
+	points := twolevel.Sweep(w, opt)
+
+	fmt.Println("\nbest-performance envelope (area → fastest configuration):")
+	fmt.Printf("  %-8s %12s %9s\n", "config", "area (rbe)", "TPI (ns)")
+	for _, p := range twolevel.Envelope(points) {
+		kind := "single-level"
+		if p.TwoLevel() {
+			kind = "two-level"
+		}
+		fmt.Printf("  %-8s %12.0f %9.3f   %s\n", p.Label, p.AreaRbe, p.TPINS, kind)
+	}
+
+	fmt.Println("\nbest configuration by area budget:")
+	for _, budget := range []float64{100_000, 300_000, 1_000_000, 3_000_000, 6_000_000} {
+		best, ok := twolevel.BestAtArea(points, budget)
+		if !ok {
+			fmt.Printf("  %9.0f rbe: nothing fits\n", budget)
+			continue
+		}
+		fmt.Printf("  %9.0f rbe: %-8s TPI %.3f ns (uses %.0f rbe)\n",
+			budget, best.Label, best.TPINS, best.AreaRbe)
+	}
+}

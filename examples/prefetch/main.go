@@ -1,0 +1,58 @@
+// Prefetch demonstration: the paper's reference [4] (Jouppi 1990)
+// proposed two small structures for direct-mapped caches — victim caches
+// for conflict misses and stream buffers for sequential misses. This
+// example runs both against the paper's own answer, a second cache
+// level, on two contrasting workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolevel"
+)
+
+func main() {
+	l1 := twolevel.CacheConfig{Size: 4 << 10, LineSize: 16, Assoc: 1}
+	bare := twolevel.Hierarchy{L1I: l1, L1D: l1}
+
+	for _, name := range []string{"fpppp", "tomcatv"} {
+		w, err := twolevel.WorkloadByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s with 4KB+4KB direct-mapped L1s (off-chip fetches per reference):\n", name)
+
+		base := twolevel.NewSystem(bare).Run(w.Stream(2_000_000))
+		fmt.Printf("  %-28s %.4f\n", "bare", base.GlobalMissRate())
+
+		for _, ways := range []int{4, 8} {
+			sb, err := twolevel.NewStreamBufferSystem(bare, 4, ways)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sbst := sb.Run(w.Stream(2_000_000))
+			fmt.Printf("  + stream buffers (%d-way D)  %.4f  (I hits %d, D hits %d)\n",
+				ways, sbst.GlobalMissRate(),
+				sb.InstrBuffer().Hits, sb.DataBuffers().Hits())
+		}
+
+		vc, err := twolevel.NewVictimCacheSystem(4<<10, 16, 16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vcst := vc.Run(w.Stream(2_000_000))
+		fmt.Printf("  %-28s %.4f\n", "+ 16-line victim buffer", vcst.GlobalMissRate())
+
+		two := bare
+		two.L2 = twolevel.CacheConfig{Size: 32 << 10, LineSize: 16, Assoc: 4}
+		two.Policy = twolevel.Exclusive
+		exst := twolevel.NewSystem(two).Run(w.Stream(2_000_000))
+		fmt.Printf("  %-28s %.4f\n\n", "+ 32KB exclusive L2", exst.GlobalMissRate())
+	}
+	fmt.Println("fpppp's huge sequential code rewards stream buffers outright; tomcatv's")
+	fmt.Println("SEVEN interleaved arrays need more buffer ways than Jouppi's four before")
+	fmt.Println("prefetching bites, while its conflict misses reward the victim buffer.")
+	fmt.Println("The second level attacks everything with capacity — the progression")
+	fmt.Println("from [4] to this paper.")
+}

@@ -1,0 +1,56 @@
+// Quickstart: simulate one two-level on-chip cache hierarchy over a
+// SPEC89-like workload and report the numbers the study is built on —
+// miss rates, cycle times, chip area, and time per instruction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twolevel"
+)
+
+func main() {
+	// An 8KB+8KB split direct-mapped L1 with a mixed 64KB 4-way L2 using
+	// the paper's exclusive replacement policy.
+	cfg := twolevel.Hierarchy{
+		L1I:    twolevel.CacheConfig{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D:    twolevel.CacheConfig{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L2:     twolevel.CacheConfig{Size: 64 << 10, LineSize: 16, Assoc: 4, Policy: twolevel.Random},
+		Policy: twolevel.Exclusive,
+	}
+	sys := twolevel.NewSystem(cfg)
+
+	// Drive it with one million references of the gcc1 stand-in workload.
+	w, err := twolevel.WorkloadByName("gcc1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := sys.Run(w.Stream(1_000_000))
+
+	fmt.Printf("hierarchy      : %s\n", cfg)
+	fmt.Printf("L1I miss rate  : %.4f\n", float64(stats.L1IMisses)/float64(stats.InstrRefs))
+	fmt.Printf("L1D miss rate  : %.4f\n", float64(stats.L1DMisses)/float64(stats.DataRefs))
+	fmt.Printf("L2 local misses: %.4f\n", stats.LocalL2MissRate())
+	fmt.Printf("global misses  : %.4f (off-chip fetches per reference)\n", stats.GlobalMissRate())
+
+	// Price the configuration with the timing and area models, then fold
+	// everything into the paper's TPI metric.
+	l1 := twolevel.OptimalTiming(twolevel.Paper05um,
+		twolevel.TimingParams{Size: cfg.L1I.Size, LineSize: 16, Assoc: 1, OutputBits: 64})
+	l2 := twolevel.OptimalTiming(twolevel.Paper05um,
+		twolevel.TimingParams{Size: cfg.L2.Size, LineSize: 16, Assoc: 4, OutputBits: 64})
+	areaRbe := 2*twolevel.CacheAreaRbe(twolevel.TimingParams{Size: cfg.L1I.Size, LineSize: 16, Assoc: 1}, l1.Org) +
+		twolevel.CacheAreaRbe(twolevel.TimingParams{Size: cfg.L2.Size, LineSize: 16, Assoc: 4}, l2.Org)
+
+	m := twolevel.Machine{
+		L1CycleNS: l1.CycleTime,
+		L2CycleNS: l2.CycleTime,
+		OffChipNS: 50,
+		IssueRate: 1,
+	}
+	fmt.Printf("processor cycle: %.2f ns (the L1 cycle time)\n", m.L1CycleNS)
+	fmt.Printf("L2 access      : %d CPU cycles\n", m.L2Cycles())
+	fmt.Printf("chip area      : %.0f rbe\n", areaRbe)
+	fmt.Printf("TPI            : %.3f ns\n", m.TPI(stats))
+}

@@ -1,0 +1,139 @@
+// Package area estimates the chip area of a cache organization in
+// register-bit equivalents (rbe), following the Mulder–Quach–Flynn
+// on-chip memory area model the paper uses in §2.4.
+//
+// The rbe is a technology-independent unit: one register cell is 1 rbe
+// and a single-ported 6-transistor SRAM cell is 0.6 rbe. On top of the
+// cell array the model charges for RAM peripheral logic — decoders,
+// wordline drivers, sense amplifiers, bitline precharge, write circuitry,
+// output drivers, comparators (6×0.6 rbe each, the figure the paper
+// quotes in §5), and control. Because the array organization is taken
+// from the timing model's highest-performance segmentation, small caches
+// pay proportionally more peripheral area per bit than large ones —
+// exactly the behaviour §2.4 describes.
+package area
+
+import (
+	"twolevel/internal/timing"
+)
+
+// Model area constants, rbe. The SRAM cell value is Mulder's published
+// 0.6; the peripheral constants are calibrated so a 1KB cache lands near
+// 10⁴ rbe and a 256KB cache near 1.5×10⁶ rbe, matching the x-axis
+// positions of the paper's figures.
+const (
+	// CellRbe is the area of one single-ported 6T SRAM cell.
+	CellRbe = 0.6
+	// ComparatorRbe is the area of one tag comparator (6 × 0.6 rbe, §5).
+	ComparatorRbe = 6 * CellRbe
+
+	senseAmpPerColumn  = 10.0
+	prechargePerColumn = 2.0
+	writeMuxPerColumn  = 3.0
+	driverPerRow       = 5.0
+	decoderPerRow      = 1.0
+	decoderFixed       = 100.0
+	outputDriverPerBit = 15.0
+	addrDriverPerBit   = 10.0
+	controlFixed       = 500.0
+)
+
+// Cache returns the area in rbe of the cache described by p when laid
+// out with organization org (normally the organization the timing
+// model's search selected, since the study always organizes memories for
+// highest performance).
+func Cache(p timing.Params, org timing.Organization) float64 {
+	if p.LineSize == 0 {
+		p.LineSize = 16
+	}
+	if p.Assoc == 0 {
+		p.Assoc = 1
+	}
+	if p.OutputBits == 0 {
+		p.OutputBits = 64
+	}
+	if p.Ports == 0 {
+		p.Ports = 1
+	}
+	ports := float64(p.Ports)
+
+	dataBits := float64(p.Size) * 8
+	sets := float64(int(p.Size) / (p.LineSize * p.Assoc))
+	tagEntryBits := float64(org.TagBits + 2) // tag + valid + dirty
+	tagBitsTotal := sets * float64(p.Assoc) * tagEntryBits
+
+	// Each additional port adds a full set of wordlines, bitlines and
+	// access devices: cell area scales with port count (§6: "a cache
+	// with two ports typically requires twice the area").
+	cells := (dataBits + tagBitsTotal) * CellRbe * ports
+
+	subarray := func(nwl, nbl, rows, cols int) float64 {
+		n := float64(nwl * nbl)
+		perCol := (senseAmpPerColumn + prechargePerColumn + writeMuxPerColumn) * ports
+		perRow := (driverPerRow + decoderPerRow) * ports
+		return n * (float64(cols)*perCol + float64(rows)*perRow + decoderFixed)
+	}
+	periph := subarray(org.Ndwl, org.Ndbl, org.DataRows, org.DataCols)
+	periph += subarray(org.Ntwl, org.Ntbl, org.TagRows, org.TagCols)
+
+	periph += float64(p.OutputBits) * outputDriverPerBit
+	periph += 32 * addrDriverPerBit // address fan-in
+	periph += float64(p.Assoc) * ComparatorRbe
+	periph += controlFixed
+
+	return cells + periph
+}
+
+// CacheOptimal computes the area of p when organized for minimum cycle
+// time under technology t (the study's procedure: the time model picks
+// the organization, the area model prices it).
+func CacheOptimal(t timing.Tech, p timing.Params) float64 {
+	r := timing.Optimal(t, p)
+	return Cache(p, r.Org)
+}
+
+// PerBit reports the average rbe per data bit of a configuration — the
+// §2.4 observation is that this falls toward CellRbe as caches grow.
+func PerBit(p timing.Params, org timing.Organization) float64 {
+	return Cache(p, org) / (float64(p.Size) * 8)
+}
+
+// Breakdown splits a cache's area into its cell array and peripheral
+// logic — the §2.4 observation is that the peripheral share shrinks as
+// the memory grows.
+type Breakdown struct {
+	// CellsRbe is the data+tag storage cell area (ports included).
+	CellsRbe float64
+	// PeripheryRbe is everything else: decoders, drivers, sense amps,
+	// precharge, write muxes, comparators, output drivers, control.
+	PeripheryRbe float64
+}
+
+// TotalRbe is the full cache area.
+func (b Breakdown) TotalRbe() float64 { return b.CellsRbe + b.PeripheryRbe }
+
+// PeripheryShare is the fraction of the area spent outside the cells.
+func (b Breakdown) PeripheryShare() float64 {
+	if t := b.TotalRbe(); t > 0 {
+		return b.PeripheryRbe / t
+	}
+	return 0
+}
+
+// CacheBreakdown prices a cache like Cache but reports the split.
+func CacheBreakdown(p timing.Params, org timing.Organization) Breakdown {
+	total := Cache(p, org)
+	if p.LineSize == 0 {
+		p.LineSize = 16
+	}
+	if p.Assoc == 0 {
+		p.Assoc = 1
+	}
+	if p.Ports == 0 {
+		p.Ports = 1
+	}
+	sets := float64(int(p.Size) / (p.LineSize * p.Assoc))
+	tagBitsTotal := sets * float64(p.Assoc) * float64(org.TagBits+2)
+	cells := (float64(p.Size)*8 + tagBitsTotal) * CellRbe * float64(p.Ports)
+	return Breakdown{CellsRbe: cells, PeripheryRbe: total - cells}
+}

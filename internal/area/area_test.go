@@ -1,0 +1,141 @@
+package area
+
+import (
+	"testing"
+
+	"twolevel/internal/timing"
+)
+
+func dm(kb int64) timing.Params {
+	return timing.Params{Size: kb << 10, LineSize: 16, Assoc: 1, OutputBits: 64, Ports: 1}
+}
+
+func optArea(t *testing.T, p timing.Params) float64 {
+	t.Helper()
+	r := timing.Optimal(timing.Paper05um, p)
+	return Cache(p, r.Org)
+}
+
+func TestAreaMonotoneInSize(t *testing.T) {
+	prev := 0.0
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		a := optArea(t, dm(kb))
+		if a <= prev {
+			t.Errorf("%dKB area %.0f not above previous %.0f", kb, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestPerBitApproachesCell(t *testing.T) {
+	// §2.4: peripheral overhead dominates small memories and fades for
+	// large ones; per-bit area must fall with size and stay above the
+	// raw cell area.
+	prev := 1e9
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		p := dm(kb)
+		r := timing.Optimal(timing.Paper05um, p)
+		pb := PerBit(p, r.Org)
+		if pb >= prev {
+			t.Errorf("%dKB per-bit %.3f not below previous %.3f", kb, pb, prev)
+		}
+		if pb <= CellRbe {
+			t.Errorf("%dKB per-bit %.3f at or below the bare cell %.1f", kb, pb, CellRbe)
+		}
+		prev = pb
+	}
+	// Large caches must get reasonably close to the cell area.
+	if prev > 2*CellRbe {
+		t.Errorf("256KB per-bit %.3f still more than twice the cell area", prev)
+	}
+}
+
+func TestAbsoluteCalibration(t *testing.T) {
+	// The paper's figures place a pair of 1KB caches near 2-3x10^4 rbe
+	// and a pair of 256KB caches near 3-5x10^6.
+	small := 2 * optArea(t, dm(1))
+	big := 2 * optArea(t, dm(256))
+	if small < 15_000 || small > 60_000 {
+		t.Errorf("1KB pair = %.0f rbe, outside the figures' x-axis placement", small)
+	}
+	if big < 2e6 || big > 8e6 {
+		t.Errorf("256KB pair = %.0f rbe, outside the figures' x-axis placement", big)
+	}
+}
+
+func TestDualPortedRoughlyDoubles(t *testing.T) {
+	// §6: "a cache with two ports typically requires twice the area".
+	for _, kb := range []int64{4, 64} {
+		p1 := dm(kb)
+		p2 := dm(kb)
+		p2.Ports = 2
+		a1 := optArea(t, p1)
+		a2 := optArea(t, p2)
+		ratio := a2 / a1
+		if ratio < 1.7 || ratio > 2.3 {
+			t.Errorf("%dKB: dual-ported/single ratio = %.2f, want ~2", kb, ratio)
+		}
+	}
+}
+
+func TestSetAssociativeAreaOverheadSmall(t *testing.T) {
+	// §5: the comparators of a set-associative cache are tiny (6x0.6 rbe
+	// each); at equal capacity the area difference should be small.
+	for _, kb := range []int64{16, 128} {
+		dmA := optArea(t, dm(kb))
+		sa := timing.Params{Size: kb << 10, LineSize: 16, Assoc: 4, OutputBits: 64, Ports: 1}
+		saA := optArea(t, sa)
+		diff := (saA - dmA) / dmA
+		if diff > 0.25 || diff < -0.25 {
+			t.Errorf("%dKB: 4-way vs DM area differs by %.1f%%, want small (paper §5)", kb, 100*diff)
+		}
+	}
+}
+
+func TestCacheOptimalConsistent(t *testing.T) {
+	p := dm(8)
+	r := timing.Optimal(timing.Paper05um, p)
+	if got, want := CacheOptimal(timing.Paper05um, p), Cache(p, r.Org); got != want {
+		t.Errorf("CacheOptimal = %v, Cache(optimal org) = %v", got, want)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// Zero-valued optional fields must not panic or produce nonsense.
+	p := timing.Params{Size: 8 << 10}
+	r := timing.Optimal(timing.Paper05um, p)
+	a := Cache(p, r.Org)
+	if a <= 0 {
+		t.Errorf("area with defaulted params = %v", a)
+	}
+}
+
+func TestComparatorConstant(t *testing.T) {
+	if ComparatorRbe != 3.6 {
+		t.Errorf("ComparatorRbe = %v, want 6 x 0.6 = 3.6 (paper §5)", ComparatorRbe)
+	}
+}
+
+func TestCacheBreakdown(t *testing.T) {
+	small := dm(1)
+	big := dm(256)
+	rs := timing.Optimal(timing.Paper05um, small)
+	rb := timing.Optimal(timing.Paper05um, big)
+	bs := CacheBreakdown(small, rs.Org)
+	bb := CacheBreakdown(big, rb.Org)
+	// Breakdown must reconcile with the headline number.
+	if got, want := bs.TotalRbe(), Cache(small, rs.Org); got != want {
+		t.Errorf("small breakdown total %v != Cache %v", got, want)
+	}
+	// §2.4: the peripheral share shrinks with size.
+	if bs.PeripheryShare() <= bb.PeripheryShare() {
+		t.Errorf("periphery share did not shrink: %0.3f (1KB) vs %0.3f (256KB)",
+			bs.PeripheryShare(), bb.PeripheryShare())
+	}
+	if bb.PeripheryShare() <= 0 || bb.PeripheryShare() >= 1 {
+		t.Errorf("implausible periphery share %v", bb.PeripheryShare())
+	}
+	if (Breakdown{}).PeripheryShare() != 0 {
+		t.Error("zero breakdown share not 0")
+	}
+}

@@ -1,0 +1,446 @@
+// Package cache implements the single-cache substrate used by the
+// two-level on-chip caching study: physically-addressed, lockup,
+// direct-mapped or set-associative arrays with 16-byte lines and
+// pseudo-random replacement (the configuration the paper fixes in §2.1),
+// plus LRU and FIFO replacement for ablations.
+//
+// A Cache tracks only line presence (tags), not contents: the study is
+// trace-driven and write traffic is modeled as read traffic
+// (write-allocate, fetch-on-write; paper §2.2), so hit/miss behaviour is
+// fully determined by the tag state.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// LineAddr is an address shifted right by the line-size log; two addresses
+// on the same cache line have equal LineAddr.
+type LineAddr uint64
+
+// ReplacementPolicy selects how a victim way is chosen in a set-associative
+// cache. Direct-mapped caches have no choice and ignore the policy.
+type ReplacementPolicy int
+
+const (
+	// Random is pseudo-random replacement via a 16-bit LFSR, the policy
+	// the paper uses for its set-associative second-level caches.
+	Random ReplacementPolicy = iota
+	// LRU replaces the least-recently-used way.
+	LRU
+	// FIFO replaces ways in insertion order.
+	FIFO
+)
+
+// String returns the policy name.
+func (p ReplacementPolicy) String() string {
+	switch p {
+	case Random:
+		return "random"
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("ReplacementPolicy(%d)", int(p))
+	}
+}
+
+// Config describes one cache array.
+type Config struct {
+	// Size is the capacity in bytes. Must be a power of two.
+	Size int64
+	// LineSize is the line size in bytes. Must be a power of two.
+	// The paper fixes 16-byte lines.
+	LineSize int
+	// Assoc is the set associativity. 1 means direct-mapped. It must
+	// divide Size/LineSize. Use Lines() for full associativity.
+	Assoc int
+	// Policy selects the replacement policy for Assoc > 1.
+	Policy ReplacementPolicy
+}
+
+// Lines reports the total number of lines the cache holds.
+func (c Config) Lines() int { return int(c.Size) / c.LineSize }
+
+// Sets reports the number of sets.
+func (c Config) Sets() int { return c.Lines() / c.Assoc }
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Size <= 0:
+		return fmt.Errorf("cache: size %d must be positive", c.Size)
+	case c.Size&(c.Size-1) != 0:
+		return fmt.Errorf("cache: size %d must be a power of two", c.Size)
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineSize)
+	case int64(c.LineSize) > c.Size:
+		return fmt.Errorf("cache: line size %d exceeds cache size %d", c.LineSize, c.Size)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cache: associativity %d must be positive", c.Assoc)
+	case c.Lines()%c.Assoc != 0:
+		return fmt.Errorf("cache: associativity %d does not divide %d lines", c.Assoc, c.Lines())
+	}
+	sets := c.Sets()
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", sets)
+	}
+	return nil
+}
+
+// String renders the configuration like "32KB/16B/4-way(random)".
+func (c Config) String() string {
+	way := "DM"
+	if c.Assoc > 1 {
+		way = fmt.Sprintf("%d-way(%s)", c.Assoc, c.Policy)
+	}
+	return fmt.Sprintf("%s/%dB/%s", FormatSize(c.Size), c.LineSize, way)
+}
+
+// FormatSize renders a byte count as 1KB, 256KB, 1MB, or plain bytes.
+func FormatSize(b int64) string {
+	switch {
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", b>>10)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// Stats counts accesses to a single cache.
+type Stats struct {
+	Accesses uint64
+	Hits     uint64
+	Misses   uint64
+}
+
+// MissRate reports Misses/Accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Victim describes a line displaced by an insertion.
+type Victim struct {
+	// Line is the line address of the displaced line.
+	Line LineAddr
+	// Valid reports whether a line was actually displaced (false when
+	// the insertion filled an empty way).
+	Valid bool
+	// Dirty reports whether the displaced line held unwritten-back
+	// store data (write-back traffic extension).
+	Dirty bool
+}
+
+// Cache is a tag-only cache model. It is not safe for concurrent use.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	assoc     int
+
+	// tags[set*assoc+way] holds the line address; valid bit packed
+	// separately to allow line address 0.
+	tags  []LineAddr
+	valid []bool
+	dirty []bool
+
+	// Replacement state.
+	lastUse []uint64 // LRU timestamps
+	fifoPtr []uint16 // next way to replace per set, FIFO
+	tick    uint64
+	lfsr    uint32
+
+	stats Stats
+}
+
+// New builds a cache from cfg. It panics on an invalid configuration;
+// use Config.Validate to check untrusted input first.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.Lines()
+	c := &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineSize))),
+		setMask:   uint64(cfg.Sets() - 1),
+		assoc:     cfg.Assoc,
+		tags:      make([]LineAddr, lines),
+		valid:     make([]bool, lines),
+		dirty:     make([]bool, lines),
+		lfsr:      0xACE1, // non-zero LFSR seed
+	}
+	switch cfg.Policy {
+	case LRU:
+		c.lastUse = make([]uint64, lines)
+	case FIFO:
+		c.fifoPtr = make([]uint16, cfg.Sets())
+	}
+	return c
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the access counters accumulated so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters without touching cache contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Line maps a byte address to its line address.
+func (c *Cache) Line(a Addr) LineAddr { return LineAddr(uint64(a) >> c.lineShift) }
+
+// set returns the set index for a line address.
+func (c *Cache) set(l LineAddr) int { return int(uint64(l) & c.setMask) }
+
+// findWay returns the way holding l within set, or -1.
+func (c *Cache) findWay(set int, l LineAddr) int {
+	base := set * c.assoc
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[base+w] && c.tags[base+w] == l {
+			return w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether the line holding a is resident, with no side
+// effects on replacement state or statistics.
+func (c *Cache) Contains(a Addr) bool {
+	l := c.Line(a)
+	return c.findWay(c.set(l), l) >= 0
+}
+
+// ContainsLine is Contains for a pre-computed line address.
+func (c *Cache) ContainsLine(l LineAddr) bool {
+	return c.findWay(c.set(l), l) >= 0
+}
+
+// Access performs a demand read reference to address a: on a hit it
+// updates replacement state and returns true; on a miss it allocates the
+// line, returns false, and reports the victim (if any) through v.
+func (c *Cache) Access(a Addr) (hit bool, v Victim) {
+	return c.access(a, false)
+}
+
+// AccessWrite performs a demand store reference: identical hit/miss and
+// allocation behaviour to Access (write-allocate, fetch-on-write, the
+// paper's §2.2 model) but marks the line dirty.
+func (c *Cache) AccessWrite(a Addr) (hit bool, v Victim) {
+	return c.access(a, true)
+}
+
+func (c *Cache) access(a Addr, write bool) (hit bool, v Victim) {
+	l := c.Line(a)
+	set := c.set(l)
+	c.stats.Accesses++
+	if w := c.findWay(set, l); w >= 0 {
+		c.stats.Hits++
+		c.touch(set, w)
+		if write {
+			c.dirty[set*c.assoc+w] = true
+		}
+		return true, Victim{}
+	}
+	c.stats.Misses++
+	return false, c.insertState(set, l, write)
+}
+
+// Lookup performs a demand reference that does NOT allocate on miss:
+// replacement state is updated on hit and statistics are counted either
+// way. It is the probe half of an exclusive-hierarchy access.
+func (c *Cache) Lookup(a Addr) bool {
+	l := c.Line(a)
+	set := c.set(l)
+	c.stats.Accesses++
+	if w := c.findWay(set, l); w >= 0 {
+		c.stats.Hits++
+		c.touch(set, w)
+		return true
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Insert places the line holding a into the cache without counting a
+// demand access (used for refills and victim transfers). If the line is
+// already resident the call is a no-op. The displaced line, if any, is
+// returned.
+func (c *Cache) Insert(a Addr) Victim {
+	return c.InsertLine(c.Line(a))
+}
+
+// InsertLine is Insert for a pre-computed line address.
+func (c *Cache) InsertLine(l LineAddr) Victim {
+	return c.InsertLineState(l, false)
+}
+
+// InsertLineState is InsertLine with an explicit dirty state, used when
+// a victim transfer carries unwritten-back data. Inserting a dirty line
+// over an already-resident clean copy dirties it.
+func (c *Cache) InsertLineState(l LineAddr, dirty bool) Victim {
+	set := c.set(l)
+	if w := c.findWay(set, l); w >= 0 {
+		c.touch(set, w)
+		if dirty {
+			c.dirty[set*c.assoc+w] = true
+		}
+		return Victim{}
+	}
+	return c.insertState(set, l, dirty)
+}
+
+// Invalidate removes the line holding a if resident, reporting whether a
+// line was removed. Used for exclusive move-ups and back-invalidation.
+func (c *Cache) Invalidate(a Addr) bool {
+	return c.InvalidateLine(c.Line(a))
+}
+
+// InvalidateLine is Invalidate for a pre-computed line address.
+func (c *Cache) InvalidateLine(l LineAddr) bool {
+	present, _ := c.InvalidateLineState(l)
+	return present
+}
+
+// InvalidateLineState removes the line if resident, reporting whether it
+// was present and whether it was dirty (the caller owns any write-back).
+func (c *Cache) InvalidateLineState(l LineAddr) (present, dirty bool) {
+	set := c.set(l)
+	if w := c.findWay(set, l); w >= 0 {
+		i := set*c.assoc + w
+		c.valid[i] = false
+		d := c.dirty[i]
+		c.dirty[i] = false
+		return true, d
+	}
+	return false, false
+}
+
+// MarkDirtyLine marks a resident line dirty (a write-back from an upper
+// level updating this level's copy), reporting whether it was resident.
+func (c *Cache) MarkDirtyLine(l LineAddr) bool {
+	set := c.set(l)
+	if w := c.findWay(set, l); w >= 0 {
+		c.dirty[set*c.assoc+w] = true
+		return true
+	}
+	return false
+}
+
+// DirtyLines reports the number of resident dirty lines.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i, ok := range c.valid {
+		if ok && c.dirty[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line and leaves statistics untouched.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.dirty[i] = false
+	}
+}
+
+// ResidentLines returns the number of valid lines currently held.
+func (c *Cache) ResidentLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// VisitLines calls fn for every valid resident line, in set order.
+func (c *Cache) VisitLines(fn func(LineAddr)) {
+	for i, ok := range c.valid {
+		if ok {
+			fn(c.tags[i])
+		}
+	}
+}
+
+// touch records a use of (set, way) for the replacement policy.
+func (c *Cache) touch(set, way int) {
+	if c.lastUse != nil {
+		c.tick++
+		c.lastUse[set*c.assoc+way] = c.tick
+	}
+}
+
+// insertState allocates l in set with the given dirty state, choosing a
+// victim way per policy.
+func (c *Cache) insertState(set int, l LineAddr, dirty bool) Victim {
+	base := set * c.assoc
+	// Prefer an invalid way.
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[base+w] {
+			c.tags[base+w] = l
+			c.valid[base+w] = true
+			c.dirty[base+w] = dirty
+			c.touch(set, w)
+			if c.fifoPtr != nil {
+				// FIFO pointer is only meaningful once the set is
+				// full; filling in order keeps it consistent.
+				c.fifoPtr[set] = uint16((w + 1) % c.assoc)
+			}
+			return Victim{}
+		}
+	}
+	w := c.victimWay(set)
+	old := c.tags[base+w]
+	oldDirty := c.dirty[base+w]
+	c.tags[base+w] = l
+	c.dirty[base+w] = dirty
+	c.touch(set, w)
+	return Victim{Line: old, Valid: true, Dirty: oldDirty}
+}
+
+// victimWay picks the way to replace in a full set.
+func (c *Cache) victimWay(set int) int {
+	if c.assoc == 1 {
+		return 0
+	}
+	switch c.cfg.Policy {
+	case LRU:
+		base := set * c.assoc
+		w, oldest := 0, c.lastUse[base]
+		for i := 1; i < c.assoc; i++ {
+			if c.lastUse[base+i] < oldest {
+				w, oldest = i, c.lastUse[base+i]
+			}
+		}
+		return w
+	case FIFO:
+		w := int(c.fifoPtr[set])
+		c.fifoPtr[set] = uint16((w + 1) % c.assoc)
+		return w
+	default: // Random
+		return int(c.nextRand()) % c.assoc
+	}
+}
+
+// nextRand steps a 16-bit Fibonacci LFSR (taps 16,14,13,11), the classic
+// pseudo-random replacement source.
+func (c *Cache) nextRand() uint32 {
+	b := ((c.lfsr >> 0) ^ (c.lfsr >> 2) ^ (c.lfsr >> 3) ^ (c.lfsr >> 5)) & 1
+	c.lfsr = (c.lfsr >> 1) | (b << 15)
+	return c.lfsr
+}

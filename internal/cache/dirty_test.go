@@ -1,0 +1,104 @@
+package cache
+
+import "testing"
+
+func TestAccessWriteMarksDirty(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 1})
+	hit, _ := c.AccessWrite(0x100)
+	if hit {
+		t.Error("cold write hit")
+	}
+	if got := c.DirtyLines(); got != 1 {
+		t.Errorf("DirtyLines() = %d, want 1", got)
+	}
+	// Evicting it must report a dirty victim.
+	_, v := c.Access(0x100 + 1<<10)
+	if !v.Valid || !v.Dirty {
+		t.Errorf("victim = %+v, want valid and dirty", v)
+	}
+	if got := c.DirtyLines(); got != 0 {
+		t.Errorf("DirtyLines() after eviction = %d", got)
+	}
+}
+
+func TestWriteHitDirtiesCleanLine(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 1})
+	c.Access(0x200) // clean fill
+	if c.DirtyLines() != 0 {
+		t.Fatal("read allocation dirty")
+	}
+	if hit, _ := c.AccessWrite(0x200); !hit {
+		t.Fatal("write to resident line missed")
+	}
+	if c.DirtyLines() != 1 {
+		t.Error("write hit did not dirty the line")
+	}
+}
+
+func TestInsertLineStateDirty(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 1})
+	l := c.Line(0x300)
+	c.InsertLineState(l, true)
+	if c.DirtyLines() != 1 {
+		t.Error("dirty insert not dirty")
+	}
+	// Re-inserting clean must NOT launder the dirty bit away.
+	c.InsertLineState(l, false)
+	if c.DirtyLines() != 1 {
+		t.Error("clean re-insert cleared the dirty bit")
+	}
+	// Dirty insert over a resident clean line dirties it.
+	l2 := c.Line(0x400)
+	c.InsertLine(l2)
+	c.InsertLineState(l2, true)
+	if c.DirtyLines() != 2 {
+		t.Error("dirty insert over clean copy did not dirty it")
+	}
+}
+
+func TestInvalidateLineStateReportsDirty(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 1})
+	c.AccessWrite(0x500)
+	present, dirty := c.InvalidateLineState(c.Line(0x500))
+	if !present || !dirty {
+		t.Errorf("InvalidateLineState = %v, %v; want true, true", present, dirty)
+	}
+	present, dirty = c.InvalidateLineState(c.Line(0x500))
+	if present || dirty {
+		t.Errorf("second invalidate = %v, %v; want false, false", present, dirty)
+	}
+	// Re-allocating the same line must come back clean.
+	c.Access(0x500)
+	if c.DirtyLines() != 0 {
+		t.Error("re-allocated line inherited a stale dirty bit")
+	}
+}
+
+func TestMarkDirtyLine(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 2, Policy: LRU})
+	if c.MarkDirtyLine(c.Line(0x600)) {
+		t.Error("MarkDirtyLine on absent line reported true")
+	}
+	c.Access(0x600)
+	if !c.MarkDirtyLine(c.Line(0x600)) {
+		t.Error("MarkDirtyLine on resident line reported false")
+	}
+	if c.DirtyLines() != 1 {
+		t.Error("MarkDirtyLine did not dirty")
+	}
+}
+
+func TestFlushClearsDirty(t *testing.T) {
+	c := mustNew(t, Config{Size: 1 << 10, LineSize: 16, Assoc: 1})
+	c.AccessWrite(0x700)
+	c.Flush()
+	if c.DirtyLines() != 0 {
+		t.Error("Flush left dirty lines")
+	}
+	// A fresh allocation in the same slot must be clean.
+	c.Access(0x700)
+	_, v := c.Access(0x700 + 1<<10)
+	if v.Dirty {
+		t.Error("post-flush victim inherited a dirty bit")
+	}
+}

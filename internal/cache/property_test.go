@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refLRU is a trivially-correct fully-associative LRU cache model used as
+// the oracle for property tests.
+type refLRU struct {
+	capacity int
+	lineSize uint64
+	order    []uint64 // most recent first
+}
+
+func (r *refLRU) access(addr uint64) bool {
+	line := addr / r.lineSize
+	for i, l := range r.order {
+		if l == line {
+			copy(r.order[1:i+1], r.order[:i])
+			r.order[0] = line
+			return true
+		}
+	}
+	r.order = append(r.order, 0)
+	copy(r.order[1:], r.order)
+	r.order[0] = line
+	if len(r.order) > r.capacity {
+		r.order = r.order[:r.capacity]
+	}
+	return false
+}
+
+// TestFullyAssociativeLRUMatchesOracle drives a fully-associative LRU
+// Cache and the oracle with identical random traces and requires
+// identical hit/miss behaviour on every access.
+func TestFullyAssociativeLRUMatchesOracle(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const lines = 32
+		c := New(Config{Size: lines * 16, LineSize: 16, Assoc: lines, Policy: LRU})
+		ref := &refLRU{capacity: lines, lineSize: 16}
+		for i := 0; i < 3000; i++ {
+			addr := uint64(rng.Intn(lines*4)) * 16
+			hit, _ := c.Access(Addr(addr))
+			if hit != ref.access(addr) {
+				t.Logf("seed %d: divergence at access %d addr %#x (cache %v)", seed, i, addr, hit)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAccessMakesResident verifies that after any access the line is
+// resident, for arbitrary addresses and geometries.
+func TestAccessMakesResident(t *testing.T) {
+	check := func(addrs []uint64, sizeSel, assocSel uint8) bool {
+		sizes := []int64{256, 1024, 4096, 16384}
+		assocs := []int{1, 2, 4}
+		cfg := Config{
+			Size:     sizes[int(sizeSel)%len(sizes)],
+			LineSize: 16,
+			Assoc:    assocs[int(assocSel)%len(assocs)],
+			Policy:   Random,
+		}
+		c := New(cfg)
+		for _, a := range addrs {
+			c.Access(Addr(a))
+			if !c.Contains(Addr(a)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestResidencyBounded verifies ResidentLines never exceeds capacity and
+// per-set occupancy never exceeds the associativity.
+func TestResidencyBounded(t *testing.T) {
+	check := func(addrs []uint64) bool {
+		cfg := Config{Size: 1024, LineSize: 16, Assoc: 2, Policy: LRU}
+		c := New(cfg)
+		for _, a := range addrs {
+			c.Access(Addr(a))
+		}
+		if c.ResidentLines() > cfg.Lines() {
+			return false
+		}
+		perSet := map[int]int{}
+		mask := LineAddr(cfg.Sets() - 1)
+		c.VisitLines(func(l LineAddr) { perSet[int(l&mask)]++ })
+		for _, n := range perSet {
+			if n > cfg.Assoc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVictimWasResident verifies every reported victim was resident
+// immediately before the insertion that displaced it, and is gone after.
+func TestVictimWasResident(t *testing.T) {
+	check := func(addrs []uint64) bool {
+		c := New(Config{Size: 512, LineSize: 16, Assoc: 4, Policy: Random})
+		resident := map[LineAddr]bool{}
+		for _, a := range addrs {
+			line := c.Line(Addr(a))
+			hit, v := c.Access(Addr(a))
+			if hit != resident[line] {
+				return false
+			}
+			if v.Valid {
+				if !resident[v.Line] {
+					return false // victim was not resident
+				}
+				delete(resident, v.Line)
+				if c.ContainsLine(v.Line) {
+					return false // victim still resident
+				}
+			}
+			resident[line] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsBalance verifies hits+misses == accesses under arbitrary
+// interleavings of Access and Lookup.
+func TestStatsBalance(t *testing.T) {
+	check := func(ops []uint16) bool {
+		c := New(Config{Size: 512, LineSize: 16, Assoc: 2, Policy: FIFO})
+		for _, op := range ops {
+			addr := Addr(op&0x0FFF) * 4
+			if op&0x8000 != 0 {
+				c.Lookup(addr)
+			} else {
+				c.Access(addr)
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/trace"
+)
+
+func boardConfig() (Config, cache.Config) {
+	onChip := Config{
+		L1I: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L1D: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L2:  cache.Config{Size: 16 * line, LineSize: line, Assoc: 1},
+	}
+	board := cache.Config{Size: 256 * line, LineSize: line, Assoc: 4, Policy: cache.LRU}
+	return onChip, board
+}
+
+func TestNewBoardSystemValidation(t *testing.T) {
+	onChip, board := boardConfig()
+	if _, err := NewBoardSystem(onChip, board); err != nil {
+		t.Fatalf("valid board system rejected: %v", err)
+	}
+	bad := board
+	bad.LineSize = 32
+	bad.Size = 256 * 32
+	if _, err := NewBoardSystem(onChip, bad); err == nil {
+		t.Error("line-size mismatch accepted")
+	}
+	small := board
+	small.Size = 8 * line
+	small.Assoc = 1
+	if _, err := NewBoardSystem(onChip, small); err == nil {
+		t.Error("board smaller than the on-chip L2 accepted")
+	}
+	if _, err := NewBoardSystem(Config{}, board); err == nil {
+		t.Error("invalid on-chip config accepted")
+	}
+	if _, err := NewBoardSystem(onChip, cache.Config{Size: 3}); err == nil {
+		t.Error("invalid board config accepted")
+	}
+}
+
+func TestBoardSplitsOffChipFetches(t *testing.T) {
+	onChip, board := boardConfig()
+	b, err := NewBoardSystem(onChip, board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two lines conflicting in both on-chip levels thrash off-chip; the
+	// board cache absorbs everything after its two cold misses.
+	a := uint64(13 * line)
+	e := a + 16*line
+	for i := 0; i < 50; i++ {
+		b.Access(data(a))
+		b.Access(data(e))
+	}
+	st, bs := b.Stats(), b.BoardStats()
+	if got := bs.BoardHits + bs.BoardMisses; got != st.OffChipFetches {
+		t.Fatalf("board counters %d do not partition the %d off-chip fetches", got, st.OffChipFetches)
+	}
+	if bs.BoardMisses != 2 {
+		t.Errorf("BoardMisses = %d, want 2 (cold only)", bs.BoardMisses)
+	}
+	if bs.BoardHits == 0 {
+		t.Error("board cache absorbed nothing")
+	}
+	if mr := b.MemoryMissRate(); mr >= st.GlobalMissRate() {
+		t.Errorf("memory miss rate %.4f not below global %.4f", mr, st.GlobalMissRate())
+	}
+}
+
+func TestBoardRunAndAccessors(t *testing.T) {
+	onChip, board := boardConfig()
+	b, err := NewBoardSystem(onChip, board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := synthRefs(5000)
+	st, bs := b.Run(trace.NewSliceStream(refs))
+	if st.Refs() != 5000 {
+		t.Errorf("Refs() = %d", st.Refs())
+	}
+	if bs.BoardHits+bs.BoardMisses != st.OffChipFetches {
+		t.Error("board counters do not partition off-chip fetches")
+	}
+	if b.OnChip() == nil || b.Board() == nil {
+		t.Error("accessors nil")
+	}
+	if b.Board().Stats().Accesses != st.OffChipFetches {
+		t.Error("board cache access count mismatch")
+	}
+}
+
+func TestBoardEmptyMemoryMissRate(t *testing.T) {
+	onChip, board := boardConfig()
+	b, err := NewBoardSystem(onChip, board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MemoryMissRate() != 0 {
+		t.Error("empty system memory miss rate non-zero")
+	}
+}

@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"fmt"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/trace"
+)
+
+// The paper's Figure-21-a scenario: two addresses that conflict in both
+// levels thrash off-chip conventionally but swap on-chip exclusively.
+func ExampleSystem() {
+	const line = 16
+	build := func(pol core.Policy) *core.System {
+		return core.NewSystem(core.Config{
+			L1I:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+			L1D:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+			L2:     cache.Config{Size: 16 * line, LineSize: line, Assoc: 1},
+			Policy: pol,
+		})
+	}
+	a := uint64(13 * line)
+	e := a + 16*line
+	for _, pol := range []core.Policy{core.Conventional, core.Exclusive} {
+		sys := build(pol)
+		for i := 0; i < 100; i++ {
+			sys.Access(trace.Ref{Kind: trace.Data, Addr: a})
+			sys.Access(trace.Ref{Kind: trace.Data, Addr: e})
+		}
+		fmt.Printf("%-12s off-chip fetches: %d\n", pol, sys.Stats().OffChipFetches)
+	}
+	// Output:
+	// conventional off-chip fetches: 200
+	// exclusive    off-chip fetches: 2
+}
+
+// A fully-associative victim buffer behind a direct-mapped L1 absorbs
+// conflict misses (Jouppi 1990).
+func ExampleNewVictimCacheSystem() {
+	sys, err := core.NewVictimCacheSystem(1<<10, 4, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Two addresses in the same direct-mapped set.
+	for i := 0; i < 100; i++ {
+		sys.Access(trace.Ref{Kind: trace.Data, Addr: 0x0000})
+		sys.Access(trace.Ref{Kind: trace.Data, Addr: 0x0400})
+	}
+	fmt.Println("off-chip fetches:", sys.Stats().OffChipFetches)
+	// Output:
+	// off-chip fetches: 2
+}

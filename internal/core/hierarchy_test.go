@@ -1,0 +1,411 @@
+package core
+
+import (
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/trace"
+)
+
+const line = 16
+
+// smallConfig is the Figure-21 geometry: 4-line DM L1s, 16-line DM L2.
+func smallConfig(pol Policy) Config {
+	return Config{
+		L1I:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L1D:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L2:     cache.Config{Size: 16 * line, LineSize: line, Assoc: 1},
+		Policy: pol,
+	}
+}
+
+func data(addr uint64) trace.Ref  { return trace.Ref{Kind: trace.Data, Addr: addr} }
+func instr(addr uint64) trace.Ref { return trace.Ref{Kind: trace.Instr, Addr: addr} }
+
+func TestPolicyString(t *testing.T) {
+	if Conventional.String() != "conventional" || Exclusive.String() != "exclusive" || Inclusive.String() != "inclusive" {
+		t.Error("policy names wrong")
+	}
+	if got := Policy(9).String(); got != "Policy(9)" {
+		t.Errorf("unknown policy = %q", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := smallConfig(Conventional)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bad L1I", func(c *Config) { c.L1I.Size = 3 }},
+		{"bad L1D", func(c *Config) { c.L1D.Assoc = 0 }},
+		{"L1 line mismatch", func(c *Config) { c.L1D.LineSize = 32; c.L1D.Size = 64 * 32 }},
+		{"bad L2", func(c *Config) { c.L2.Size = 100 }},
+		{"L2 line mismatch", func(c *Config) { c.L2.LineSize = 32 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig(Conventional)
+			tc.mut(&cfg)
+			if cfg.Validate() == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	cfg := Config{
+		L1I: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+	}
+	if got := cfg.String(); got != "8:0" {
+		t.Errorf("String() = %q, want 8:0", got)
+	}
+	cfg.L2 = cache.Config{Size: 64 << 10, LineSize: 16, Assoc: 4}
+	cfg.Policy = Exclusive
+	if got := cfg.String(); got != "8:64 exclusive 4-way" {
+		t.Errorf("String() = %q", got)
+	}
+	cfg.L2.Assoc = 1
+	if got := cfg.String(); got != "8:64 exclusive DM" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestSingleLevelMissGoesOffChip(t *testing.T) {
+	sys := NewSystem(Config{
+		L1I: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L1D: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+	})
+	sys.Access(data(0x100))
+	sys.Access(data(0x100))
+	sys.Access(instr(0x200))
+	st := sys.Stats()
+	if st.OffChipFetches != 2 {
+		t.Errorf("OffChipFetches = %d, want 2", st.OffChipFetches)
+	}
+	if st.L2Hits != 0 || st.L2Misses != 0 {
+		t.Errorf("single-level system counted L2 probes: %+v", st)
+	}
+	if st.L1DHits != 1 || st.L1DMisses != 1 || st.L1IMisses != 1 {
+		t.Errorf("L1 counts wrong: %+v", st)
+	}
+}
+
+func TestConventionalL2HitAndFill(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	a := uint64(0x100)
+
+	// First touch: misses everywhere, fills both levels.
+	sys.Access(data(a))
+	st := sys.Stats()
+	if st.L2Misses != 1 || st.OffChipFetches != 1 {
+		t.Fatalf("first touch: %+v", st)
+	}
+	if !sys.L2().Contains(cache.Addr(a)) || !sys.L1D().Contains(cache.Addr(a)) {
+		t.Fatal("conventional fill did not populate both levels")
+	}
+
+	// Evict it from L1 with a conflicting line, then re-touch: must hit
+	// in L2 without going off-chip.
+	sys.Access(data(a + 4*line)) // same L1 set (4-line L1), different L2 set
+	sys.Access(data(a))
+	st = sys.Stats()
+	if st.L2Hits != 1 {
+		t.Errorf("L2Hits = %d, want 1", st.L2Hits)
+	}
+	if st.OffChipFetches != 2 {
+		t.Errorf("OffChipFetches = %d, want 2 (a, then the conflicting line)", st.OffChipFetches)
+	}
+	// The line stays in L2 under the conventional policy.
+	if !sys.L2().Contains(cache.Addr(a)) {
+		t.Error("conventional L2 hit removed the line from L2")
+	}
+}
+
+func TestExclusiveMoveUpRemovesFromL2(t *testing.T) {
+	sys := NewSystem(smallConfig(Exclusive))
+	a := uint64(0x100)
+	sys.Access(data(a))
+	// Exclusive off-chip fill goes to L1 only.
+	if sys.L2().Contains(cache.Addr(a)) {
+		t.Error("exclusive off-chip fill populated L2")
+	}
+	// Evict a from L1: the victim must move to L2.
+	b := a + 4*line
+	sys.Access(data(b))
+	if !sys.L2().Contains(cache.Addr(a)) {
+		t.Error("L1 victim did not move to L2")
+	}
+	st := sys.Stats()
+	if st.VictimsToL2 != 1 {
+		t.Errorf("VictimsToL2 = %d, want 1", st.VictimsToL2)
+	}
+	// Re-touch a: L2 hit, and the line must MOVE (leave L2).
+	sys.Access(data(a))
+	st = sys.Stats()
+	if st.L2Hits != 1 {
+		t.Errorf("L2Hits = %d, want 1", st.L2Hits)
+	}
+	if sys.L2().Contains(cache.Addr(a)) {
+		t.Error("exclusive L2 hit left the line in L2")
+	}
+	if !sys.L1D().Contains(cache.Addr(a)) {
+		t.Error("moved-up line not in L1")
+	}
+	// And b (the displaced L1 line) must now be in L2.
+	if !sys.L2().Contains(cache.Addr(b)) {
+		t.Error("displaced line did not move down to L2")
+	}
+}
+
+func TestExclusiveSwapFigure21a(t *testing.T) {
+	// A and E map to the same line in both levels. Alternating accesses
+	// must settle into pure on-chip swaps.
+	sys := NewSystem(smallConfig(Exclusive))
+	a := uint64(13 * line)
+	e := a + 16*line
+	for i := 0; i < 4; i++ { // warm up
+		sys.Access(data(a))
+		sys.Access(data(e))
+	}
+	before := sys.Stats()
+	for i := 0; i < 50; i++ {
+		sys.Access(data(a))
+		sys.Access(data(e))
+	}
+	st := sys.Stats()
+	if got := st.OffChipFetches - before.OffChipFetches; got != 0 {
+		t.Errorf("steady state went off-chip %d times", got)
+	}
+	if got := st.L2Hits - before.L2Hits; got != 100 {
+		t.Errorf("L2Hits delta = %d, want 100 (every access swaps)", got)
+	}
+	if got := st.Swaps - before.Swaps; got != 100 {
+		t.Errorf("Swaps delta = %d, want 100", got)
+	}
+	// Exactly one of A and E in each level.
+	inL1 := func(x uint64) bool { return sys.L1D().Contains(cache.Addr(x)) }
+	inL2 := func(x uint64) bool { return sys.L2().Contains(cache.Addr(x)) }
+	if inL1(a) == inL1(e) {
+		t.Error("want exactly one of A/E in L1")
+	}
+	if inL2(a) == inL2(e) {
+		t.Error("want exactly one of A/E in L2")
+	}
+}
+
+func TestConventionalFigure21aThrashes(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	a := uint64(13 * line)
+	e := a + 16*line
+	for i := 0; i < 4; i++ {
+		sys.Access(data(a))
+		sys.Access(data(e))
+	}
+	before := sys.Stats()
+	for i := 0; i < 50; i++ {
+		sys.Access(data(a))
+		sys.Access(data(e))
+	}
+	if got := sys.Stats().OffChipFetches - before.OffChipFetches; got != 100 {
+		t.Errorf("conventional thrash fetched off-chip %d times, want 100", got)
+	}
+}
+
+func TestExclusiveNoDuplicationInvariant(t *testing.T) {
+	// After any access pattern, no line may live in both L2 and an L1.
+	sys := NewSystem(smallConfig(Exclusive))
+	rng := uint64(12345)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		kind := trace.Data
+		if rng%3 == 0 {
+			kind = trace.Instr
+		}
+		sys.Access(trace.Ref{Kind: kind, Addr: (rng % 4096) * 8})
+	}
+	if dup := sys.DuplicatedLines(); dup != 0 {
+		t.Errorf("exclusive hierarchy holds %d duplicated lines", dup)
+	}
+}
+
+func TestExclusiveCapacity2xPlusY(t *testing.T) {
+	// §8 limiting case: DM L2 with conflicting working set. With 4-line
+	// L1s and a 16-line L2, an exclusive hierarchy can hold 2x+y = 24
+	// unique lines; drive enough distinct lines through and count.
+	sys := NewSystem(smallConfig(Exclusive))
+	for i := uint64(0); i < 64; i++ {
+		sys.Access(data(i * line))
+		sys.Access(instr(i * line * 7))
+	}
+	unique := sys.UniqueOnChipLines()
+	if unique > 24 {
+		t.Errorf("unique on-chip lines %d exceeds 2x+y = 24", unique)
+	}
+	if unique < 17 {
+		t.Errorf("unique on-chip lines %d; exclusion should exceed the L2's 16", unique)
+	}
+}
+
+func TestConventionalDuplicationExists(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	for i := uint64(0); i < 8; i++ {
+		sys.Access(data(i * line))
+	}
+	if sys.DuplicatedLines() == 0 {
+		t.Error("conventional hierarchy shows no L1/L2 duplication")
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	// The mixed L2 is shared by both L1s: a data fill that evicts an
+	// instruction line from L2 must purge it from L1I too, even though
+	// L1I would otherwise still hold it.
+	sys := NewSystem(smallConfig(Inclusive))
+	a := uint64(0x100)
+	sys.Access(instr(a))
+	if !sys.L1I().Contains(cache.Addr(a)) || !sys.L2().Contains(cache.Addr(a)) {
+		t.Fatal("inclusive fill missing a level")
+	}
+	// A data line in the same L2 set displaces a from the DM L2.
+	b := a + 16*line
+	sys.Access(data(b))
+	st := sys.Stats()
+	if st.BackInvalidations == 0 {
+		t.Error("L2 eviction did not back-invalidate L1")
+	}
+	if sys.L1I().Contains(cache.Addr(a)) {
+		t.Error("back-invalidated line still in L1I")
+	}
+}
+
+func TestInclusionInvariantHolds(t *testing.T) {
+	// After any access pattern, every L1-resident line is L2-resident.
+	cfg := Config{
+		L1I:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L1D:    cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L2:     cache.Config{Size: 32 * line, LineSize: line, Assoc: 2, Policy: cache.LRU},
+		Policy: Inclusive,
+	}
+	sys := NewSystem(cfg)
+	rng := uint64(999)
+	for i := 0; i < 20000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		kind := trace.Data
+		if rng%2 == 0 {
+			kind = trace.Instr
+		}
+		sys.Access(trace.Ref{Kind: kind, Addr: (rng % 1024) * 16})
+	}
+	violations := 0
+	sys.L1I().VisitLines(func(l cache.LineAddr) {
+		if !sys.L2().ContainsLine(l) {
+			violations++
+		}
+	})
+	sys.L1D().VisitLines(func(l cache.LineAddr) {
+		if !sys.L2().ContainsLine(l) {
+			violations++
+		}
+	})
+	if violations != 0 {
+		t.Errorf("%d L1 lines missing from the inclusive L2", violations)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	st := Stats{
+		InstrRefs: 300, DataRefs: 100,
+		L1IMisses: 30, L1DMisses: 10,
+		L2Hits: 25, L2Misses: 15, OffChipFetches: 15,
+	}
+	if st.Refs() != 400 {
+		t.Errorf("Refs() = %d", st.Refs())
+	}
+	if st.L1Misses() != 40 {
+		t.Errorf("L1Misses() = %d", st.L1Misses())
+	}
+	if got := st.L1MissRate(); got != 0.1 {
+		t.Errorf("L1MissRate() = %v", got)
+	}
+	if got := st.GlobalMissRate(); got != 15.0/400 {
+		t.Errorf("GlobalMissRate() = %v", got)
+	}
+	if got := st.LocalL2MissRate(); got != 15.0/40 {
+		t.Errorf("LocalL2MissRate() = %v", got)
+	}
+	empty := Stats{}
+	if empty.L1MissRate() != 0 || empty.GlobalMissRate() != 0 || empty.LocalL2MissRate() != 0 {
+		t.Error("empty stats rates non-zero")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	mk := func() Stats {
+		sys := NewSystem(smallConfig(Exclusive))
+		refs := make([]trace.Ref, 0, 5000)
+		rng := uint64(7)
+		for i := 0; i < 5000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			refs = append(refs, data((rng%2048)*16))
+		}
+		return sys.Run(trace.NewSliceStream(refs))
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestNewSystemPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewSystem(Config{})
+}
+
+func TestMixedL2SharedBetweenInstrAndData(t *testing.T) {
+	// An instruction line evicted from L1I must be servable to... the L2
+	// is mixed: data and instruction lines compete for the same sets.
+	sys := NewSystem(smallConfig(Conventional))
+	a := uint64(13 * line)
+	sys.Access(instr(a))
+	if !sys.L2().Contains(cache.Addr(a)) {
+		t.Fatal("instruction fill skipped L2")
+	}
+	// A data line with the same L2 index displaces it (DM L2).
+	sys.Access(data(a + 16*line))
+	if sys.L2().Contains(cache.Addr(a)) {
+		t.Error("mixed L2 did not share sets between instructions and data")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	sys := NewSystem(smallConfig(Exclusive))
+	sys.Access(data(0x100))
+	sys.Access(data(0x210)) // different L1 set, leaves 0x100 resident
+	sys.ResetStats()
+	if sys.Stats() != (Stats{}) {
+		t.Errorf("stats after reset: %+v", sys.Stats())
+	}
+	if sys.L1D().Stats().Accesses != 0 {
+		t.Error("L1 cache stats not reset")
+	}
+	// Contents survive: the warmed line still hits.
+	sys.Access(data(0x100))
+	if sys.Stats().L1DHits != 1 {
+		t.Error("ResetStats flushed cache contents")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/trace"
+)
+
+// TestL1TrajectoryPolicyIndependent: the L1 caches are demand-driven and
+// allocate on every miss regardless of where the fill comes from, so the
+// conventional and exclusive policies must produce IDENTICAL L1 hit/miss
+// counts on any trace. (Inclusive may differ: back-invalidations remove
+// L1 lines.)
+func TestL1TrajectoryPolicyIndependent(t *testing.T) {
+	refs := synthRefs(50_000)
+	run := func(pol Policy) Stats {
+		sys := NewSystem(Config{
+			L1I:    cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+			L1D:    cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+			L2:     cache.Config{Size: 16 << 10, LineSize: 16, Assoc: 4},
+			Policy: pol,
+		})
+		return sys.Run(trace.NewSliceStream(refs))
+	}
+	conv, excl := run(Conventional), run(Exclusive)
+	if conv.L1IMisses != excl.L1IMisses || conv.L1DMisses != excl.L1DMisses {
+		t.Errorf("L1 trajectories diverged: conventional %d/%d vs exclusive %d/%d",
+			conv.L1IMisses, conv.L1DMisses, excl.L1IMisses, excl.L1DMisses)
+	}
+	if conv.L1IHits != excl.L1IHits || conv.L1DHits != excl.L1DHits {
+		t.Errorf("L1 hits diverged: %+v vs %+v", conv, excl)
+	}
+	// The L2 probe count is the L1 miss count under both policies.
+	if conv.L2Hits+conv.L2Misses != conv.L1Misses() {
+		t.Error("conventional L2 probes do not equal L1 misses")
+	}
+	if excl.L2Hits+excl.L2Misses != excl.L1Misses() {
+		t.Error("exclusive L2 probes do not equal L1 misses")
+	}
+}
+
+// TestExclusiveLimitingCase2xPlusY (§8): "In the limiting case with the
+// number of L2 sets equal to the number of lines in the L1 cache,
+// exactly 2x+y unique lines will always be held on-chip." Configure the
+// L2 with as many sets as one L1 has lines, warm it up, and check the
+// exact count.
+func TestExclusiveLimitingCase2xPlusY(t *testing.T) {
+	const lineB = 16
+	const x = 8 // lines per L1 cache
+	// L2: 8 sets x 4 ways = 32 lines (y), sets == x.
+	sys := NewSystem(Config{
+		L1I:    cache.Config{Size: x * lineB, LineSize: lineB, Assoc: 1},
+		L1D:    cache.Config{Size: x * lineB, LineSize: lineB, Assoc: 1},
+		L2:     cache.Config{Size: 32 * lineB, LineSize: lineB, Assoc: 4, Policy: cache.LRU},
+		Policy: Exclusive,
+	})
+	// Heavy traffic with footprints far exceeding the hierarchy.
+	rng := uint64(101)
+	for i := 0; i < 100_000; i++ {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		kind := trace.Data
+		if rng%3 == 0 {
+			kind = trace.Instr
+		}
+		sys.Access(trace.Ref{Kind: kind, Addr: (rng % (1 << 14)) * lineB})
+	}
+	want := 2*x + 32
+	if got := sys.UniqueOnChipLines(); got != want {
+		t.Errorf("unique on-chip lines = %d, want exactly 2x+y = %d (paper §8 limiting case)", got, want)
+	}
+	if dup := sys.DuplicatedLines(); dup != 0 {
+		t.Errorf("duplicated lines = %d", dup)
+	}
+}
+
+// TestGlobalMissesNeverExceedL1Misses: every off-chip fetch starts as an
+// L1 miss, under every policy.
+func TestGlobalMissesNeverExceedL1Misses(t *testing.T) {
+	refs := synthRefs(30_000)
+	for _, pol := range []Policy{Conventional, Exclusive, Inclusive} {
+		sys := NewSystem(Config{
+			L1I:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+			L1D:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+			L2:     cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 2},
+			Policy: pol,
+		})
+		st := sys.Run(trace.NewSliceStream(refs))
+		if st.OffChipFetches > st.L1Misses() {
+			t.Errorf("%v: %d off-chip fetches exceed %d L1 misses", pol, st.OffChipFetches, st.L1Misses())
+		}
+		if st.OffChipFetches != st.L2Misses {
+			t.Errorf("%v: off-chip fetches %d != L2 misses %d", pol, st.OffChipFetches, st.L2Misses)
+		}
+	}
+}
+
+// TestExclusiveHelpsOnConflictHeavyTraffic: on the synthetic mix the
+// exclusive policy's extra effective capacity must not lose to the
+// conventional baseline.
+func TestExclusiveHelpsOnConflictHeavyTraffic(t *testing.T) {
+	refs := synthRefs(100_000)
+	run := func(pol Policy) uint64 {
+		sys := NewSystem(Config{
+			L1I:    cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+			L1D:    cache.Config{Size: 2 << 10, LineSize: 16, Assoc: 1},
+			L2:     cache.Config{Size: 16 << 10, LineSize: 16, Assoc: 4},
+			Policy: pol,
+		})
+		return sys.Run(trace.NewSliceStream(refs)).OffChipFetches
+	}
+	conv, excl := run(Conventional), run(Exclusive)
+	if excl > conv {
+		t.Errorf("exclusive fetched off-chip more than conventional: %d vs %d", excl, conv)
+	}
+}
+
+// TestResidencyConservation: once warm, every policy keeps essentially
+// every cache slot full. Two transient-hole sources are inherent and get
+// small slack: an exclusive move-up empties an L2 slot that the
+// downgoing victim may not refill (it maps to its own set), and an
+// inclusive back-invalidation empties L1 slots until the next miss.
+// Anything beyond a few percent is a capacity leak.
+func TestResidencyConservation(t *testing.T) {
+	refs := synthRefs(60_000)
+	for _, pol := range []Policy{Conventional, Exclusive, Inclusive} {
+		cfg := Config{
+			L1I:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+			L1D:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+			L2:     cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 4},
+			Policy: pol,
+		}
+		sys := NewSystem(cfg)
+		sys.Run(trace.NewSliceStream(refs))
+		capacity := cfg.L1I.Lines() + cfg.L1D.Lines() + cfg.L2.Lines()
+		resident := sys.L1I().ResidentLines() + sys.L1D().ResidentLines() + sys.L2().ResidentLines()
+		slack := 0
+		switch pol {
+		case Inclusive:
+			slack = capacity / 10
+		case Exclusive:
+			slack = capacity / 50
+		}
+		if resident < capacity-slack {
+			t.Errorf("%v: %d of %d slots resident after warmup (capacity leak)", pol, resident, capacity)
+		}
+		if resident > capacity {
+			t.Errorf("%v: %d resident exceeds capacity %d", pol, resident, capacity)
+		}
+	}
+}

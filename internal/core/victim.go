@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+
+	"twolevel/internal/cache"
+)
+
+// NewVictimCacheSystem builds the §8 degenerate case: split direct-mapped
+// L1 caches backed by a small fully-associative victim buffer holding
+// victimLines lines, realized as an exclusive "L2" (§8: "for y < x, the
+// configuration becomes a shared direct-mapped victim cache" — with full
+// associativity this is exactly Jouppi's 1990 victim cache, shared
+// between the instruction and data caches).
+//
+// Lines evicted from either L1 drop into the buffer; an L1 miss that hits
+// the buffer swaps the line back without an off-chip access. lineSize 0
+// defaults to the study's 16 bytes.
+func NewVictimCacheSystem(l1Size int64, victimLines, lineSize int) (*System, error) {
+	if lineSize == 0 {
+		lineSize = 16
+	}
+	if victimLines < 1 {
+		return nil, fmt.Errorf("core: victim buffer needs at least 1 line, got %d", victimLines)
+	}
+	cfg := Config{
+		L1I: cache.Config{Size: l1Size, LineSize: lineSize, Assoc: 1},
+		L1D: cache.Config{Size: l1Size, LineSize: lineSize, Assoc: 1},
+		L2: cache.Config{
+			Size:     int64(victimLines * lineSize),
+			LineSize: lineSize,
+			Assoc:    victimLines, // fully associative
+			Policy:   cache.LRU,
+		},
+		Policy: Exclusive,
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return NewSystem(cfg), nil
+}

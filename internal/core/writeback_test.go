@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/trace"
+)
+
+func write(addr uint64) trace.Ref { return trace.Ref{Kind: trace.Write, Addr: addr} }
+
+func TestWriteRefsCounted(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	sys.Access(write(0x100))
+	sys.Access(data(0x100))
+	sys.Access(instr(0x200))
+	st := sys.Stats()
+	if st.WriteRefs != 1 {
+		t.Errorf("WriteRefs = %d, want 1", st.WriteRefs)
+	}
+	if st.DataRefs != 2 {
+		t.Errorf("DataRefs = %d, want 2 (writes are data references)", st.DataRefs)
+	}
+}
+
+func TestWriteBehavesLikeReadForMisses(t *testing.T) {
+	// §2.2: write-allocate, fetch-on-write — the same address sequence
+	// with loads swapped for stores must produce identical hit/miss and
+	// off-chip fetch counts.
+	run := func(kind trace.Kind) Stats {
+		sys := NewSystem(smallConfig(Conventional))
+		rng := uint64(77)
+		for i := 0; i < 5000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			sys.Access(trace.Ref{Kind: kind, Addr: (rng % 512) * 16})
+		}
+		return sys.Stats()
+	}
+	rd, wr := run(trace.Data), run(trace.Write)
+	if rd.L1DMisses != wr.L1DMisses || rd.L2Hits != wr.L2Hits || rd.OffChipFetches != wr.OffChipFetches {
+		t.Errorf("writes changed hit/miss behaviour: reads %+v writes %+v", rd, wr)
+	}
+}
+
+func TestDirtyVictimWritesBackToL2(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	a := uint64(0x100)
+	sys.Access(write(a)) // fills L1+L2, L1 copy dirty
+	// Evict a from L1 with a conflicting read (same L1 set, different
+	// L2 set so the L2 copy of a survives).
+	sys.Access(data(a + 4*line))
+	st := sys.Stats()
+	if st.WriteBacksToL2 != 1 {
+		t.Errorf("WriteBacksToL2 = %d, want 1", st.WriteBacksToL2)
+	}
+	if st.WriteBacksOffChip != 0 {
+		t.Errorf("WriteBacksOffChip = %d, want 0", st.WriteBacksOffChip)
+	}
+	// The L2 copy must now be dirty: evicting IT goes off-chip.
+	sys.Access(data(a + 16*line)) // same L2 set as a
+	if got := sys.Stats().WriteBacksOffChip; got != 1 {
+		t.Errorf("dirty L2 victim: WriteBacksOffChip = %d, want 1", got)
+	}
+}
+
+func TestDirtyVictimWithoutL2GoesOffChip(t *testing.T) {
+	sys := NewSystem(Config{
+		L1I: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+		L1D: cache.Config{Size: 4 * line, LineSize: line, Assoc: 1},
+	})
+	a := uint64(0x100)
+	sys.Access(write(a))
+	sys.Access(data(a + 4*line)) // evict dirty a
+	if got := sys.Stats().WriteBacksOffChip; got != 1 {
+		t.Errorf("WriteBacksOffChip = %d, want 1", got)
+	}
+}
+
+func TestCleanVictimNoWriteBack(t *testing.T) {
+	sys := NewSystem(smallConfig(Conventional))
+	a := uint64(0x100)
+	sys.Access(data(a))
+	sys.Access(data(a + 4*line))
+	st := sys.Stats()
+	if st.WriteBacksToL2 != 0 || st.WriteBacksOffChip != 0 {
+		t.Errorf("clean victim produced write-backs: %+v", st)
+	}
+}
+
+func TestExclusiveDirtyStateTravels(t *testing.T) {
+	sys := NewSystem(smallConfig(Exclusive))
+	a := uint64(0x100)
+	b := a + 4*line      // same L1 set, different L2 line
+	sys.Access(write(a)) // a dirty in L1
+	sys.Access(data(b))  // a's dirty victim moves to L2
+	st := sys.Stats()
+	if st.WriteBacksToL2 != 1 {
+		t.Fatalf("WriteBacksToL2 = %d, want 1", st.WriteBacksToL2)
+	}
+	// Move a back up: its dirty state must come with it, so evicting it
+	// from L1 again is another dirty transfer, not a clean drop.
+	sys.Access(data(a)) // L2 hit, moves up (dirty), b moves down
+	sys.Access(data(b)) // L2 hit, b up, dirty a down again
+	if got := sys.Stats().WriteBacksToL2; got != 2 {
+		t.Errorf("dirty state lost on move-up: WriteBacksToL2 = %d, want 2", got)
+	}
+}
+
+func TestExclusiveDirtyL2VictimGoesOffChip(t *testing.T) {
+	sys := NewSystem(smallConfig(Exclusive))
+	// Three lines sharing BOTH the L1 set (line mod 4) and the L2 set
+	// (line mod 16): a, c, e.
+	a := uint64(0x100)   // line 16
+	c := a + 16*line     // line 32
+	e := a + 32*line     // line 48
+	sys.Access(write(a)) // a dirty in L1
+	sys.Access(data(c))  // dirty a moves to L2 set 0
+	if got := sys.Stats().WriteBacksToL2; got != 1 {
+		t.Fatalf("WriteBacksToL2 = %d, want 1", got)
+	}
+	sys.Access(data(e)) // c's clean victim displaces dirty a from L2
+	if got := sys.Stats().WriteBacksOffChip; got != 1 {
+		t.Errorf("dirty exclusive L2 victim: WriteBacksOffChip = %d, want 1", got)
+	}
+}
+
+func TestInclusiveBackInvalidationFlushesDirty(t *testing.T) {
+	sys := NewSystem(smallConfig(Inclusive))
+	a := uint64(0x100)
+	sys.Access(write(a)) // dirty in L1D, clean copy in L2
+	// A conflicting INSTRUCTION line displaces a from the DM L2 while the
+	// dirty copy still sits in L1D: the back-invalidation must flush it.
+	sys.Access(instr(a + 16*line))
+	st := sys.Stats()
+	if st.BackInvalidations == 0 {
+		t.Fatal("no back-invalidation")
+	}
+	if st.WriteBacksOffChip == 0 {
+		t.Error("dirty back-invalidated line not flushed off-chip")
+	}
+}
+
+func TestWriteBacksBoundedByWrites(t *testing.T) {
+	// Sanity across policies. Dirtiness moves between levels but never
+	// duplicates, and an off-chip write-back destroys it — so off-chip
+	// write-backs are bounded by the number of stores. (On-chip L1->L2
+	// transfers are NOT so bounded: under the exclusive policy a dirty
+	// line can bounce between levels indefinitely.)
+	for _, pol := range []Policy{Conventional, Exclusive, Inclusive} {
+		sys := NewSystem(smallConfig(pol))
+		rng := uint64(3)
+		for i := 0; i < 20000; i++ {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			kind := trace.Data
+			switch rng % 3 {
+			case 0:
+				kind = trace.Write
+			case 1:
+				kind = trace.Instr
+			}
+			sys.Access(trace.Ref{Kind: kind, Addr: (rng % 2048) * 16})
+		}
+		st := sys.Stats()
+		if st.WriteBacksOffChip > st.WriteRefs {
+			t.Errorf("%v: %d off-chip write-backs exceed %d writes",
+				pol, st.WriteBacksOffChip, st.WriteRefs)
+		}
+		if st.WriteBacksOffChip == 0 || st.WriteBacksToL2 == 0 {
+			t.Errorf("%v: missing write-back traffic under a write-heavy mix: %+v", pol, st)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Plot renders a figure's series as an ASCII scatter on log-log axes —
+// the same presentation the paper's figures use (both axes logarithmic,
+// one marker per configuration). Tabular figures (Table 1, Figure 21)
+// have no series and render nothing.
+//
+// width and height are the plot-area dimensions in characters; zero
+// values get sensible defaults.
+func Plot(w io.Writer, f Figure, width, height int) error {
+	if len(f.Series) == 0 {
+		return nil
+	}
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 24
+	}
+
+	// Collect the log-space bounds over positive points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if p.X <= 0 || p.Y <= 0 {
+				continue
+			}
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return nil // no plottable points
+	}
+	// Pad the ranges slightly so extreme markers stay inside the frame.
+	lx0, lx1 := math.Log10(minX)-0.02, math.Log10(maxX)+0.02
+	ly0, ly1 := math.Log10(minY)-0.05, math.Log10(maxY)+0.05
+	if lx1 == lx0 {
+		lx1 = lx0 + 1
+	}
+	if ly1 == ly0 {
+		ly1 = ly0 + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	place := func(x, y float64, m byte) {
+		cx := int(math.Round((math.Log10(x) - lx0) / (lx1 - lx0) * float64(width-1)))
+		cy := int(math.Round((math.Log10(y) - ly0) / (ly1 - ly0) * float64(height-1)))
+		row := height - 1 - cy // y grows upward
+		if cx < 0 || cx >= width || row < 0 || row >= height {
+			return
+		}
+		// Later series overwrite earlier ones: figures list the envelope
+		// last, and the envelope is what the eye should follow.
+		grid[row][cx] = m
+	}
+
+	for si, s := range f.Series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			if p.X > 0 && p.Y > 0 {
+				place(p.X, p.Y, m)
+			}
+		}
+	}
+
+	// Header and legend.
+	if _, err := fmt.Fprintf(w, "%s — %s\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	for si, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "  %c %s\n", markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+
+	// Frame with y-axis decade labels.
+	for row := 0; row < height; row++ {
+		ly := ly1 - (ly1-ly0)*float64(row)/float64(height-1)
+		label := "        "
+		// Mark rows whose span crosses a decade (or the edges).
+		if row == 0 || row == height-1 || crossesDecade(ly, (ly1-ly0)/float64(height-1)) {
+			label = fmt.Sprintf("%7.1f ", math.Pow(10, ly))
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, string(grid[row])); err != nil {
+			return err
+		}
+	}
+	axis := strings.Repeat("-", width)
+	if _, err := fmt.Fprintf(w, "        +%s+\n", axis); err != nil {
+		return err
+	}
+	left := fmt.Sprintf("%.2g", math.Pow(10, lx0))
+	right := fmt.Sprintf("%.2g", math.Pow(10, lx1))
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "         %s%s%s\n", left, strings.Repeat(" ", pad), right); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "         %s (log) vs %s (log)\n\n", f.XLabel, f.YLabel)
+	return err
+}
+
+// crossesDecade reports whether a row of log-height span contains an
+// integer power of ten.
+func crossesDecade(ly, span float64) bool {
+	return math.Floor(ly) != math.Floor(ly-span)
+}

@@ -1,0 +1,88 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFigure() Figure {
+	return Figure{
+		ID: "figX", Title: "sample", XLabel: "area", YLabel: "tpi",
+		Series: []Series{
+			{Name: "scatter", Points: []XY{{1e4, 10, "a"}, {1e5, 8, "b"}, {1e6, 6, "c"}}},
+			{Name: "envelope", Points: []XY{{1e4, 10, "a"}, {1e6, 6, "c"}}},
+		},
+	}
+}
+
+func TestPlotBasics(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, sampleFigure(), 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"figX", "* scatter", "o envelope", "area (log) vs tpi (log)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The envelope marker must appear (it overwrites the scatter at
+	// shared coordinates).
+	if !strings.Contains(out, "o") {
+		t.Errorf("no envelope markers drawn:\n%s", out)
+	}
+	// Frame integrity: every grid row is bracketed by pipes.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasSuffix(line, "|") && strings.Contains(line, "|") {
+			rows++
+		}
+	}
+	if rows != 10 {
+		t.Errorf("plot rendered %d grid rows, want 10", rows)
+	}
+}
+
+func TestPlotSkipsTables(t *testing.T) {
+	var sb strings.Builder
+	f := Figure{ID: "table1", Rows: [][]string{{"x"}}}
+	if err := Plot(&sb, f, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("tabular figure produced plot output: %q", sb.String())
+	}
+}
+
+func TestPlotSkipsNonPositive(t *testing.T) {
+	var sb strings.Builder
+	f := Figure{ID: "figY", Series: []Series{{Name: "s", Points: []XY{{0, 0, ""}}}}}
+	if err := Plot(&sb, f, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("figure with no positive points produced output: %q", sb.String())
+	}
+}
+
+func TestPlotDefaultDimensions(t *testing.T) {
+	var sb strings.Builder
+	if err := Plot(&sb, sampleFigure(), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() == 0 {
+		t.Error("default-dimension plot empty")
+	}
+}
+
+func TestPlotRealFigure(t *testing.T) {
+	var sb strings.Builder
+	f := fastHarness().Figure1()
+	if err := Plot(&sb, f, 60, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cycle time") || !strings.Contains(out, "access time") {
+		t.Errorf("figure-1 plot missing legend:\n%s", out)
+	}
+}

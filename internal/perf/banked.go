@@ -1,0 +1,49 @@
+package perf
+
+import "twolevel/internal/core"
+
+// Banking: §6 notes that "a banked cache can also be used to support more
+// than one load or store per cycle; since banking requires more inputs
+// and outputs to the cache it also increases the area required" and
+// points to Sohi & Franklin for the banking-versus-dual-porting
+// tradeoff. These helpers model the banked alternative so the §6
+// experiment can be re-run with it.
+
+// BankedIssueRate returns the effective instructions-per-cycle of a
+// dual-issue front end over a B-banked single-ported L1: two concurrent
+// references collide in the same bank with probability 1/B (independent
+// uniform bank selection), and a collision serializes the pair over two
+// cycles. B -> infinity recovers the dual-ported rate of 2.
+func BankedIssueRate(banks int) float64 {
+	if banks < 1 {
+		return 1
+	}
+	// Per pair of references: 1 cycle if no conflict, 2 if conflict.
+	cyclesPerPair := 1 + 1/float64(banks)
+	return 2 / cyclesPerPair
+}
+
+// BankedAreaFactor returns the area multiplier of a B-banked cache over
+// the single-ported base: each bank needs its own address/data routing
+// and duplicated peripheral I/O — a much smaller overhead than the
+// dual-ported cell's 2x, but growing with the bank count.
+func BankedAreaFactor(banks int) float64 {
+	if banks < 1 {
+		return 1
+	}
+	return 1 + 0.06*float64(banks)
+}
+
+// TPIAtIssueRate evaluates the §2.5 TPI with a fractional issue rate
+// (Machine.IssueRate models whole-number rates only): the no-miss base
+// term is divided by the rate while the miss-stall terms are unchanged.
+func (m Machine) TPIAtIssueRate(st core.Stats, issue float64) float64 {
+	if st.InstrRefs == 0 || issue <= 0 {
+		return 0
+	}
+	whole := m
+	whole.IssueRate = 1
+	baseOne := float64(st.InstrRefs) * m.L1CycleNS
+	total := whole.ExecutionTimeNS(st) - baseOne + baseOne/issue
+	return total / float64(st.InstrRefs)
+}

@@ -1,0 +1,74 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/core"
+)
+
+func TestBankedIssueRate(t *testing.T) {
+	cases := []struct {
+		banks int
+		want  float64
+	}{
+		{1, 1},       // one bank: every pair conflicts, plain single issue
+		{2, 4.0 / 3}, // 2/(1+1/2)
+		{4, 1.6},     // 2/(1+1/4)
+		{8, 2.0 / (1 + 1.0/8)},
+	}
+	for _, tc := range cases {
+		if got := BankedIssueRate(tc.banks); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("BankedIssueRate(%d) = %v, want %v", tc.banks, got, tc.want)
+		}
+	}
+	if got := BankedIssueRate(0); got != 1 {
+		t.Errorf("BankedIssueRate(0) = %v", got)
+	}
+	// Monotone toward the dual-ported limit of 2.
+	prev := 0.0
+	for b := 1; b <= 64; b *= 2 {
+		r := BankedIssueRate(b)
+		if r <= prev || r >= 2 {
+			t.Errorf("BankedIssueRate(%d) = %v out of order or above 2", b, r)
+		}
+		prev = r
+	}
+}
+
+func TestBankedAreaFactor(t *testing.T) {
+	if BankedAreaFactor(0) != 1 || BankedAreaFactor(1) <= 1 {
+		t.Error("area factor boundary cases wrong")
+	}
+	if BankedAreaFactor(4) >= 2 {
+		t.Errorf("4-bank area factor %v should be well under the dual-ported 2x", BankedAreaFactor(4))
+	}
+	if BankedAreaFactor(8) <= BankedAreaFactor(2) {
+		t.Error("area factor not growing with banks")
+	}
+}
+
+func TestTPIAtIssueRate(t *testing.T) {
+	m := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	st := core.Stats{InstrRefs: 1000, L1IMisses: 10}
+
+	// Rate 1 must match the integer machine exactly.
+	if got, want := m.TPIAtIssueRate(st, 1), m.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPIAtIssueRate(1) = %v, want %v", got, want)
+	}
+	// Rate 2 must match the dual-issue machine exactly.
+	m2 := m
+	m2.IssueRate = 2
+	if got, want := m.TPIAtIssueRate(st, 2), m2.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPIAtIssueRate(2) = %v, want %v", got, want)
+	}
+	// A fractional rate lands strictly between.
+	mid := m.TPIAtIssueRate(st, 1.5)
+	if !(m2.TPI(st) < mid && mid < m.TPI(st)) {
+		t.Errorf("TPIAtIssueRate(1.5) = %v not between %v and %v", mid, m2.TPI(st), m.TPI(st))
+	}
+	// Degenerate inputs.
+	if m.TPIAtIssueRate(core.Stats{}, 2) != 0 || m.TPIAtIssueRate(st, 0) != 0 {
+		t.Error("degenerate TPIAtIssueRate not zero")
+	}
+}

@@ -1,0 +1,47 @@
+package perf_test
+
+import (
+	"fmt"
+
+	"twolevel/internal/core"
+	"twolevel/internal/perf"
+)
+
+// The paper's §2.5 worked example: a machine whose L2 costs 2 CPU cycles
+// has an L1 miss penalty of (2x2)+1 = 5 cycles for L2 hits.
+func ExampleMachine() {
+	m := perf.Machine{
+		L1CycleNS: 2.0,
+		L2CycleNS: 3.5, // rounds up to 2 cycles
+		OffChipNS: 50,
+		IssueRate: 1,
+	}
+	fmt.Printf("L2 access: %d cycles\n", m.L2Cycles())
+	fmt.Printf("L2 hit penalty: %.0f cycles\n", m.L2HitPenaltyNS()/m.L1CycleNS)
+
+	stats := core.Stats{InstrRefs: 1000, L2Hits: 20, L2Misses: 10}
+	fmt.Printf("TPI: %.2f ns\n", m.TPI(stats))
+	// Output:
+	// L2 access: 2 cycles
+	// L2 hit penalty: 5 cycles
+	// TPI: 2.84 ns
+}
+
+// The §10 future-work model: the processor cycle is set by the datapath,
+// the L1 is pipelined, and non-blocking loads hide part of the misses.
+func ExampleMulticycleMachine() {
+	m := perf.MulticycleMachine{
+		DatapathCycleNS: 2.0,
+		L1AccessNS:      3.5, // a 2-stage pipelined L1
+		OffChipNS:       50,
+		IssueRate:       1,
+		LoadUseFraction: 0.4,
+		Overlap:         0.5, // half of miss time hidden
+	}
+	fmt.Printf("L1 pipeline depth: %d stages\n", m.L1Stages())
+	stats := core.Stats{InstrRefs: 1000, DataRefs: 400, L1IMisses: 10}
+	fmt.Printf("TPI: %.2f ns\n", m.TPI(stats))
+	// Output:
+	// L1 pipeline depth: 2 stages
+	// TPI: 2.58 ns
+}

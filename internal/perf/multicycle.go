@@ -1,0 +1,122 @@
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"twolevel/internal/core"
+)
+
+// MulticycleMachine implements the paper's §10 future-work model: the
+// processor cycle time is set by the datapath rather than by the
+// first-level cache, the L1 is pipelined over multiple cycles, and a
+// fraction of miss latency overlaps with useful execution (non-blocking
+// loads).
+//
+// The paper conjectures two opposing effects, both captured here:
+//
+//   - Multicycle L1 access REDUCES the appeal of two-level caching in
+//     baseline configurations, because a large L1's latency no longer
+//     stretches every instruction — only dependent loads stall.
+//   - Non-blocking loads INCREASE the appeal of two-level caching,
+//     because overlapped L1 misses make the (short) on-chip L2 penalty
+//     cheap relative to an off-chip access.
+//
+// The model is deliberately simple and fully documented rather than
+// validated against the (never published) follow-up study:
+//
+//	base   = instructions x datapath cycle / issue rate
+//	l1lat  = (ceil(L1 access / cycle) - 1) x cycle x LoadUseFraction,
+//	         charged per data reference (the load-use stall of a
+//	         pipelined multicycle L1; instruction fetch is pipelined
+//	         and fully hidden)
+//	stalls = miss penalties as in §2.5, scaled by (1 - Overlap)
+type MulticycleMachine struct {
+	// DatapathCycleNS is the processor cycle time, now set by the
+	// datapath instead of the L1.
+	DatapathCycleNS float64
+	// L1AccessNS is the raw L1 access time; the pipelined L1 occupies
+	// ceil(L1AccessNS / DatapathCycleNS) stages.
+	L1AccessNS float64
+	// L2CycleNS is the raw L2 RAM cycle time (0 for single-level).
+	L2CycleNS float64
+	// OffChipNS is the off-chip miss service time.
+	OffChipNS float64
+	// IssueRate is instructions issued per cycle.
+	IssueRate int
+	// LoadUseFraction is the fraction of data references whose consumer
+	// issues immediately behind them, exposing the extra L1 pipeline
+	// stages as stalls. 0 means perfectly scheduled code, 1 means every
+	// load stalls its full extra latency.
+	LoadUseFraction float64
+	// Overlap is the fraction of miss-stall time hidden by non-blocking
+	// loads (0 = blocking, as in the paper's main model).
+	Overlap float64
+}
+
+// Validate reports whether the machine description is usable.
+func (m MulticycleMachine) Validate() error {
+	switch {
+	case m.DatapathCycleNS <= 0:
+		return fmt.Errorf("perf: datapath cycle %v ns must be positive", m.DatapathCycleNS)
+	case m.L1AccessNS <= 0:
+		return fmt.Errorf("perf: L1 access %v ns must be positive", m.L1AccessNS)
+	case m.L2CycleNS < 0:
+		return fmt.Errorf("perf: L2 cycle %v ns must be non-negative", m.L2CycleNS)
+	case m.OffChipNS <= 0:
+		return fmt.Errorf("perf: off-chip time %v ns must be positive", m.OffChipNS)
+	case m.IssueRate < 1:
+		return fmt.Errorf("perf: issue rate %d must be >= 1", m.IssueRate)
+	case m.LoadUseFraction < 0 || m.LoadUseFraction > 1:
+		return fmt.Errorf("perf: load-use fraction %v outside [0,1]", m.LoadUseFraction)
+	case m.Overlap < 0 || m.Overlap > 1:
+		return fmt.Errorf("perf: overlap %v outside [0,1]", m.Overlap)
+	}
+	return nil
+}
+
+// L1Stages reports the pipelined L1 depth in cycles.
+func (m MulticycleMachine) L1Stages() int {
+	return int(math.Ceil(m.L1AccessNS/m.DatapathCycleNS - 1e-9))
+}
+
+// machine builds the equivalent §2.5 machine for the miss-penalty terms,
+// with the datapath cycle playing the processor-cycle role.
+func (m MulticycleMachine) machine() Machine {
+	return Machine{
+		L1CycleNS: m.DatapathCycleNS,
+		L2CycleNS: m.L2CycleNS,
+		OffChipNS: m.OffChipNS,
+		IssueRate: m.IssueRate,
+	}
+}
+
+// ExecutionTimeNS returns the modeled total execution time for st.
+func (m MulticycleMachine) ExecutionTimeNS(st core.Stats) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	inner := m.machine()
+	base := float64(st.InstrRefs) * m.DatapathCycleNS / float64(m.IssueRate)
+
+	// Load-use stalls from the extra L1 pipeline stages.
+	extra := float64(m.L1Stages() - 1)
+	loadUse := float64(st.DataRefs) * extra * m.DatapathCycleNS * m.LoadUseFraction
+
+	var stalls float64
+	if m.L2CycleNS == 0 {
+		stalls = float64(st.L1Misses()) * inner.SingleLevelMissPenaltyNS()
+	} else {
+		stalls = float64(st.L2Hits)*inner.L2HitPenaltyNS() +
+			float64(st.L2Misses)*inner.L2MissPenaltyNS()
+	}
+	return base + loadUse + stalls*(1-m.Overlap)
+}
+
+// TPI returns average time per instruction in ns.
+func (m MulticycleMachine) TPI(st core.Stats) float64 {
+	if st.InstrRefs == 0 {
+		return 0
+	}
+	return m.ExecutionTimeNS(st) / float64(st.InstrRefs)
+}

@@ -1,0 +1,144 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/core"
+)
+
+func baseMulticycle() MulticycleMachine {
+	return MulticycleMachine{
+		DatapathCycleNS: 2.0,
+		L1AccessNS:      3.5, // 2 pipeline stages
+		L2CycleNS:       4.0,
+		OffChipNS:       50,
+		IssueRate:       1,
+		LoadUseFraction: 0.4,
+		Overlap:         0,
+	}
+}
+
+func TestMulticycleValidate(t *testing.T) {
+	if err := baseMulticycle().Validate(); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+	muts := []func(*MulticycleMachine){
+		func(m *MulticycleMachine) { m.DatapathCycleNS = 0 },
+		func(m *MulticycleMachine) { m.L1AccessNS = 0 },
+		func(m *MulticycleMachine) { m.L2CycleNS = -1 },
+		func(m *MulticycleMachine) { m.OffChipNS = 0 },
+		func(m *MulticycleMachine) { m.IssueRate = 0 },
+		func(m *MulticycleMachine) { m.LoadUseFraction = 1.5 },
+		func(m *MulticycleMachine) { m.Overlap = -0.1 },
+	}
+	for i, mut := range muts {
+		m := baseMulticycle()
+		mut(&m)
+		if m.Validate() == nil {
+			t.Errorf("mutation %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestL1Stages(t *testing.T) {
+	m := baseMulticycle()
+	if got := m.L1Stages(); got != 2 {
+		t.Errorf("L1Stages() = %d, want 2 (3.5ns / 2ns)", got)
+	}
+	m.L1AccessNS = 2.0
+	if got := m.L1Stages(); got != 1 {
+		t.Errorf("L1Stages() = %d, want 1 (exact fit)", got)
+	}
+	m.L1AccessNS = 6.1
+	if got := m.L1Stages(); got != 4 {
+		t.Errorf("L1Stages() = %d, want 4", got)
+	}
+}
+
+func TestMulticycleExact(t *testing.T) {
+	m := baseMulticycle()
+	st := core.Stats{
+		InstrRefs: 1000, DataRefs: 400,
+		L1IMisses: 20, L1DMisses: 10,
+		L2Hits: 20, L2Misses: 10,
+	}
+	// base = 1000*2 = 2000
+	// loadUse = 400 * (2-1) * 2 * 0.4 = 320
+	// hitPen = 2*4+2 = 10; missPen = 50+12+2 = 64
+	// stalls = 20*10 + 10*64 = 840
+	want := (2000.0 + 320 + 840) / 1000
+	if got := m.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPI = %v, want %v", got, want)
+	}
+}
+
+func TestOverlapHidesStalls(t *testing.T) {
+	st := core.Stats{InstrRefs: 1000, DataRefs: 400, L1IMisses: 20, L2Hits: 10, L2Misses: 10}
+	m := baseMulticycle()
+	blocking := m.TPI(st)
+	m.Overlap = 0.5
+	half := m.TPI(st)
+	m.Overlap = 1
+	full := m.TPI(st)
+	if !(full < half && half < blocking) {
+		t.Errorf("overlap ordering wrong: %.3f, %.3f, %.3f", blocking, half, full)
+	}
+	// Full overlap leaves only base + load-use time.
+	wantFull := (1000*2.0 + 400*1*2.0*0.4) / 1000
+	if math.Abs(full-wantFull) > 1e-12 {
+		t.Errorf("full-overlap TPI = %v, want %v", full, wantFull)
+	}
+}
+
+func TestSingleLevelMulticycle(t *testing.T) {
+	m := baseMulticycle()
+	m.L2CycleNS = 0
+	st := core.Stats{InstrRefs: 1000, DataRefs: 0, L1IMisses: 10}
+	// stalls = 10 * (50 + 2) = 520; base 2000.
+	want := 2520.0 / 1000
+	if got := m.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPI = %v, want %v", got, want)
+	}
+}
+
+// TestPaperConjectureMulticycle reproduces §10's first conjecture: under
+// the multicycle model, growing the L1 (slower access, fewer misses) is
+// cheaper than under the §2.5 model, because the larger L1 no longer
+// stretches the cycle time of every instruction.
+func TestPaperConjectureMulticycle(t *testing.T) {
+	// Same miss improvement, two L1 sizes: small (fits 1 stage) vs large
+	// (2 stages, half the misses).
+	small := core.Stats{InstrRefs: 1000, DataRefs: 400, L1IMisses: 40, L1DMisses: 20}
+	large := core.Stats{InstrRefs: 1000, DataRefs: 400, L1IMisses: 20, L1DMisses: 10}
+
+	// §2.5 model: the large L1 sets a slower processor cycle.
+	baseSmall := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	baseLarge := Machine{L1CycleNS: 2.8, OffChipNS: 50, IssueRate: 1}
+	gainBase := baseSmall.TPI(small) - baseLarge.TPI(large)
+
+	// Multicycle model: the datapath cycle stays 2.0ns; the large L1
+	// just adds a pipeline stage.
+	mcSmall := MulticycleMachine{DatapathCycleNS: 2, L1AccessNS: 2, OffChipNS: 50, IssueRate: 1, LoadUseFraction: 0.4}
+	mcLarge := MulticycleMachine{DatapathCycleNS: 2, L1AccessNS: 2.8, OffChipNS: 50, IssueRate: 1, LoadUseFraction: 0.4}
+	gainMC := mcSmall.TPI(small) - mcLarge.TPI(large)
+
+	if gainMC <= gainBase {
+		t.Errorf("multicycle model should reward the larger L1 more: gain %.3f vs base %.3f", gainMC, gainBase)
+	}
+}
+
+func TestMulticycleEmptyStats(t *testing.T) {
+	if got := baseMulticycle().TPI(core.Stats{}); got != 0 {
+		t.Errorf("TPI of empty stats = %v", got)
+	}
+}
+
+func TestMulticyclePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(MulticycleMachine{}).ExecutionTimeNS(core.Stats{InstrRefs: 1})
+}

@@ -1,0 +1,187 @@
+// Package perf implements the paper's §2.5 execution-time model: it
+// combines miss counts from the hierarchy simulation with cache cycle
+// times from the timing model into average time per instruction (TPI).
+//
+// TPI rather than CPI is the paper's metric because the processor cycle
+// time is set by the first-level cache cycle time: growing the L1 slows
+// every instruction, and only TPI captures that.
+package perf
+
+import (
+	"fmt"
+	"math"
+
+	"twolevel/internal/core"
+)
+
+// Machine carries the timing context of one hierarchy configuration.
+type Machine struct {
+	// L1CycleNS is the first-level cache cycle time in ns; it is also
+	// the processor cycle time (§2.1).
+	L1CycleNS float64
+	// L2CycleNS is the raw second-level RAM cycle time in ns (0 for a
+	// single-level system). It is rounded UP to a multiple of the
+	// processor cycle before use (§2.3).
+	L2CycleNS float64
+	// OffChipNS is the off-chip miss service time in ns (50 for systems
+	// with a board-level cache, 200 without; §2.1). Also rounded up to
+	// a multiple of the processor cycle (§2.5).
+	OffChipNS float64
+	// IssueRate is instructions issued per cycle: 1 for the base system,
+	// 2 for the §6 dual-ported-L1 superscalar assumption.
+	IssueRate int
+}
+
+// Validate reports whether the machine description is usable.
+func (m Machine) Validate() error {
+	switch {
+	case m.L1CycleNS <= 0:
+		return fmt.Errorf("perf: L1 cycle %v ns must be positive", m.L1CycleNS)
+	case m.L2CycleNS < 0:
+		return fmt.Errorf("perf: L2 cycle %v ns must be non-negative", m.L2CycleNS)
+	case m.OffChipNS <= 0:
+		return fmt.Errorf("perf: off-chip time %v ns must be positive", m.OffChipNS)
+	case m.IssueRate < 1:
+		return fmt.Errorf("perf: issue rate %d must be >= 1", m.IssueRate)
+	}
+	return nil
+}
+
+// roundUp rounds t up to the next multiple of cycle.
+func roundUp(t, cycle float64) float64 {
+	return math.Ceil(t/cycle-1e-9) * cycle
+}
+
+// L2CycleRounded returns the effective L2 cycle time: the raw RAM cycle
+// rounded up to a whole number of processor cycles.
+func (m Machine) L2CycleRounded() float64 {
+	if m.L2CycleNS == 0 {
+		return 0
+	}
+	return roundUp(m.L2CycleNS, m.L1CycleNS)
+}
+
+// L2Cycles returns the effective L2 cycle time in processor cycles.
+func (m Machine) L2Cycles() int {
+	if m.L2CycleNS == 0 {
+		return 0
+	}
+	return int(math.Round(m.L2CycleRounded() / m.L1CycleNS))
+}
+
+// OffChipRounded returns the off-chip service time rounded up to a whole
+// number of processor cycles.
+func (m Machine) OffChipRounded() float64 {
+	return roundUp(m.OffChipNS, m.L1CycleNS)
+}
+
+// L2HitPenaltyNS is the time charged per L1 miss that hits in L2: one L2
+// cycle to probe and transfer the first 8 bytes, one more for the second
+// 8 bytes, and one L1 cycle for the final (non-overlapped) L1 write
+// (§2.5: penalty (2×2)+1 = 5 CPU cycles in the Figure-2 example).
+func (m Machine) L2HitPenaltyNS() float64 {
+	return 2*m.L2CycleRounded() + m.L1CycleNS
+}
+
+// L2MissPenaltyNS is the time charged per reference that misses both
+// levels in a two-level system: an L2 probe, the off-chip fetch, two L2
+// cycles writing/forwarding the refill, and the final L1 write (§2.5).
+func (m Machine) L2MissPenaltyNS() float64 {
+	return m.OffChipRounded() + 3*m.L2CycleRounded() + m.L1CycleNS
+}
+
+// SingleLevelMissPenaltyNS is the per-miss penalty of a single-level
+// system: the rounded off-chip service plus the final L1 refill write.
+func (m Machine) SingleLevelMissPenaltyNS() float64 {
+	return m.OffChipRounded() + m.L1CycleNS
+}
+
+// ExecutionTimeNS returns the paper's total execution time for the run
+// summarized by st: the no-miss issue time (one instruction per cycle at
+// IssueRate; data references pair with instruction issue, §2.5) plus the
+// L2-hit and L2-miss stall terms.
+func (m Machine) ExecutionTimeNS(st core.Stats) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	base := float64(st.InstrRefs) * m.L1CycleNS / float64(m.IssueRate)
+	if m.L2CycleNS == 0 {
+		return base + float64(st.L1Misses())*m.SingleLevelMissPenaltyNS()
+	}
+	return base +
+		float64(st.L2Hits)*m.L2HitPenaltyNS() +
+		float64(st.L2Misses)*m.L2MissPenaltyNS()
+}
+
+// TPI returns average time per instruction in ns.
+func (m Machine) TPI(st core.Stats) float64 {
+	if st.InstrRefs == 0 {
+		return 0
+	}
+	return m.ExecutionTimeNS(st) / float64(st.InstrRefs)
+}
+
+// CPI returns average clocks per instruction (TPI / processor cycle) —
+// the traditional metric the paper argues against but still reports.
+func (m Machine) CPI(st core.Stats) float64 {
+	return m.TPI(st) / m.L1CycleNS
+}
+
+// BoardMachine extends Machine with an explicit board-level cache: the
+// Machine's OffChipNS becomes the board-cache service time, and board
+// misses pay MemoryNS instead. With the split from core.BoardStats this
+// interpolates between the paper's 50ns (all board hits) and 200ns (no
+// board cache) endpoints.
+type BoardMachine struct {
+	Machine
+	// MemoryNS is the main-memory service time for board-cache misses
+	// (rounded up to processor cycles like every other service time).
+	MemoryNS float64
+}
+
+// Validate reports whether the board machine is usable.
+func (b BoardMachine) Validate() error {
+	if err := b.Machine.Validate(); err != nil {
+		return err
+	}
+	if b.MemoryNS < b.OffChipNS {
+		return fmt.Errorf("perf: memory time %v ns below board time %v ns", b.MemoryNS, b.OffChipNS)
+	}
+	return nil
+}
+
+// offChipPenaltyNS is the per-fetch stall given a specific off-chip
+// service time (board or memory).
+func (b BoardMachine) offChipPenaltyNS(serviceNS float64) float64 {
+	m := b.Machine
+	m.OffChipNS = serviceNS
+	if b.L2CycleNS == 0 {
+		return m.SingleLevelMissPenaltyNS()
+	}
+	return m.L2MissPenaltyNS()
+}
+
+// ExecutionTimeNS computes total time with the off-chip fetches split by
+// where they were served. bs.BoardHits+bs.BoardMisses must equal the
+// on-chip system's off-chip fetch count.
+func (b BoardMachine) ExecutionTimeNS(st core.Stats, bs core.BoardStats) float64 {
+	if err := b.Validate(); err != nil {
+		panic(err)
+	}
+	base := float64(st.InstrRefs) * b.L1CycleNS / float64(b.IssueRate)
+	var onChipHitsStall float64
+	if b.L2CycleNS > 0 {
+		onChipHitsStall = float64(st.L2Hits) * b.L2HitPenaltyNS()
+	}
+	return base + onChipHitsStall +
+		float64(bs.BoardHits)*b.offChipPenaltyNS(b.OffChipNS) +
+		float64(bs.BoardMisses)*b.offChipPenaltyNS(b.MemoryNS)
+}
+
+// TPI returns average time per instruction in ns.
+func (b BoardMachine) TPI(st core.Stats, bs core.BoardStats) float64 {
+	if st.InstrRefs == 0 {
+		return 0
+	}
+	return b.ExecutionTimeNS(st, bs) / float64(st.InstrRefs)
+}

@@ -1,0 +1,211 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"twolevel/internal/core"
+)
+
+func TestValidate(t *testing.T) {
+	good := Machine{L1CycleNS: 2.5, L2CycleNS: 4, OffChipNS: 50, IssueRate: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid machine rejected: %v", err)
+	}
+	cases := []Machine{
+		{L1CycleNS: 0, OffChipNS: 50, IssueRate: 1},
+		{L1CycleNS: 2, L2CycleNS: -1, OffChipNS: 50, IssueRate: 1},
+		{L1CycleNS: 2, OffChipNS: 0, IssueRate: 1},
+		{L1CycleNS: 2, OffChipNS: 50, IssueRate: 0},
+	}
+	for i, m := range cases {
+		if m.Validate() == nil {
+			t.Errorf("case %d: invalid machine accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestRounding(t *testing.T) {
+	m := Machine{L1CycleNS: 2.5, L2CycleNS: 4.0, OffChipNS: 50, IssueRate: 1}
+	if got := m.L2CycleRounded(); got != 5.0 {
+		t.Errorf("L2CycleRounded() = %v, want 5.0 (2 cycles of 2.5)", got)
+	}
+	if got := m.L2Cycles(); got != 2 {
+		t.Errorf("L2Cycles() = %d, want 2", got)
+	}
+	if got := m.OffChipRounded(); got != 50.0 {
+		t.Errorf("OffChipRounded() = %v, want 50.0 (20 cycles exactly)", got)
+	}
+	// Off-chip not an exact multiple: rounds UP.
+	m.L1CycleNS = 3.0
+	if got := m.OffChipRounded(); got != 51.0 {
+		t.Errorf("OffChipRounded() = %v, want 51.0 (17 cycles of 3)", got)
+	}
+	// An exact multiple must NOT round up an extra cycle.
+	m = Machine{L1CycleNS: 2.5, L2CycleNS: 5.0, OffChipNS: 50, IssueRate: 1}
+	if got := m.L2Cycles(); got != 2 {
+		t.Errorf("exact multiple L2Cycles() = %d, want 2", got)
+	}
+	// Single-level: no L2 terms.
+	m.L2CycleNS = 0
+	if m.L2CycleRounded() != 0 || m.L2Cycles() != 0 {
+		t.Error("single-level machine reports L2 cycles")
+	}
+}
+
+func TestPaperPenaltyExample(t *testing.T) {
+	// §2.5: with an L2 cycle of 2 CPU cycles, the L1 miss penalty for an
+	// L2 hit is (2x2)+1 = 5 CPU cycles.
+	m := Machine{L1CycleNS: 2.0, L2CycleNS: 3.5, OffChipNS: 50, IssueRate: 1}
+	if got := m.L2Cycles(); got != 2 {
+		t.Fatalf("L2Cycles() = %d, want 2", got)
+	}
+	if got := m.L2HitPenaltyNS() / m.L1CycleNS; got != 5 {
+		t.Errorf("L2 hit penalty = %v cycles, want 5", got)
+	}
+	// Miss penalty: off-chip (25 cycles) + 3xL2 (6) + 1 = 32 cycles.
+	if got := m.L2MissPenaltyNS() / m.L1CycleNS; got != 32 {
+		t.Errorf("L2 miss penalty = %v cycles, want 32", got)
+	}
+}
+
+func TestSingleLevelTPIExact(t *testing.T) {
+	m := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	st := core.Stats{
+		InstrRefs: 1000, DataRefs: 400,
+		L1IMisses: 10, L1DMisses: 5,
+	}
+	// base = 1000*2; penalty = (50 rounded to 50) + 2 = 52 per miss.
+	want := (1000*2.0 + 15*52.0) / 1000
+	if got := m.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPI = %v, want %v", got, want)
+	}
+	if got := m.CPI(st); math.Abs(got-want/2.0) > 1e-12 {
+		t.Errorf("CPI = %v, want %v", got, want/2.0)
+	}
+}
+
+func TestTwoLevelTPIExact(t *testing.T) {
+	m := Machine{L1CycleNS: 2.0, L2CycleNS: 3.9, OffChipNS: 50, IssueRate: 1}
+	st := core.Stats{
+		InstrRefs: 1000, DataRefs: 0,
+		L1IMisses: 30,
+		L2Hits:    20, L2Misses: 10,
+	}
+	l2 := 4.0                  // rounded
+	hitPen := 2*l2 + 2.0       // 10
+	missPen := 50 + 3*l2 + 2.0 // 64
+	want := (1000*2.0 + 20*hitPen + 10*missPen) / 1000
+	if got := m.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("TPI = %v, want %v", got, want)
+	}
+}
+
+func TestIssueRateHalvesBase(t *testing.T) {
+	st := core.Stats{InstrRefs: 1000}
+	m1 := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	m2 := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 2}
+	if got := m2.TPI(st); got != m1.TPI(st)/2 {
+		t.Errorf("dual-issue TPI = %v, want half of %v", got, m1.TPI(st))
+	}
+}
+
+func TestTPIEmptyStats(t *testing.T) {
+	m := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	if got := m.TPI(core.Stats{}); got != 0 {
+		t.Errorf("TPI of empty stats = %v", got)
+	}
+}
+
+func TestExecutionTimePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(Machine{}).ExecutionTimeNS(core.Stats{InstrRefs: 1})
+}
+
+// TestTPIMonotoneInMisses: more misses can never make a machine faster.
+func TestTPIMonotoneInMisses(t *testing.T) {
+	m := Machine{L1CycleNS: 2.5, L2CycleNS: 4, OffChipNS: 50, IssueRate: 1}
+	check := func(hits, misses uint16) bool {
+		a := core.Stats{InstrRefs: 10000, L2Hits: uint64(hits), L2Misses: uint64(misses)}
+		b := a
+		b.L2Misses++
+		return m.TPI(b) > m.TPI(a)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundingInvariants: rounded values are multiples of the CPU cycle
+// and never smaller than the raw value.
+func TestRoundingInvariants(t *testing.T) {
+	check := func(l1Sel, l2Sel, offSel uint8) bool {
+		l1 := 1.5 + float64(l1Sel%40)*0.1
+		l2 := l1 + float64(l2Sel%40)*0.1
+		off := 20 + float64(offSel)
+		m := Machine{L1CycleNS: l1, L2CycleNS: l2, OffChipNS: off, IssueRate: 1}
+		lr := m.L2CycleRounded()
+		or := m.OffChipRounded()
+		if lr < l2-1e-9 || or < off-1e-9 {
+			return false
+		}
+		nl := lr / l1
+		no := or / l1
+		return math.Abs(nl-math.Round(nl)) < 1e-6 && math.Abs(no-math.Round(no)) < 1e-6
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoardMachine(t *testing.T) {
+	b := BoardMachine{
+		Machine:  Machine{L1CycleNS: 2.0, L2CycleNS: 4.0, OffChipNS: 50, IssueRate: 1},
+		MemoryNS: 200,
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := b
+	bad.MemoryNS = 10 // below the board time
+	if bad.Validate() == nil {
+		t.Error("memory faster than board accepted")
+	}
+
+	st := core.Stats{InstrRefs: 1000, L2Hits: 20, L2Misses: 10, OffChipFetches: 10}
+
+	// All board hits must equal the flat-50ns Machine exactly.
+	allHits := core.BoardStats{BoardHits: 10}
+	if got, want := b.TPI(st, allHits), b.Machine.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("all-hits TPI = %v, want flat 50ns %v", got, want)
+	}
+	// All board misses must equal the flat-200ns Machine exactly.
+	m200 := b.Machine
+	m200.OffChipNS = 200
+	allMisses := core.BoardStats{BoardMisses: 10}
+	if got, want := b.TPI(st, allMisses), m200.TPI(st); math.Abs(got-want) > 1e-12 {
+		t.Errorf("all-misses TPI = %v, want flat 200ns %v", got, want)
+	}
+	// A mix lands strictly between.
+	mixed := core.BoardStats{BoardHits: 5, BoardMisses: 5}
+	mid := b.TPI(st, mixed)
+	if !(b.Machine.TPI(st) < mid && mid < m200.TPI(st)) {
+		t.Errorf("mixed TPI %v not between the endpoints", mid)
+	}
+	// Single-level variant.
+	s := b
+	s.L2CycleNS = 0
+	stS := core.Stats{InstrRefs: 1000, L1IMisses: 10}
+	if got := s.TPI(stS, core.BoardStats{BoardHits: 10}); got != s.Machine.TPI(stS) {
+		t.Errorf("single-level all-hits TPI = %v", got)
+	}
+	// Empty stats.
+	if b.TPI(core.Stats{}, core.BoardStats{}) != 0 {
+		t.Error("empty TPI non-zero")
+	}
+}

@@ -1,0 +1,57 @@
+package perf
+
+import "twolevel/internal/core"
+
+// Translation models the paper's §1 fourth advantage of two-level
+// caching: "when primary cache sizes are less than or equal to the page
+// size, address translation can easily occur in parallel with a cache
+// access". A physically-tagged cache whose index spans more than a page
+// must wait for the TLB before (part of) its lookup; the paper argues
+// two-level hierarchies dodge this by keeping the L1 at or under the
+// page size and translating during the (plentiful) L1 miss handling
+// before the physically-indexed L2 is probed.
+//
+// The model is deliberately simple and illustrative: an L1 indexed
+// beyond the page boundary serializes a TLB lookup of SerialCycles
+// processor cycles in front of every reference; an L1 at or under the
+// page size pays nothing, and the L2 never pays (translation always
+// completes during the L1 miss).
+type Translation struct {
+	// PageSizeBytes is the minimum page size (the paper: "most modern
+	// machines have minimum page sizes of between 4KB and 8KB").
+	PageSizeBytes int64
+	// SerialCycles is the TLB latency exposed in front of a cache whose
+	// index exceeds the page size, in processor cycles.
+	SerialCycles float64
+}
+
+// PaperTranslation is the study-era default: 4KB pages, one cycle of
+// serialized TLB lookup.
+var PaperTranslation = Translation{PageSizeBytes: 4 << 10, SerialCycles: 1}
+
+// Serialized reports whether an L1 of the given size (per split cache,
+// direct-mapped) must serialize translation.
+func (tr Translation) Serialized(l1Size int64) bool {
+	return l1Size > tr.PageSizeBytes
+}
+
+// PenaltyNS returns the total translation stall for the run summarized
+// by st on machine m with per-cache L1 size l1Size: SerialCycles per
+// reference when the L1 index exceeds the page size (instruction and
+// data references each perform a lookup; they are counted separately
+// since the paper's split L1 gives each its own port and TLB path).
+func (tr Translation) PenaltyNS(m Machine, st core.Stats, l1Size int64) float64 {
+	if !tr.Serialized(l1Size) {
+		return 0
+	}
+	return float64(st.Refs()) * tr.SerialCycles * m.L1CycleNS
+}
+
+// TPIWithTranslation returns the §2.5 TPI plus the translation stall —
+// the quantity the §1 argument compares across L1 sizes.
+func (tr Translation) TPIWithTranslation(m Machine, st core.Stats, l1Size int64) float64 {
+	if st.InstrRefs == 0 {
+		return 0
+	}
+	return m.TPI(st) + tr.PenaltyNS(m, st, l1Size)/float64(st.InstrRefs)
+}

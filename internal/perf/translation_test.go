@@ -1,0 +1,59 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/core"
+)
+
+func TestTranslationSerialized(t *testing.T) {
+	tr := Translation{PageSizeBytes: 4 << 10, SerialCycles: 1}
+	if tr.Serialized(4 << 10) {
+		t.Error("L1 equal to the page size should translate in parallel")
+	}
+	if tr.Serialized(2 << 10) {
+		t.Error("L1 under the page size should translate in parallel")
+	}
+	if !tr.Serialized(8 << 10) {
+		t.Error("L1 above the page size must serialize")
+	}
+}
+
+func TestTranslationPenalty(t *testing.T) {
+	tr := Translation{PageSizeBytes: 4 << 10, SerialCycles: 1}
+	m := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	st := core.Stats{InstrRefs: 1000, DataRefs: 400}
+
+	if got := tr.PenaltyNS(m, st, 4<<10); got != 0 {
+		t.Errorf("parallel translation penalty = %v, want 0", got)
+	}
+	// Serialized: 1400 refs x 1 cycle x 2ns = 2800ns.
+	if got := tr.PenaltyNS(m, st, 16<<10); got != 2800 {
+		t.Errorf("serialized penalty = %v, want 2800", got)
+	}
+	// TPI adder: 2800/1000 = 2.8ns per instruction.
+	base := m.TPI(st)
+	with := tr.TPIWithTranslation(m, st, 16<<10)
+	if math.Abs(with-base-2.8) > 1e-12 {
+		t.Errorf("TPI adder = %v, want 2.8", with-base)
+	}
+	if tr.TPIWithTranslation(m, st, 2<<10) != base {
+		t.Error("parallel translation changed TPI")
+	}
+}
+
+func TestTranslationHalfCycle(t *testing.T) {
+	tr := Translation{PageSizeBytes: 4 << 10, SerialCycles: 0.5}
+	m := Machine{L1CycleNS: 2.0, OffChipNS: 50, IssueRate: 1}
+	st := core.Stats{InstrRefs: 100, DataRefs: 0}
+	if got := tr.PenaltyNS(m, st, 8<<10); got != 100 {
+		t.Errorf("half-cycle penalty = %v, want 100", got)
+	}
+}
+
+func TestTranslationEmptyStats(t *testing.T) {
+	if got := PaperTranslation.TPIWithTranslation(Machine{L1CycleNS: 1, OffChipNS: 50, IssueRate: 1}, core.Stats{}, 1<<20); got != 0 {
+		t.Errorf("empty stats TPI = %v", got)
+	}
+}

@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenMissRates pins each workload's single-level miss-rate curve
+// (split direct-mapped L1s of 1K..256K per cache, 16B lines, 1M refs).
+// These are regression anchors for the calibrated generators: a change
+// that moves them more than the tolerance silently re-shapes every
+// figure, so it must be deliberate (re-measure, update, regenerate
+// EXPERIMENTS.md).
+var goldenMissRates = map[string][9]float64{
+	"gcc1":     {0.1342, 0.1075, 0.0848, 0.0656, 0.0489, 0.0355, 0.0249, 0.0184, 0.0159},
+	"espresso": {0.1031, 0.0790, 0.0578, 0.0386, 0.0222, 0.0085, 0.0045, 0.0045, 0.0045},
+	"fpppp":    {0.2078, 0.1822, 0.1586, 0.1352, 0.1109, 0.0850, 0.0522, 0.0228, 0.0200},
+	"doduc":    {0.1773, 0.1482, 0.1226, 0.0984, 0.0758, 0.0536, 0.0329, 0.0177, 0.0167},
+	"li":       {0.1638, 0.1319, 0.1026, 0.0775, 0.0533, 0.0321, 0.0254, 0.0204, 0.0173},
+	"eqntott":  {0.1070, 0.0808, 0.0577, 0.0373, 0.0192, 0.0169, 0.0153, 0.0138, 0.0130},
+	"tomcatv":  {0.2275, 0.1945, 0.1563, 0.1165, 0.1112, 0.1079, 0.1059, 0.1047, 0.1038},
+}
+
+// TestGoldenMissRateCurves re-measures every curve and compares against
+// the pinned values. The streams are deterministic, so the tolerance
+// only needs to absorb harmless refactors (it is relative, 2%, plus a
+// small absolute floor for the tiny rates).
+func TestGoldenMissRateCurves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("9x7 cache simulations in -short mode")
+	}
+	for _, w := range All() {
+		golden, ok := goldenMissRates[w.Name]
+		if !ok {
+			t.Errorf("%s: no golden curve", w.Name)
+			continue
+		}
+		i := 0
+		for kb := int64(1); kb <= 256; kb *= 2 {
+			got := missRate(t, w, kb, 1_000_000)
+			want := golden[i]
+			tol := 0.02*want + 0.0005
+			if math.Abs(got-want) > tol {
+				t.Errorf("%s @%dKB: miss rate %.4f, golden %.4f (update goldens deliberately and regenerate EXPERIMENTS.md)",
+					w.Name, kb, got, want)
+			}
+			i++
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package spec
+
+import (
+	"math"
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/trace"
+)
+
+func TestAllSevenWorkloads(t *testing.T) {
+	ws := All()
+	if len(ws) != 7 {
+		t.Fatalf("All() = %d workloads, want 7", len(ws))
+	}
+	want := []string{"gcc1", "espresso", "fpppp", "doduc", "li", "eqntott", "tomcatv"}
+	for i, w := range ws {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %q, want %q (Table-1 order)", i, w.Name, want[i])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("tomcatv")
+	if err != nil || w.Name != "tomcatv" {
+		t.Errorf("ByName(tomcatv) = %v, %v", w.Name, err)
+	}
+	if _, err := ByName("mcf"); err == nil {
+		t.Error("ByName(mcf) succeeded; want error")
+	}
+}
+
+func TestTable1Counts(t *testing.T) {
+	// Spot-check Table 1 as printed in the paper.
+	cases := map[string]struct{ instr, data uint64 }{
+		"gcc1":    {22_700_000, 7_200_000},
+		"tomcatv": {1_986_300_000, 963_600_000},
+	}
+	for name, want := range cases {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Table1Instr != want.instr || w.Table1Data != want.data {
+			t.Errorf("%s Table-1 counts = %d/%d, want %d/%d",
+				name, w.Table1Instr, w.Table1Data, want.instr, want.data)
+		}
+		if w.Table1Total() != want.instr+want.data {
+			t.Errorf("%s Table1Total inconsistent", name)
+		}
+	}
+}
+
+func TestGenParamsValid(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Gen.Validate(); err != nil {
+			t.Errorf("%s: invalid generator params: %v", w.Name, err)
+		}
+		if w.Gen.Name != w.Name {
+			t.Errorf("%s: generator named %q", w.Name, w.Gen.Name)
+		}
+	}
+}
+
+func TestInstrFracMatchesTable1(t *testing.T) {
+	for _, w := range All() {
+		if diff := math.Abs(w.Gen.InstrFrac - w.InstrFrac()); diff > 0.005 {
+			t.Errorf("%s: generator InstrFrac %.3f vs Table-1 %.3f",
+				w.Name, w.Gen.InstrFrac, w.InstrFrac())
+		}
+	}
+}
+
+func TestSeedsDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for _, w := range All() {
+		if prev, ok := seen[w.Gen.Seed]; ok {
+			t.Errorf("%s and %s share seed %#x", w.Name, prev, w.Gen.Seed)
+		}
+		seen[w.Gen.Seed] = w.Name
+	}
+}
+
+// missRate simulates single-level split caches of the given per-cache
+// size and returns the combined miss rate.
+func missRate(t *testing.T, w Workload, sizeKB int64, refs uint64) float64 {
+	t.Helper()
+	cfg := core.Config{
+		L1I: cache.Config{Size: sizeKB << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: sizeKB << 10, LineSize: 16, Assoc: 1},
+	}
+	sys := core.NewSystem(cfg)
+	return sys.Run(w.Stream(refs)).L1MissRate()
+}
+
+// TestCalibrationAnchors checks every quantitative miss-rate anchor the
+// paper states in §3 against the synthetic workloads, within a ±35%
+// band (the generators reproduce shapes, not exact trace bytes).
+func TestCalibrationAnchors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration simulation in -short mode")
+	}
+	for _, w := range All() {
+		if w.PaperMissRate32K == 0 {
+			continue
+		}
+		got := missRate(t, w, 32, 1_000_000)
+		lo, hi := w.PaperMissRate32K*0.65, w.PaperMissRate32K*1.35
+		if got < lo || got > hi {
+			t.Errorf("%s: 32KB miss rate %.4f outside [%.4f, %.4f] (paper: %.4f)",
+				w.Name, got, lo, hi, w.PaperMissRate32K)
+		}
+	}
+}
+
+// TestMissRatesDecreaseWithSize verifies each workload's miss rate is
+// (weakly) monotone in cache size — the basic sanity the whole tradeoff
+// analysis stands on.
+func TestMissRatesDecreaseWithSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep in -short mode")
+	}
+	for _, w := range All() {
+		prev := 1.0
+		for _, kb := range []int64{1, 4, 16, 64, 256} {
+			mr := missRate(t, w, kb, 500_000)
+			if mr > prev*1.02 { // tiny tolerance for replacement noise
+				t.Errorf("%s: miss rate rose from %.4f to %.4f at %dKB", w.Name, prev, mr, kb)
+			}
+			prev = mr
+		}
+	}
+}
+
+// TestTomcatvSizeInsensitive verifies §3's observation that tomcatv's
+// miss rate "does not drop appreciably as the cache size is increased".
+func TestTomcatvSizeInsensitive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	w, err := ByName("tomcatv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	at8 := missRate(t, w, 8, 500_000)
+	at32 := missRate(t, w, 32, 500_000)
+	if at32 < at8*0.6 {
+		t.Errorf("tomcatv miss rate fell %.4f -> %.4f from 8KB to 32KB; paper says it barely moves", at8, at32)
+	}
+}
+
+// TestFppppCodeBound verifies fpppp's instruction misses dominate until
+// the I-cache approaches the code footprint (its defining behaviour).
+func TestFppppCodeBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	w, err := ByName("fpppp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{
+		L1I: cache.Config{Size: 16 << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: 16 << 10, LineSize: 16, Assoc: 1},
+	}
+	sys := core.NewSystem(cfg)
+	st := sys.Run(w.Stream(500_000))
+	iMR := float64(st.L1IMisses) / float64(st.InstrRefs)
+	dMR := float64(st.L1DMisses) / float64(st.DataRefs)
+	if iMR <= dMR {
+		t.Errorf("fpppp at 16KB: I miss rate %.4f not above D miss rate %.4f", iMR, dMR)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	w, err := ByName("li")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := trace.Collect(w.Stream(10_000), 0)
+	b := trace.Collect(w.Stream(10_000), 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("li stream not deterministic at ref %d", i)
+		}
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 7 || names[0] != "gcc1" {
+		t.Errorf("Names() = %v", names)
+	}
+}

@@ -1,0 +1,39 @@
+package sweep_test
+
+import (
+	"fmt"
+
+	"twolevel/internal/sweep"
+)
+
+// Envelope extracts the Pareto staircase of a design space: the
+// configurations no alternative beats in both area and TPI.
+func ExampleEnvelope() {
+	points := []sweep.Point{
+		{Label: "1:0", AreaRbe: 30_000, TPINS: 12.0},
+		{Label: "2:0", AreaRbe: 55_000, TPINS: 10.2},
+		{Label: "1:2", AreaRbe: 56_000, TPINS: 13.1}, // dominated
+		{Label: "4:0", AreaRbe: 100_000, TPINS: 8.9},
+	}
+	for _, p := range sweep.Envelope(points) {
+		fmt.Printf("%s at %.0f rbe: %.1f ns\n", p.Label, p.AreaRbe, p.TPINS)
+	}
+	// Output:
+	// 1:0 at 30000 rbe: 12.0 ns
+	// 2:0 at 55000 rbe: 10.2 ns
+	// 4:0 at 100000 rbe: 8.9 ns
+}
+
+// BestAtArea answers the paper's central question for one budget.
+func ExampleBestAtArea() {
+	points := []sweep.Point{
+		{Label: "8:0", AreaRbe: 190_000, TPINS: 8.2},
+		{Label: "16:0", AreaRbe: 360_000, TPINS: 6.7},
+		{Label: "32:0", AreaRbe: 675_000, TPINS: 5.7},
+	}
+	if best, ok := sweep.BestAtArea(points, 500_000); ok {
+		fmt.Printf("best within 500K rbe: %s (%.1f ns)\n", best.Label, best.TPINS)
+	}
+	// Output:
+	// best within 500K rbe: 16:0 (6.7 ns)
+}

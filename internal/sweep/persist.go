@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+)
+
+// persistedPoint is the stable JSON shape of a Point. Cache geometry is
+// flattened so saved sweeps remain readable and diffable.
+type persistedPoint struct {
+	Label     string     `json:"label"`
+	L1KB      int64      `json:"l1_kb"`
+	L2KB      int64      `json:"l2_kb"`
+	L2Assoc   int        `json:"l2_assoc,omitempty"`
+	Policy    string     `json:"policy,omitempty"`
+	AreaRbe   float64    `json:"area_rbe"`
+	TPINS     float64    `json:"tpi_ns"`
+	L1Cycle   float64    `json:"l1_cycle_ns"`
+	L2Cycle   float64    `json:"l2_cycle_ns,omitempty"`
+	OffChipNS float64    `json:"offchip_ns"`
+	Issue     int        `json:"issue_rate"`
+	Stats     core.Stats `json:"stats"`
+}
+
+// persistedSweep is the file-level JSON document.
+type persistedSweep struct {
+	Format string           `json:"format"`
+	Points []persistedPoint `json:"points"`
+}
+
+// persistFormat identifies the JSON schema version.
+const persistFormat = "twolevel-sweep/1"
+
+// SaveJSON writes points as a versioned JSON document.
+func SaveJSON(w io.Writer, points []Point) error {
+	doc := persistedSweep{Format: persistFormat}
+	for _, p := range points {
+		pp := persistedPoint{
+			Label:     p.Label,
+			L1KB:      p.Config.L1I.Size >> 10,
+			AreaRbe:   p.AreaRbe,
+			TPINS:     p.TPINS,
+			L1Cycle:   p.Machine.L1CycleNS,
+			L2Cycle:   p.Machine.L2CycleNS,
+			OffChipNS: p.Machine.OffChipNS,
+			Issue:     p.Machine.IssueRate,
+			Stats:     p.Stats,
+		}
+		if p.Config.TwoLevel() {
+			pp.L2KB = p.Config.L2.Size >> 10
+			pp.L2Assoc = p.Config.L2.Assoc
+			pp.Policy = p.Config.Policy.String()
+		}
+		doc.Points = append(doc.Points, pp)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// LoadJSON reads a document written by SaveJSON. The returned points
+// carry enough to re-plot, re-rank, and re-compare envelopes (labels,
+// areas, TPIs, machines, stats); full cache configs are reconstructed
+// from the flattened geometry with the study's 16-byte lines.
+func LoadJSON(r io.Reader) ([]Point, error) {
+	var doc persistedSweep
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("sweep: decoding: %w", err)
+	}
+	if doc.Format != persistFormat {
+		return nil, fmt.Errorf("sweep: unknown format %q (want %q)", doc.Format, persistFormat)
+	}
+	var points []Point
+	for i, pp := range doc.Points {
+		if pp.L1KB <= 0 {
+			return nil, fmt.Errorf("sweep: point %d: bad L1 size %d", i, pp.L1KB)
+		}
+		p := Point{
+			Label:   pp.Label,
+			AreaRbe: pp.AreaRbe,
+			TPINS:   pp.TPINS,
+			Stats:   pp.Stats,
+		}
+		p.Machine.L1CycleNS = pp.L1Cycle
+		p.Machine.L2CycleNS = pp.L2Cycle
+		p.Machine.OffChipNS = pp.OffChipNS
+		p.Machine.IssueRate = pp.Issue
+		p.Config.L1I = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
+		p.Config.L1D = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
+		if pp.L2KB > 0 {
+			p.Config.L2 = cache.Config{Size: pp.L2KB << 10, LineSize: 16, Assoc: pp.L2Assoc}
+			switch pp.Policy {
+			case "exclusive":
+				p.Config.Policy = core.Exclusive
+			case "inclusive":
+				p.Config.Policy = core.Inclusive
+			default:
+				p.Config.Policy = core.Conventional
+			}
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"twolevel/internal/core"
+	"twolevel/internal/perf"
+	"twolevel/internal/spec"
+)
+
+func TestSaveLoadJSONRoundTrip(t *testing.T) {
+	w, err := spec.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := Run(w, Options{Refs: 20_000, L1Sizes: []int64{2 << 10, 8 << 10}, Policy: core.Exclusive})
+
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != len(orig) {
+		t.Fatalf("loaded %d points, want %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		o, l := orig[i], loaded[i]
+		if o.Label != l.Label || o.AreaRbe != l.AreaRbe || o.TPINS != l.TPINS {
+			t.Errorf("point %d: %v vs %v", i, o, l)
+		}
+		if o.Stats != l.Stats {
+			t.Errorf("point %d stats differ:\n%+v\n%+v", i, o.Stats, l.Stats)
+		}
+		if o.Machine != l.Machine {
+			t.Errorf("point %d machine differs: %+v vs %+v", i, o.Machine, l.Machine)
+		}
+		if o.Config.L1I.Size != l.Config.L1I.Size ||
+			o.Config.L2.Size != l.Config.L2.Size ||
+			o.Config.L2.Assoc != l.Config.L2.Assoc {
+			t.Errorf("point %d geometry differs", i)
+		}
+		if o.Config.TwoLevel() && l.Config.Policy != core.Exclusive {
+			t.Errorf("point %d lost the policy: %v", i, l.Config.Policy)
+		}
+	}
+	// The loaded points must still rank and envelope identically.
+	eo, el := Envelope(orig), Envelope(loaded)
+	if len(eo) != len(el) {
+		t.Errorf("envelopes differ after round trip: %d vs %d", len(eo), len(el))
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"format":"something-else/9","points":[]}`,
+		`{"format":"twolevel-sweep/1","points":[{"label":"x","l1_kb":0}]}`,
+	}
+	for _, in := range cases {
+		if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("input %.30q accepted", in)
+		}
+	}
+}
+
+func TestSaveJSONShape(t *testing.T) {
+	pts := []Point{{
+		Label:   "4:0",
+		AreaRbe: 100, TPINS: 9,
+		Machine: perf.Machine{L1CycleNS: 2.5, OffChipNS: 50, IssueRate: 1},
+	}}
+	pts[0].Config.L1I.Size = 4 << 10
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"format": "twolevel-sweep/1"`, `"label": "4:0"`, `"l1_kb": 4`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+	// Single-level points omit the L2 fields.
+	if strings.Contains(out, `"l2_assoc"`) {
+		t.Errorf("single-level point carries L2 fields:\n%s", out)
+	}
+}

@@ -1,0 +1,132 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report renders sweep results. Zero value renders an aligned text table;
+// set CSV for machine-readable output.
+type Report struct {
+	// CSV selects comma-separated output with a header row.
+	CSV bool
+	// Workload labels the rows (first CSV column / table heading).
+	Workload string
+	// Title is printed above text tables.
+	Title string
+}
+
+// csvHeader is the fixed column set of CSV reports.
+const csvHeader = "workload,config,area_rbe,tpi_ns,l1_miss_rate,l2_local_miss_rate,global_miss_rate,on_envelope"
+
+// Write renders the points (and marks envelope members) to w.
+func (r Report) Write(w io.Writer, points []Point) error {
+	env := make(map[string]bool)
+	for _, p := range Envelope(points) {
+		env[p.Label] = true
+	}
+	if r.CSV {
+		if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+			return err
+		}
+		for _, p := range points {
+			_, err := fmt.Fprintf(w, "%s,%s,%.0f,%.4f,%.5f,%.5f,%.5f,%v\n",
+				r.Workload, p.Label, p.AreaRbe, p.TPINS,
+				p.Stats.L1MissRate(), p.Stats.LocalL2MissRate(), p.Stats.GlobalMissRate(),
+				env[p.Label])
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if r.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", r.Title); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-9s %12s %9s %8s %8s %9s  %s\n",
+		"config", "area(rbe)", "tpi(ns)", "l1MR", "l2MR", "globalMR", "envelope"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		mark := ""
+		if env[p.Label] {
+			mark = "*"
+		}
+		if _, err := fmt.Fprintf(w, "%-9s %12.0f %9.3f %8.4f %8.4f %9.4f  %s\n",
+			p.Label, p.AreaRbe, p.TPINS,
+			p.Stats.L1MissRate(), p.Stats.LocalL2MissRate(), p.Stats.GlobalMissRate(), mark); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary condenses a sweep into the numbers EXPERIMENTS.md tracks.
+type Summary struct {
+	// Points and EnvelopeSize count the design space and its frontier.
+	Points, EnvelopeSize int
+	// SingleOnEnvelope and TwoLevelOnEnvelope split the frontier.
+	SingleOnEnvelope, TwoLevelOnEnvelope int
+	// BestTPI is the lowest TPI reached; BestLabel its configuration.
+	BestTPI   float64
+	BestLabel string
+	// FirstTwoLevelArea is the area of the cheapest two-level envelope
+	// member (0 when none).
+	FirstTwoLevelArea float64
+}
+
+// Summarize computes a Summary over a sweep's points.
+func Summarize(points []Point) Summary {
+	s := Summary{Points: len(points)}
+	env := Envelope(points)
+	s.EnvelopeSize = len(env)
+	for _, p := range env {
+		if p.TwoLevel() {
+			s.TwoLevelOnEnvelope++
+			if s.FirstTwoLevelArea == 0 {
+				s.FirstTwoLevelArea = p.AreaRbe
+			}
+		} else {
+			s.SingleOnEnvelope++
+		}
+	}
+	if best, ok := MinTPI(points); ok {
+		s.BestTPI, s.BestLabel = best.TPINS, best.Label
+	}
+	return s
+}
+
+// String renders the summary as one line.
+func (s Summary) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d configs, envelope %d (%d single + %d two-level), best %s at %.3f ns",
+		s.Points, s.EnvelopeSize, s.SingleOnEnvelope, s.TwoLevelOnEnvelope, s.BestLabel, s.BestTPI)
+	if s.FirstTwoLevelArea > 0 {
+		fmt.Fprintf(&sb, ", first two-level at %.0f rbe", s.FirstTwoLevelArea)
+	}
+	return sb.String()
+}
+
+// EnvelopeAdvantage quantifies how much envelope a beats envelope b: for
+// every point on a's envelope it finds the best b-point within the same
+// area and averages b/a TPI ratios. 1.0 means parity, >1 means a is
+// faster at equal area. Points with no same-area counterpart are skipped;
+// with no overlap at all it returns 1.
+func EnvelopeAdvantage(a, b []Point) float64 {
+	envA, envB := Envelope(a), Envelope(b)
+	sum, n := 0.0, 0
+	for _, p := range envA {
+		if q, ok := BestAtArea(envB, p.AreaRbe); ok {
+			sum += q.TPINS / p.TPINS
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+)
+
+func samplePoints() []Point {
+	two := core.Config{
+		L1I: cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
+		L2:  cache.Config{Size: 32 << 10, LineSize: 16, Assoc: 4},
+	}
+	one := core.Config{
+		L1I: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D: cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+	}
+	return []Point{
+		{Config: one, Label: "8:0", AreaRbe: 100, TPINS: 10},
+		{Config: two, Label: "4:32", AreaRbe: 300, TPINS: 6},
+		{Config: one, Label: "16:0", AreaRbe: 400, TPINS: 8}, // dominated
+	}
+}
+
+func TestReportText(t *testing.T) {
+	var sb strings.Builder
+	r := Report{Workload: "gcc1", Title: "demo"}
+	if err := r.Write(&sb, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "8:0", "4:32", "envelope"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+	// The dominated point must not carry the envelope marker.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "16:0") && strings.HasSuffix(strings.TrimSpace(line), "*") {
+			t.Errorf("dominated point marked on envelope: %q", line)
+		}
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	var sb strings.Builder
+	r := Report{CSV: true, Workload: "gcc1"}
+	if err := r.Write(&sb, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("CSV has %d lines, want header + 3", len(lines))
+	}
+	if lines[0] != csvHeader {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "gcc1,8:0,100,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	if !strings.HasSuffix(lines[2], ",true") {
+		t.Errorf("envelope member row = %q, want on_envelope true", lines[2])
+	}
+	if !strings.HasSuffix(lines[3], ",false") {
+		t.Errorf("dominated row = %q, want on_envelope false", lines[3])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(samplePoints())
+	if s.Points != 3 || s.EnvelopeSize != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.SingleOnEnvelope != 1 || s.TwoLevelOnEnvelope != 1 {
+		t.Errorf("envelope split = %d/%d", s.SingleOnEnvelope, s.TwoLevelOnEnvelope)
+	}
+	if s.BestLabel != "4:32" || s.BestTPI != 6 {
+		t.Errorf("best = %s/%v", s.BestLabel, s.BestTPI)
+	}
+	if s.FirstTwoLevelArea != 300 {
+		t.Errorf("FirstTwoLevelArea = %v", s.FirstTwoLevelArea)
+	}
+	if !strings.Contains(s.String(), "best 4:32") {
+		t.Errorf("summary string = %q", s.String())
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Points != 0 || s.BestLabel != "" || s.FirstTwoLevelArea != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestEnvelopeAdvantage(t *testing.T) {
+	fast := []Point{mkPoint("a", 100, 5), mkPoint("b", 200, 4)}
+	slow := []Point{mkPoint("c", 100, 10), mkPoint("d", 200, 8)}
+	if adv := EnvelopeAdvantage(fast, slow); adv != 2 {
+		t.Errorf("EnvelopeAdvantage(fast, slow) = %v, want 2", adv)
+	}
+	if adv := EnvelopeAdvantage(slow, fast); adv != 0.5 {
+		t.Errorf("EnvelopeAdvantage(slow, fast) = %v, want 0.5", adv)
+	}
+	if adv := EnvelopeAdvantage(fast, fast); adv != 1 {
+		t.Errorf("self advantage = %v, want 1", adv)
+	}
+	// No overlap: b entirely above a's areas.
+	later := []Point{mkPoint("e", 1000, 1)}
+	if adv := EnvelopeAdvantage(fast, later); adv != 1 {
+		t.Errorf("disjoint advantage = %v, want 1", adv)
+	}
+}

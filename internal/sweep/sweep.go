@@ -1,0 +1,315 @@
+// Package sweep runs the study's design-space exploration: it enumerates
+// cache configurations over the paper's parameter space (split
+// direct-mapped L1 caches of 1KB–256KB, optional mixed L2 up to 256KB),
+// evaluates each configuration's miss counts (trace simulation), chip
+// area (rbe model), cycle times (timing model) and TPI (§2.5 model), and
+// extracts best-performance envelopes — the solid staircase lines of the
+// paper's figures.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"twolevel/internal/area"
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/perf"
+	"twolevel/internal/spec"
+	"twolevel/internal/timing"
+	"twolevel/internal/trace"
+)
+
+// Options fixes the system parameters of one sweep (one figure).
+type Options struct {
+	// Tech is the process technology (default: the paper's 0.5µm).
+	Tech timing.Tech
+	// OffChipNS is the off-chip miss service time (50 or 200 in the
+	// paper).
+	OffChipNS float64
+	// L2Assoc is the second-level associativity for two-level
+	// configurations (1 or 4 in the paper).
+	L2Assoc int
+	// L2Policy is the replacement policy of a set-associative L2
+	// (default pseudo-random, as in the paper).
+	L2Policy cache.ReplacementPolicy
+	// Policy is the two-level discipline (Conventional or Exclusive in
+	// the paper; Inclusive for ablation).
+	Policy core.Policy
+	// DualPorted selects the §6 system: L1 cells with twice the area
+	// and twice the bandwidth, doubling the instruction issue rate.
+	DualPorted bool
+	// Refs is the trace length per configuration (default
+	// spec.DefaultRefs).
+	Refs uint64
+	// L1Sizes and L2Sizes override the enumerated sizes in bytes. A
+	// zero L2 size means single-level. Defaults are the paper's 1KB–256KB
+	// L1 range and {0} ∪ [2×L1, 256KB] L2 range.
+	L1Sizes []int64
+	L2Sizes []int64
+	// SingleLevelOnly restricts the sweep to L2-less configurations.
+	SingleLevelOnly bool
+	// TwoLevelOnly restricts the sweep to configurations with an L2.
+	TwoLevelOnly bool
+	// Workers caps the parallel simulations (default: GOMAXPROCS).
+	Workers int
+	// LineSize overrides the 16-byte line size (ablation only).
+	LineSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tech == (timing.Tech{}) {
+		o.Tech = timing.Paper05um
+	}
+	if o.OffChipNS == 0 {
+		o.OffChipNS = 50
+	}
+	if o.L2Assoc == 0 {
+		o.L2Assoc = 4
+	}
+	if o.Refs == 0 {
+		o.Refs = spec.DefaultRefs
+	}
+	if len(o.L1Sizes) == 0 {
+		o.L1Sizes = PaperL1Sizes()
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.LineSize == 0 {
+		o.LineSize = 16
+	}
+	return o
+}
+
+// PaperL1Sizes returns the paper's L1 size range, 1KB–256KB.
+func PaperL1Sizes() []int64 {
+	var s []int64
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		s = append(s, kb<<10)
+	}
+	return s
+}
+
+// PaperL2Sizes returns the paper's L2 sizes for a given L1 size: 0
+// (single-level) plus every power of two from 2×L1 to 256KB.
+func PaperL2Sizes(l1 int64) []int64 {
+	s := []int64{0}
+	for l2 := 2 * l1; l2 <= 256<<10; l2 *= 2 {
+		s = append(s, l2)
+	}
+	return s
+}
+
+// Point is one evaluated configuration.
+type Point struct {
+	// Config is the simulated hierarchy.
+	Config core.Config
+	// Label is the paper's "x:y" notation (sizes in KB).
+	Label string
+	// AreaRbe is the total on-chip cache area in register-bit
+	// equivalents.
+	AreaRbe float64
+	// TPINS is the average time per instruction in ns.
+	TPINS float64
+	// Machine carries the timing context used for TPI.
+	Machine perf.Machine
+	// Stats carries the simulated miss counts.
+	Stats core.Stats
+}
+
+// TwoLevel reports whether the point has a second-level cache.
+func (p Point) TwoLevel() bool { return p.Config.TwoLevel() }
+
+// String renders a point like "8:64  area=812345  tpi=4.31".
+func (p Point) String() string {
+	return fmt.Sprintf("%-8s area=%.0f tpi=%.3f", p.Label, p.AreaRbe, p.TPINS)
+}
+
+// Configs enumerates the hierarchy configurations of a sweep.
+func Configs(opt Options) []core.Config {
+	opt = opt.withDefaults()
+	var out []core.Config
+	for _, l1 := range opt.L1Sizes {
+		l2sizes := opt.L2Sizes
+		if len(l2sizes) == 0 {
+			l2sizes = PaperL2Sizes(l1)
+		}
+		for _, l2 := range l2sizes {
+			if l2 == 0 && opt.TwoLevelOnly {
+				continue
+			}
+			if l2 != 0 && (opt.SingleLevelOnly || l2 < 2*l1) {
+				continue
+			}
+			cfg := core.Config{
+				L1I:    cache.Config{Size: l1, LineSize: opt.LineSize, Assoc: 1},
+				L1D:    cache.Config{Size: l1, LineSize: opt.LineSize, Assoc: 1},
+				Policy: opt.Policy,
+			}
+			if l2 > 0 {
+				cfg.L2 = cache.Config{
+					Size: l2, LineSize: opt.LineSize,
+					Assoc: opt.L2Assoc, Policy: opt.L2Policy,
+				}
+			}
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// Label renders a hierarchy in the paper's "x:y" KB notation.
+func Label(cfg core.Config) string {
+	if !cfg.TwoLevel() {
+		return fmt.Sprintf("%d:0", cfg.L1I.Size>>10)
+	}
+	return fmt.Sprintf("%d:%d", cfg.L1I.Size>>10, cfg.L2.Size>>10)
+}
+
+// Evaluate runs one workload through one configuration and prices it.
+func Evaluate(w spec.Workload, cfg core.Config, opt Options) Point {
+	opt = opt.withDefaults()
+	return evaluateStream(w.Stream(opt.Refs), cfg, opt)
+}
+
+// evaluateStream simulates cfg over an explicit reference stream and
+// prices the configuration.
+func evaluateStream(st trace.Stream, cfg core.Config, opt Options) Point {
+	ports := 1
+	issue := 1
+	if opt.DualPorted {
+		ports = 2
+		issue = 2
+	}
+	l1p := timing.Params{
+		Size: cfg.L1I.Size, LineSize: cfg.L1I.LineSize,
+		Assoc: cfg.L1I.Assoc, OutputBits: 64, Ports: ports,
+	}
+	l1t := timing.Optimal(opt.Tech, l1p)
+	totalArea := 2 * area.Cache(l1p, l1t.Org) // split I and D caches
+
+	m := perf.Machine{
+		L1CycleNS: l1t.CycleTime,
+		OffChipNS: opt.OffChipNS,
+		IssueRate: issue,
+	}
+	if cfg.TwoLevel() {
+		l2p := timing.Params{
+			Size: cfg.L2.Size, LineSize: cfg.L2.LineSize,
+			Assoc: cfg.L2.Assoc, OutputBits: 64, Ports: 1,
+		}
+		l2t := timing.Optimal(opt.Tech, l2p)
+		m.L2CycleNS = l2t.CycleTime
+		totalArea += area.Cache(l2p, l2t.Org)
+	}
+
+	sys := core.NewSystem(cfg)
+	stats := sys.Run(st)
+
+	return Point{
+		Config:  cfg,
+		Label:   Label(cfg),
+		AreaRbe: totalArea,
+		TPINS:   m.TPI(stats),
+		Machine: m,
+		Stats:   stats,
+	}
+}
+
+// Run evaluates every configuration of the sweep for one workload and
+// returns points sorted by area. The workload trace is generated once and
+// replayed against every configuration (the generator costs more than the
+// cache simulation, and replaying guarantees every configuration sees the
+// identical reference stream, as in the original trace-driven study).
+func Run(w spec.Workload, opt Options) []Point {
+	opt = opt.withDefaults()
+	cfgs := Configs(opt)
+	refs := trace.Collect(w.Stream(opt.Refs), 0)
+	points := make([]Point, len(cfgs))
+	sem := make(chan struct{}, opt.Workers)
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			points[i] = evaluateStream(trace.NewSliceStream(refs), cfg, opt)
+		}(i, cfg)
+	}
+	wg.Wait()
+	SortByArea(points)
+	return points
+}
+
+// SortByArea orders points by ascending area (ties: ascending TPI).
+func SortByArea(points []Point) {
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].AreaRbe != points[j].AreaRbe {
+			return points[i].AreaRbe < points[j].AreaRbe
+		}
+		return points[i].TPINS < points[j].TPINS
+	})
+}
+
+// Envelope extracts the best-performance envelope: the Pareto-minimal
+// staircase of points no other point beats in both area and TPI. Input
+// need not be sorted; output is sorted by area.
+func Envelope(points []Point) []Point {
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	SortByArea(sorted)
+	var env []Point
+	best := 0.0
+	for _, p := range sorted {
+		if len(env) == 0 || p.TPINS < best {
+			env = append(env, p)
+			best = p.TPINS
+		}
+	}
+	return env
+}
+
+// Filter returns the points for which keep reports true.
+func Filter(points []Point, keep func(Point) bool) []Point {
+	var out []Point
+	for _, p := range points {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// BestAtArea returns the lowest-TPI point whose area does not exceed
+// budget, and false if no point fits.
+func BestAtArea(points []Point, budget float64) (Point, bool) {
+	found := false
+	var best Point
+	for _, p := range points {
+		if p.AreaRbe > budget {
+			continue
+		}
+		if !found || p.TPINS < best.TPINS {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// MinTPI returns the point with the lowest TPI, and false for no points.
+func MinTPI(points []Point) (Point, bool) {
+	if len(points) == 0 {
+		return Point{}, false
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.TPINS < best.TPINS {
+			best = p
+		}
+	}
+	return best, true
+}

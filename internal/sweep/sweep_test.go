@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+)
+
+func TestPaperSizes(t *testing.T) {
+	l1 := PaperL1Sizes()
+	if len(l1) != 9 || l1[0] != 1<<10 || l1[8] != 256<<10 {
+		t.Errorf("PaperL1Sizes() = %v", l1)
+	}
+	l2 := PaperL2Sizes(1 << 10)
+	// 0 plus 2KB..256KB = 1 + 8.
+	if len(l2) != 9 || l2[0] != 0 || l2[1] != 2<<10 || l2[8] != 256<<10 {
+		t.Errorf("PaperL2Sizes(1KB) = %v", l2)
+	}
+	// Largest L1: only the single-level option remains.
+	l2 = PaperL2Sizes(256 << 10)
+	if len(l2) != 1 || l2[0] != 0 {
+		t.Errorf("PaperL2Sizes(256KB) = %v", l2)
+	}
+}
+
+func TestConfigsEnumeration(t *testing.T) {
+	cfgs := Configs(Options{})
+	// 9 single-level + sum over L1 of |[2*L1, 256KB]| = 8+7+...+0 = 36.
+	if len(cfgs) != 45 {
+		t.Errorf("default Configs() = %d configurations, want 45", len(cfgs))
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("enumerated invalid config %v: %v", cfg, err)
+		}
+		if cfg.L1I.Size != cfg.L1D.Size {
+			t.Errorf("config %v has unequal L1 caches", cfg)
+		}
+		if cfg.TwoLevel() && cfg.L2.Size < 2*cfg.L1I.Size {
+			t.Errorf("config %v violates L2 >= 2*L1", cfg)
+		}
+	}
+}
+
+func TestConfigsFilters(t *testing.T) {
+	single := Configs(Options{SingleLevelOnly: true})
+	if len(single) != 9 {
+		t.Errorf("SingleLevelOnly = %d configs, want 9", len(single))
+	}
+	for _, c := range single {
+		if c.TwoLevel() {
+			t.Errorf("SingleLevelOnly produced %v", c)
+		}
+	}
+	two := Configs(Options{TwoLevelOnly: true})
+	if len(two) != 36 {
+		t.Errorf("TwoLevelOnly = %d configs, want 36", len(two))
+	}
+	for _, c := range two {
+		if !c.TwoLevel() {
+			t.Errorf("TwoLevelOnly produced %v", c)
+		}
+	}
+}
+
+func TestConfigsHonorsPolicyAndAssoc(t *testing.T) {
+	cfgs := Configs(Options{Policy: core.Exclusive, L2Assoc: 1, TwoLevelOnly: true})
+	for _, c := range cfgs {
+		if c.Policy != core.Exclusive || c.L2.Assoc != 1 {
+			t.Fatalf("config %v ignored options", c)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	cfgs := Configs(Options{L1Sizes: []int64{8 << 10}, L2Sizes: []int64{0, 64 << 10}})
+	if got := Label(cfgs[0]); got != "8:0" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := Label(cfgs[1]); got != "8:64" {
+		t.Errorf("Label = %q", got)
+	}
+}
+
+func mkPoint(label string, area, tpi float64) Point {
+	return Point{Label: label, AreaRbe: area, TPINS: tpi}
+}
+
+func TestEnvelope(t *testing.T) {
+	pts := []Point{
+		mkPoint("a", 100, 10),
+		mkPoint("b", 200, 8),
+		mkPoint("c", 150, 12), // dominated by a
+		mkPoint("d", 300, 8),  // ties b's TPI at higher area: dominated
+		mkPoint("e", 400, 5),
+	}
+	env := Envelope(pts)
+	want := []string{"a", "b", "e"}
+	if len(env) != len(want) {
+		t.Fatalf("Envelope = %v", env)
+	}
+	for i, p := range env {
+		if p.Label != want[i] {
+			t.Errorf("envelope[%d] = %q, want %q", i, p.Label, want[i])
+		}
+	}
+}
+
+// TestEnvelopeProperty: no envelope point is dominated, and every
+// non-envelope point is dominated by some envelope point.
+func TestEnvelopeProperty(t *testing.T) {
+	dominates := func(a, b Point) bool {
+		return a.AreaRbe <= b.AreaRbe && a.TPINS < b.TPINS
+	}
+	check := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for i := 0; i < int(n%40)+1; i++ {
+			pts = append(pts, mkPoint("p", float64(rng.Intn(1000)+1), float64(rng.Intn(100)+1)))
+		}
+		env := Envelope(pts)
+		onEnv := map[Point]bool{}
+		for _, e := range env {
+			onEnv[e] = true
+			for _, p := range pts {
+				if dominates(p, e) {
+					return false // envelope member dominated
+				}
+			}
+		}
+		for _, p := range pts {
+			if onEnv[p] {
+				continue
+			}
+			dominated := false
+			for _, e := range env {
+				if dominates(e, p) || (e.AreaRbe <= p.AreaRbe && e.TPINS == p.TPINS) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestAtArea(t *testing.T) {
+	pts := []Point{mkPoint("a", 100, 10), mkPoint("b", 200, 8), mkPoint("c", 400, 5)}
+	if _, ok := BestAtArea(pts, 50); ok {
+		t.Error("BestAtArea(50) found a point")
+	}
+	p, ok := BestAtArea(pts, 250)
+	if !ok || p.Label != "b" {
+		t.Errorf("BestAtArea(250) = %v, %v", p.Label, ok)
+	}
+	p, ok = BestAtArea(pts, 1e9)
+	if !ok || p.Label != "c" {
+		t.Errorf("BestAtArea(inf) = %v", p.Label)
+	}
+}
+
+func TestMinTPI(t *testing.T) {
+	if _, ok := MinTPI(nil); ok {
+		t.Error("MinTPI(nil) reported a point")
+	}
+	pts := []Point{mkPoint("a", 1, 10), mkPoint("b", 2, 3), mkPoint("c", 3, 7)}
+	p, ok := MinTPI(pts)
+	if !ok || p.Label != "b" {
+		t.Errorf("MinTPI = %v", p.Label)
+	}
+}
+
+func TestFilterAndSort(t *testing.T) {
+	pts := []Point{mkPoint("big", 300, 1), mkPoint("small", 100, 2)}
+	got := Filter(pts, func(p Point) bool { return p.AreaRbe < 200 })
+	if len(got) != 1 || got[0].Label != "small" {
+		t.Errorf("Filter = %v", got)
+	}
+	SortByArea(pts)
+	if pts[0].Label != "small" {
+		t.Errorf("SortByArea left %q first", pts[0].Label)
+	}
+}
+
+func TestEvaluateProducesSanePoint(t *testing.T) {
+	w, err := spec.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Refs: 50_000}
+	cfgs := Configs(Options{L1Sizes: []int64{4 << 10}, L2Sizes: []int64{32 << 10}})
+	p := Evaluate(w, cfgs[0], opt)
+	if p.Label != "4:32" {
+		t.Errorf("Label = %q", p.Label)
+	}
+	if p.AreaRbe <= 0 || p.TPINS <= 0 {
+		t.Errorf("non-positive area/TPI: %+v", p)
+	}
+	if p.TPINS < p.Machine.L1CycleNS {
+		t.Errorf("TPI %.3f below the processor cycle %.3f", p.TPINS, p.Machine.L1CycleNS)
+	}
+	if p.Stats.Refs() != 50_000 {
+		t.Errorf("simulated %d refs", p.Stats.Refs())
+	}
+}
+
+func TestRunSortedAndDeterministic(t *testing.T) {
+	w, err := spec.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Refs: 30_000, L1Sizes: []int64{1 << 10, 4 << 10}}
+	a := Run(w, opt)
+	for i := 1; i < len(a); i++ {
+		if a[i].AreaRbe < a[i-1].AreaRbe {
+			t.Error("Run output not sorted by area")
+		}
+	}
+	b := Run(w, opt)
+	for i := range a {
+		if a[i].TPINS != b[i].TPINS || a[i].Label != b[i].Label {
+			t.Errorf("Run not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDualPortedDoublesIssueAndArea(t *testing.T) {
+	w, err := spec.ByName("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := Configs(Options{L1Sizes: []int64{8 << 10}, L2Sizes: []int64{0}})
+	base := Evaluate(w, cfgs[0], Options{Refs: 30_000})
+	dual := Evaluate(w, cfgs[0], Options{Refs: 30_000, DualPorted: true})
+	if dual.Machine.IssueRate != 2 {
+		t.Errorf("dual-ported issue rate = %d", dual.Machine.IssueRate)
+	}
+	if dual.AreaRbe <= base.AreaRbe*1.5 {
+		t.Errorf("dual-ported area %.0f not ~2x base %.0f", dual.AreaRbe, base.AreaRbe)
+	}
+	// Same miss counts (geometry unchanged), faster issue: TPI must drop.
+	if dual.TPINS >= base.TPINS {
+		t.Errorf("dual-ported TPI %.3f not below base %.3f", dual.TPINS, base.TPINS)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	p := mkPoint("8:64", 12345, 4.5)
+	if got := p.String(); got == "" {
+		t.Error("empty Point.String()")
+	}
+}

@@ -1,0 +1,51 @@
+package timing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenCalibration pins the calibrated model outputs that the rest
+// of the study depends on. These are regression anchors, not physics
+// claims: if a model change moves them, the figures' absolute axes move
+// with them, and EXPERIMENTS.md needs regenerating. Tolerance is 1% to
+// allow harmless floating-point refactors.
+func TestGoldenCalibration(t *testing.T) {
+	cases := []struct {
+		name  string
+		p     Params
+		cycle float64
+	}{
+		{"L1-DM-1KB", dm(1), 2.505},
+		{"L1-DM-4KB", dm(4), 2.613},
+		{"L1-DM-32KB", dm(32), 3.054},
+		{"L1-DM-256KB", dm(256), 4.492},
+		{"L2-4way-64KB", Params{Size: 64 << 10, LineSize: 16, Assoc: 4}, 3.616},
+		{"L2-4way-256KB", Params{Size: 256 << 10, LineSize: 16, Assoc: 4}, 4.516},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Optimal(Paper05um, tc.p).CycleTime
+			if math.Abs(got-tc.cycle)/tc.cycle > 0.01 {
+				t.Errorf("cycle = %.3f ns, golden %.3f ns (update goldens and regenerate EXPERIMENTS.md if intended)",
+					got, tc.cycle)
+			}
+		})
+	}
+}
+
+// TestGoldenPenaltyStructure pins the §2.5 worked example wiring: 4KB L1
+// with any paper-range L2 gives a 2-cycle L2 and hence a 5-cycle L1 miss
+// penalty for L2 hits.
+func TestGoldenPenaltyStructure(t *testing.T) {
+	l1 := Optimal(Paper05um, dm(4)).CycleTime
+	l2 := Optimal(Paper05um, Params{Size: 64 << 10, LineSize: 16, Assoc: 4}).CycleTime
+	cycles := math.Ceil(l2/l1 - 1e-9)
+	if cycles != 2 {
+		t.Fatalf("L2 cycles = %.0f, golden 2 (the paper's Figure-2 example)", cycles)
+	}
+	penalty := 2*cycles + 1
+	if penalty != 5 {
+		t.Fatalf("L1 miss penalty = %.0f cycles, golden 5", penalty)
+	}
+}

@@ -1,0 +1,495 @@
+// Package timing implements an analytical SRAM cache access- and
+// cycle-time model in the style of Wada et al. (JSSC 1992) as enhanced by
+// Wilton and Jouppi (WRL 93/5, the CACTI precursor) — the model the paper
+// uses in §2.3.
+//
+// The model decomposes a cache access into RC-delay stages (address
+// decoder, wordline, bitline, sense amplifier, tag comparator,
+// set-multiplexor driver, and output driver), evaluates them with the
+// Horowitz stage-delay approximation, and searches over memory-array
+// organization parameters (the number of wordline and bitline segments
+// and the column-multiplexing degree of both the data and tag arrays)
+// for the organization that minimizes cycle time. Cycle time — the
+// minimum time between the starts of two accesses — exceeds access time
+// by the bitline precharge and wordline reset overlap, exactly the
+// distinction §2.3 draws.
+//
+// Constants are 0.8µm-class; Scale linearly scales the resulting delays
+// to other technologies (the paper uses 0.5, §2.3: "an overall cycle
+// time reduction to 50% of the values derived in [11]").
+package timing
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Tech carries technology-level knobs.
+type Tech struct {
+	// Scale multiplies every delay; 1.0 is the 0.8µm base technology and
+	// 0.5 the paper's 0.5µm high-performance process.
+	Scale float64
+	// AddrBits is the physical address width used for tag sizing.
+	AddrBits int
+}
+
+// Paper05um is the technology of the study: 0.8µm delays scaled by 0.5.
+var Paper05um = Tech{Scale: 0.5, AddrBits: 32}
+
+// Base08um is the unscaled 0.8µm technology of WRL 93/5.
+var Base08um = Tech{Scale: 1.0, AddrBits: 32}
+
+// Params describes the cache array whose timing is wanted.
+type Params struct {
+	// Size is the capacity in bytes.
+	Size int64
+	// LineSize is the line size in bytes (the paper fixes 16).
+	LineSize int
+	// Assoc is the set associativity (1 = direct-mapped).
+	Assoc int
+	// OutputBits is the width of the read port in bits; the paper's
+	// transfer unit is 8 bytes.
+	OutputBits int
+	// Ports is the number of identical read/write ports (1 for the base
+	// 6T cell, 2 for the §6 dual-ported cell). Extra ports lengthen the
+	// wordlines and bitlines (more wire and diffusion per cell) and are
+	// modeled as a per-cell capacitance and wire-length multiplier.
+	Ports int
+}
+
+// withDefaults fills zero fields with the study's defaults.
+func (p Params) withDefaults() Params {
+	if p.LineSize == 0 {
+		p.LineSize = 16
+	}
+	if p.Assoc == 0 {
+		p.Assoc = 1
+	}
+	if p.OutputBits == 0 {
+		p.OutputBits = 64
+	}
+	if p.Ports == 0 {
+		p.Ports = 1
+	}
+	return p
+}
+
+// Validate reports whether the parameters are modelable.
+func (p Params) Validate() error {
+	p = p.withDefaults()
+	switch {
+	case p.Size <= 0 || p.Size&(p.Size-1) != 0:
+		return fmt.Errorf("timing: size %d must be a positive power of two", p.Size)
+	case p.LineSize <= 0 || p.LineSize&(p.LineSize-1) != 0:
+		return fmt.Errorf("timing: line size %d must be a positive power of two", p.LineSize)
+	case p.Assoc < 1:
+		return fmt.Errorf("timing: associativity %d must be >= 1", p.Assoc)
+	case int64(p.LineSize*p.Assoc) > p.Size:
+		return fmt.Errorf("timing: one set (%dB) exceeds cache size %d", p.LineSize*p.Assoc, p.Size)
+	case p.Ports < 1 || p.Ports > 4:
+		return fmt.Errorf("timing: ports %d outside [1,4]", p.Ports)
+	}
+	return nil
+}
+
+// Organization is the array-segmentation result of the search: the data
+// array is split into Ndwl wordline segments and Ndbl bitline segments
+// with Nspd sets mapped to one physical wordline; likewise Ntwl, Ntbl,
+// Ntspd for the tag array. These are the six parameters of WRL 93/5.
+type Organization struct {
+	Ndwl, Ndbl, Nspd   int
+	Ntwl, Ntbl, Ntspd  int
+	DataRows, DataCols int // per data subarray
+	TagRows, TagCols   int // per tag subarray
+	TagBits            int // tag field width, bits
+}
+
+// Breakdown reports per-stage delays in nanoseconds for one access.
+type Breakdown struct {
+	Decoder    float64
+	Wordline   float64
+	Bitline    float64
+	SenseAmp   float64
+	Comparator float64
+	MuxDriver  float64 // set-associative only
+	ValidOut   float64 // direct-mapped only
+	Output     float64
+	Precharge  float64 // the cycle-time adder
+}
+
+// Result is the timing of the best organization found for a Params.
+type Result struct {
+	// AccessTime is the address-to-data delay in ns.
+	AccessTime float64
+	// CycleTime is the minimum start-to-start time between accesses, ns.
+	CycleTime float64
+	Org       Organization
+	Data      Breakdown // data-side path
+	Tag       Breakdown // tag-side path
+}
+
+// 0.8µm-class electrical constants. Resistances are Ω for a unit-width
+// (1µm) device, capacitances fF/µm of gate width or fF per cell pitch of
+// wire; the absolute values matter only through the calibrated nanosecond
+// outputs (calibration test: 1.8× cycle spread from 1KB to 256KB
+// direct-mapped, §2.1).
+const (
+	rNChannelOn = 9723.0  // Ω·µm, NMOS on-resistance
+	rPChannelOn = 22400.0 // Ω·µm, PMOS on-resistance
+
+	cGate     = 1.95e-15 // F/µm, gate capacitance
+	cDiff     = 1.15e-15 // F/µm, drain diffusion capacitance
+	cGatePass = 1.45e-15 // F/µm, pass-transistor gate capacitance
+
+	cWordMetal = 1.8e-15 // F per cell pitch of wordline metal
+	rWordMetal = 0.08    // Ω per cell pitch
+	cBitMetal  = 4.4e-15 // F per cell pitch of bitline metal
+	rBitMetal  = 0.32    // Ω per cell pitch
+
+	// Device widths, µm.
+	wDecDrive   = 100.0 // predecode line driver
+	wDecNand    = 30.0  // 3-8 predecode NAND
+	wDecNor     = 20.0  // final row NOR
+	wWordDrive  = 40.0  // wordline driver
+	wCellPass   = 2.0   // 6T cell access transistor
+	wCellPull   = 3.0   // 6T cell pull-down
+	wMuxPass    = 10.0  // column-mux pass transistor
+	wComparator = 20.0  // comparator pull-down chain
+	wMuxDrive   = 60.0  // set-multiplexor select driver
+	wOutDrive   = 30.0  // data output driver
+	wPrecharge  = 40.0  // bitline precharge PMOS
+
+	// Fixed delays, seconds (0.8µm).
+	tSenseData = 0.58e-9 // data sense amplifier
+	tSenseTag  = 0.26e-9 // tag sense amplifier
+	tAddrInput = 1.20e-9 // address input pad/latch and global drive
+
+	// Output bus load (bus, latch, and datapath fan-in), F.
+	cOutBus = 8.0e-12
+
+	// Per-subarray junction capacitance on the shared output routing, F.
+	cSubarrayJunction = 20.0e-15
+
+	// bitDevelop scales the bitline RC into the delay needed to develop
+	// the sense threshold (includes the wordline-to-cell turn-on tail).
+	bitDevelop = 2.0
+	// prechargeFactor scales the bitline precharge RC into the
+	// cycle-time adder (full-swing restore, several time constants).
+	prechargeFactor = 2.2
+
+	// vBitSense is the fraction of full swing a bitline must develop
+	// before the sense amp fires.
+	vBitSense = 0.10
+	// vThresh is the Horowitz switching threshold fraction.
+	vThresh = 0.5
+
+	// Minimum subarray heights the organization search will consider.
+	minDataRows = 32
+	minTagRows  = 16
+)
+
+// horowitz approximates the delay of an RC stage with time constant tf
+// (seconds) whose input has ramp time rampIn, switching at the vThresh
+// fraction of the supply. It returns the stage delay and the ramp time
+// presented to the next stage.
+func horowitz(rampIn, tf float64) (delay, rampOut float64) {
+	a := 0.0
+	if tf > 0 {
+		a = rampIn / tf
+	}
+	lg := math.Log(vThresh)
+	delay = tf * math.Sqrt(lg*lg+2*a*(1-vThresh))
+	return delay, delay / (1 - vThresh)
+}
+
+// optimalMemo caches organization-search results: Optimal is a pure
+// function of (Tech, Params) and sweeps call it for the same handful of
+// configurations thousands of times.
+var optimalMemo sync.Map // map[optimalKey]Result
+
+type optimalKey struct {
+	t Tech
+	p Params
+}
+
+// Optimal evaluates all legal organizations for p under t and returns the
+// one with the smallest cycle time (ties: smaller access time, then fewer
+// subarrays). It panics on invalid parameters. Results are memoized.
+func Optimal(t Tech, p Params) Result {
+	p = p.withDefaults()
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	key := optimalKey{t, p}
+	if r, ok := optimalMemo.Load(key); ok {
+		return r.(Result)
+	}
+	r := optimalSearch(t, p)
+	optimalMemo.Store(key, r)
+	return r
+}
+
+// optimalSearch is the uncached organization search.
+func optimalSearch(t Tech, p Params) Result {
+	best := Result{CycleTime: math.Inf(1), AccessTime: math.Inf(1)}
+	bestSub := math.MaxInt
+	segs := []int{1, 2, 4, 8, 16, 32}
+	spds := []int{1, 2, 4, 8}
+	for _, ndwl := range segs {
+		for _, ndbl := range segs {
+			for _, nspd := range spds {
+				for _, ntwl := range segs {
+					for _, ntbl := range segs {
+						for _, ntspd := range spds {
+							org, ok := organize(t, p, ndwl, ndbl, nspd, ntwl, ntbl, ntspd)
+							if !ok {
+								continue
+							}
+							r := evaluate(t, p, org)
+							sub := ndwl*ndbl + ntwl*ntbl
+							if less(r, best) || (equal(r, best) && sub < bestSub) {
+								best, bestSub = r, sub
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func less(a, b Result) bool {
+	if a.CycleTime != b.CycleTime {
+		return a.CycleTime < b.CycleTime
+	}
+	return a.AccessTime < b.AccessTime
+}
+
+func equal(a, b Result) bool {
+	return a.CycleTime == b.CycleTime && a.AccessTime == b.AccessTime
+}
+
+// organize computes subarray geometry, rejecting shapes that are not
+// realizable (fractional or degenerate rows/columns).
+func organize(t Tech, p Params, ndwl, ndbl, nspd, ntwl, ntbl, ntspd int) (Organization, bool) {
+	sets := int(p.Size) / (p.LineSize * p.Assoc)
+
+	dataRows := sets / (ndbl * nspd)
+	dataCols := 8 * p.LineSize * p.Assoc * nspd / ndwl
+	// Subarrays below minDataRows rows waste sense amplifiers and
+	// peripheral area out of all proportion; real designs (and the
+	// WRL 93/5 search space) do not shrink subarrays that far.
+	if dataRows < min(minDataRows, sets) || dataCols < 8 {
+		return Organization{}, false
+	}
+	if sets%(ndbl*nspd) != 0 || (8*p.LineSize*p.Assoc*nspd)%ndwl != 0 {
+		return Organization{}, false
+	}
+
+	tagBits := t.AddrBits - log2i(sets) - log2i(p.LineSize)
+	if tagBits < 1 {
+		tagBits = 1
+	}
+	// Tag entry: tag field plus valid and dirty bits.
+	entry := tagBits + 2
+	tagRows := sets / (ntbl * ntspd)
+	tagCols := entry * p.Assoc * ntspd / ntwl
+	if tagRows < min(minTagRows, sets) || tagCols < entry {
+		return Organization{}, false
+	}
+	if sets%(ntbl*ntspd) != 0 || (entry*p.Assoc*ntspd)%ntwl != 0 {
+		return Organization{}, false
+	}
+
+	return Organization{
+		Ndwl: ndwl, Ndbl: ndbl, Nspd: nspd,
+		Ntwl: ntwl, Ntbl: ntbl, Ntspd: ntspd,
+		DataRows: dataRows, DataCols: dataCols,
+		TagRows: tagRows, TagCols: tagCols,
+		TagBits: tagBits,
+	}, true
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// evaluate computes the timing of one organization.
+func evaluate(t Tech, p Params, org Organization) Result {
+	ports := float64(p.Ports)
+
+	// ---- Data side ----
+	var d Breakdown
+	ramp := 0.0
+
+	// Address decoder: after the fixed input/global-drive time, a driver
+	// fans the predecoded address out to every subarray (gate load per
+	// subarray plus a wire spanning the array width), a 3-8 NAND stage,
+	// then the final NOR row gate.
+	nsub := float64(org.Ndwl * org.Ndbl)
+	cPredec := nsub*wDecNand*cGate + float64(org.Ndwl*org.DataCols)*cWordMetal
+	dl1, ramp := horowitz(ramp, rNChannelOn/wDecDrive*cPredec)
+	cNorIn := float64(org.DataRows) / 8 * wDecNor * cGate
+	dl2, ramp := horowitz(ramp, rNChannelOn/wDecNand*cNorIn)
+	dl3, ramp := horowitz(ramp, rNChannelOn/wDecNor*(wWordDrive*cGate))
+	d.Decoder = tAddrInput + dl1 + dl2 + dl3
+
+	// Wordline: the driver charges pass-transistor gates and wordline
+	// metal along the row; the wire RC is distributed (factor 0.38).
+	cols := float64(org.DataCols) * ports
+	cWl := cols * (wCellPass*cGatePass + cWordMetal)
+	rWl := cols * rWordMetal
+	wl, ramp := horowitz(ramp, rNChannelOn/wWordDrive*cWl+0.38*rWl*cWl)
+	d.Wordline = wl
+
+	// Bitline: the cell discharges rows' worth of diffusion and metal
+	// through its pull-down and pass transistor, plus the column mux;
+	// the sense amp fires after a vBitSense fraction of swing.
+	// Column-mux degree: all the ways of Nspd sets share one sense
+	// amplifier, so each bitline pair sees that many pass devices on the
+	// mux node — this is what makes high associativity (and high Nspd)
+	// cost bitline time.
+	colMux := float64(p.Assoc * org.Nspd)
+	rowsF := float64(org.DataRows)
+	cBl := rowsF*(wCellPass*cDiff/2+cBitMetal*ports) + colMux*wMuxPass*cDiff
+	rCell := rNChannelOn/wCellPull + rNChannelOn/wCellPass
+	rBl := rCell + rowsF*rBitMetal/2 + rNChannelOn/wMuxPass
+	d.Bitline = rBl * cBl * math.Log(1/(1-vBitSense)) * bitDevelop
+	ramp = d.Bitline / (1 - vThresh)
+
+	d.SenseAmp = tSenseData
+
+	// ---- Tag side ----
+	var g Breakdown
+	tramp := 0.0
+	tnsub := float64(org.Ntwl * org.Ntbl)
+	cTPredec := tnsub*wDecNand*cGate + float64(org.Ntwl*org.TagCols)*cWordMetal
+	tl1, tramp := horowitz(tramp, rNChannelOn/wDecDrive*cTPredec)
+	cTNorIn := float64(org.TagRows) / 8 * wDecNor * cGate
+	tl2, tramp := horowitz(tramp, rNChannelOn/wDecNand*cTNorIn)
+	tl3, tramp := horowitz(tramp, rNChannelOn/wDecNor*(wWordDrive*cGate))
+	g.Decoder = tAddrInput + tl1 + tl2 + tl3
+
+	tcols := float64(org.TagCols) * ports
+	cTWl := tcols * (wCellPass*cGatePass + cWordMetal)
+	rTWl := tcols * rWordMetal
+	twl, tramp := horowitz(tramp, rNChannelOn/wWordDrive*cTWl+0.38*rTWl*cTWl)
+	g.Wordline = twl
+
+	trows := float64(org.TagRows)
+	cTBl := trows*(wCellPass*cDiff/2+cBitMetal*ports) + float64(org.Ntspd)*wMuxPass*cDiff
+	rTBl := rCell + trows*rBitMetal/2 + rNChannelOn/wMuxPass
+	g.Bitline = rTBl * cTBl * math.Log(1/(1-vBitSense)) * bitDevelop
+	tramp = g.Bitline / (1 - vThresh)
+
+	g.SenseAmp = tSenseTag
+
+	// Comparator: a precharged match line discharged through pull-downs,
+	// one per tag bit.
+	cMatch := float64(org.TagBits) * (wComparator*cDiff + cWordMetal)
+	cmp, tramp := horowitz(tramp, rNChannelOn/wComparator*cMatch)
+	g.Comparator = cmp
+
+	// Output routing: selected data must travel from its subarray to the
+	// output drivers — wire spanning the array height and width, plus a
+	// junction per subarray on the shared bus. This is what makes big
+	// arrays slow to read out and over-segmentation costly.
+	cRoute := 0.5*(float64(org.Ndbl*org.DataRows)*cBitMetal+
+		float64(org.Ndwl*org.DataCols)*cWordMetal) + nsub*cSubarrayJunction
+
+	outBits := float64(p.OutputBits)
+	if p.Assoc > 1 {
+		// Set-associative: the match result drives the output multiplexor
+		// selects across the full output width, with select wire spanning
+		// all the ways' worth of columns and the output routing.
+		cMux := outBits*(wOutDrive*cGate) +
+			outBits*float64(p.Assoc)*8*cWordMetal + 0.5*cRoute
+		mx, _ := horowitz(tramp, rNChannelOn/wMuxDrive*cMux)
+		g.MuxDriver = mx
+	} else {
+		// Direct-mapped: the compare only gates the valid signal, off the
+		// data critical path.
+		vo, _ := horowitz(tramp, rNChannelOn/wMuxDrive*(wOutDrive*cGate))
+		g.ValidOut = vo
+	}
+
+	// Output driver: both paths end driving the routed output bus.
+	out, _ := horowitz(ramp, (rNChannelOn/wOutDrive)*(cOutBus+wOutDrive*cDiff+cRoute))
+	d.Output = out
+	g.Output = out
+
+	// Precharge: restore the slower bitline through a PMOS device; the
+	// wordline must also fall first, and the two overlap with the tail of
+	// the access.
+	preData := (rPChannelOn / wPrecharge) * cBl * prechargeFactor
+	preTag := (rPChannelOn / wPrecharge) * cTBl * prechargeFactor
+	d.Precharge = preData
+	g.Precharge = preTag
+
+	dataPath := d.Decoder + d.Wordline + d.Bitline + d.SenseAmp
+	tagPath := g.Decoder + g.Wordline + g.Bitline + g.SenseAmp + g.Comparator
+	var access float64
+	if p.Assoc > 1 {
+		// Data cannot leave the chip until the tag compare selects a way.
+		access = math.Max(dataPath, tagPath+g.MuxDriver) + d.Output
+	} else {
+		access = math.Max(dataPath+d.Output, tagPath+g.ValidOut)
+	}
+	cycle := access + math.Max(preData, preTag)
+
+	s := t.Scale * 1e9 // seconds -> ns, then technology scale
+	scaleB := func(b *Breakdown) {
+		b.Decoder *= s
+		b.Wordline *= s
+		b.Bitline *= s
+		b.SenseAmp *= s
+		b.Comparator *= s
+		b.MuxDriver *= s
+		b.ValidOut *= s
+		b.Output *= s
+		b.Precharge *= s
+	}
+	scaleB(&d)
+	scaleB(&g)
+	return Result{
+		AccessTime: access * s,
+		CycleTime:  cycle * s,
+		Org:        org,
+		Data:       d,
+		Tag:        g,
+	}
+}
+
+// Describe writes the result as a human-readable per-stage breakdown.
+func (r Result) Describe(w io.Writer) error {
+	fmt.Fprintf(w, "access %.3f ns, cycle %.3f ns\n", r.AccessTime, r.CycleTime)
+	fmt.Fprintf(w, "organization: data Ndwl=%d Ndbl=%d Nspd=%d (%dx%d per subarray), tag Ntwl=%d Ntbl=%d Ntspd=%d (%dx%d), %d tag bits\n",
+		r.Org.Ndwl, r.Org.Ndbl, r.Org.Nspd, r.Org.DataRows, r.Org.DataCols,
+		r.Org.Ntwl, r.Org.Ntbl, r.Org.Ntspd, r.Org.TagRows, r.Org.TagCols, r.Org.TagBits)
+	row := func(name string, d, t float64) {
+		fmt.Fprintf(w, "  %-11s data %6.3f   tag %6.3f\n", name, d, t)
+	}
+	row("decoder", r.Data.Decoder, r.Tag.Decoder)
+	row("wordline", r.Data.Wordline, r.Tag.Wordline)
+	row("bitline", r.Data.Bitline, r.Tag.Bitline)
+	row("sense amp", r.Data.SenseAmp, r.Tag.SenseAmp)
+	row("comparator", 0, r.Tag.Comparator)
+	if r.Tag.MuxDriver > 0 {
+		row("mux driver", 0, r.Tag.MuxDriver)
+	}
+	if r.Tag.ValidOut > 0 {
+		row("valid out", 0, r.Tag.ValidOut)
+	}
+	row("output", r.Data.Output, r.Tag.Output)
+	row("precharge", r.Data.Precharge, r.Tag.Precharge)
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,222 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func dm(kb int64) Params {
+	return Params{Size: kb << 10, LineSize: 16, Assoc: 1, OutputBits: 64, Ports: 1}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"dm-8k", dm(8), true},
+		{"4way", Params{Size: 64 << 10, LineSize: 16, Assoc: 4}, true},
+		{"defaults", Params{Size: 8 << 10}, true},
+		{"zero size", Params{Size: 0}, false},
+		{"non-pow2", Params{Size: 3000}, false},
+		{"bad line", Params{Size: 8 << 10, LineSize: 17}, false},
+		{"set exceeds size", Params{Size: 16, LineSize: 16, Assoc: 4}, false},
+		{"too many ports", Params{Size: 8 << 10, Ports: 9}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate() = %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestAccessTimeMonotoneInSize(t *testing.T) {
+	prevAcc, prevCyc := 0.0, 0.0
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		r := Optimal(Paper05um, dm(kb))
+		if r.AccessTime <= prevAcc {
+			t.Errorf("%dKB access %.3f not greater than previous %.3f", kb, r.AccessTime, prevAcc)
+		}
+		if r.CycleTime <= prevCyc {
+			t.Errorf("%dKB cycle %.3f not greater than previous %.3f", kb, r.CycleTime, prevCyc)
+		}
+		prevAcc, prevCyc = r.AccessTime, r.CycleTime
+	}
+}
+
+func TestCycleAtLeastAccess(t *testing.T) {
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		for _, assoc := range []int{1, 2, 4} {
+			p := Params{Size: kb << 10, LineSize: 16, Assoc: assoc}
+			r := Optimal(Paper05um, p)
+			if r.CycleTime < r.AccessTime {
+				t.Errorf("%dKB %d-way: cycle %.3f < access %.3f", kb, assoc, r.CycleTime, r.AccessTime)
+			}
+		}
+	}
+}
+
+func TestPaperCycleSpread(t *testing.T) {
+	// §2.1: "a variation in machine cycle time of about 1.8X from
+	// processors with 1KB caches through 256KB caches."
+	small := Optimal(Paper05um, dm(1)).CycleTime
+	big := Optimal(Paper05um, dm(256)).CycleTime
+	spread := big / small
+	if spread < 1.5 || spread > 2.2 {
+		t.Errorf("cycle spread 1KB->256KB = %.2fx, want ~1.8x (paper §2.1)", spread)
+	}
+}
+
+func TestSetAssociativeNotFasterThanDM(t *testing.T) {
+	for kb := int64(8); kb <= 256; kb *= 2 {
+		dmr := Optimal(Paper05um, dm(kb))
+		sar := Optimal(Paper05um, Params{Size: kb << 10, LineSize: 16, Assoc: 4})
+		if sar.AccessTime < dmr.AccessTime-1e-9 {
+			t.Errorf("%dKB: 4-way access %.3f faster than DM %.3f", kb, sar.AccessTime, dmr.AccessTime)
+		}
+	}
+}
+
+func TestTechnologyScaleLinear(t *testing.T) {
+	for _, kb := range []int64{4, 64} {
+		r05 := Optimal(Paper05um, dm(kb))
+		r08 := Optimal(Base08um, dm(kb))
+		if math.Abs(r08.CycleTime-2*r05.CycleTime) > 1e-9 {
+			t.Errorf("%dKB: 0.8um cycle %.4f != 2 x 0.5um cycle %.4f", kb, r08.CycleTime, r05.CycleTime)
+		}
+	}
+}
+
+func TestOrganizationGeometry(t *testing.T) {
+	for _, tc := range []Params{dm(8), dm(256), {Size: 64 << 10, LineSize: 16, Assoc: 4}} {
+		r := Optimal(Paper05um, tc)
+		o := r.Org
+		p := tc.withDefaults()
+		sets := int(p.Size) / (p.LineSize * p.Assoc)
+		if o.DataRows*o.Ndbl*o.Nspd != sets {
+			t.Errorf("%v: data rows %d x Ndbl %d x Nspd %d != %d sets", tc, o.DataRows, o.Ndbl, o.Nspd, sets)
+		}
+		if o.DataCols*o.Ndwl != 8*p.LineSize*p.Assoc*o.Nspd {
+			t.Errorf("%v: data cols inconsistent: %d x %d", tc, o.DataCols, o.Ndwl)
+		}
+		wantTag := 32 - log2i(sets) - log2i(p.LineSize)
+		if o.TagBits != wantTag {
+			t.Errorf("%v: tag bits %d, want %d", tc, o.TagBits, wantTag)
+		}
+	}
+}
+
+func TestDualPortedNotFaster(t *testing.T) {
+	for _, kb := range []int64{4, 64} {
+		one := Optimal(Paper05um, dm(kb))
+		two := Optimal(Paper05um, Params{Size: kb << 10, LineSize: 16, Assoc: 1, Ports: 2})
+		if two.CycleTime < one.CycleTime-1e-9 {
+			t.Errorf("%dKB: dual-ported cycle %.3f faster than single %.3f", kb, two.CycleTime, one.CycleTime)
+		}
+	}
+}
+
+func TestBreakdownSumsToPath(t *testing.T) {
+	r := Optimal(Paper05um, dm(8))
+	d := r.Data
+	dataPath := d.Decoder + d.Wordline + d.Bitline + d.SenseAmp + d.Output
+	g := r.Tag
+	tagPath := g.Decoder + g.Wordline + g.Bitline + g.SenseAmp + g.Comparator + g.ValidOut
+	longest := math.Max(dataPath, tagPath)
+	if r.AccessTime > longest+1e-9 {
+		t.Errorf("access %.3f exceeds longest stage path %.3f", r.AccessTime, longest)
+	}
+	if d.Precharge <= 0 {
+		t.Error("precharge not positive")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Optimal(Paper05um, dm(32))
+	b := Optimal(Paper05um, dm(32))
+	if a != b {
+		t.Error("Optimal is not deterministic")
+	}
+}
+
+func TestOptimalPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Optimal(Paper05um, Params{Size: 3000})
+}
+
+func TestHorowitz(t *testing.T) {
+	// Zero ramp: pure RC threshold crossing.
+	d0, r0 := horowitz(0, 1e-9)
+	if d0 <= 0 || r0 <= d0 {
+		t.Errorf("horowitz(0, 1ns) = %v, %v", d0, r0)
+	}
+	// Slower input ramp: longer delay.
+	d1, _ := horowitz(2e-9, 1e-9)
+	if d1 <= d0 {
+		t.Errorf("slow ramp delay %v not above fast ramp %v", d1, d0)
+	}
+	// Zero time constant: zero delay, no NaN.
+	dz, _ := horowitz(1e-9, 0)
+	if dz != 0 || math.IsNaN(dz) {
+		t.Errorf("horowitz(_, 0) = %v", dz)
+	}
+}
+
+func TestAbsoluteRangeMatchesFigure1(t *testing.T) {
+	// Figure 1's axis runs 0-6 ns at 0.5µm; our calibration should land
+	// every first-level cycle time in (2, 6) ns.
+	for kb := int64(1); kb <= 256; kb *= 2 {
+		c := Optimal(Paper05um, dm(kb)).CycleTime
+		if c < 2.0 || c > 6.0 {
+			t.Errorf("%dKB cycle %.2f ns outside Figure 1's plausible range", kb, c)
+		}
+	}
+}
+
+func TestL2CycleRatioMatchesFigure2(t *testing.T) {
+	// Figure 2 / §2.5 example: with 4KB L1s, an on-chip L2 access costs
+	// 2 CPU cycles (and the L1 miss penalty 5 cycles).
+	l1 := Optimal(Paper05um, dm(4)).CycleTime
+	for kb := int64(8); kb <= 256; kb *= 2 {
+		l2 := Optimal(Paper05um, Params{Size: kb << 10, LineSize: 16, Assoc: 4}).CycleTime
+		n := math.Ceil(l2/l1 - 1e-9)
+		if n < 1 || n > 3 {
+			t.Errorf("%dKB L2 = %.0f CPU cycles, want 1-3 (paper: 2)", kb, n)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	var sb strings.Builder
+	r := Optimal(Paper05um, dm(8))
+	if err := r.Describe(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"access", "cycle", "decoder", "bitline", "precharge", "Ndwl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+	// Set-associative result must show the mux driver instead of valid out.
+	sb.Reset()
+	r = Optimal(Paper05um, Params{Size: 64 << 10, LineSize: 16, Assoc: 4})
+	if err := r.Describe(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "mux driver") {
+		t.Errorf("set-associative Describe missing mux driver:\n%s", sb.String())
+	}
+}

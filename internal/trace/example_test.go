@@ -1,0 +1,41 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"twolevel/internal/trace"
+)
+
+// A synthetic workload is a deterministic function of its parameters:
+// the same GenParams always produce the same reference stream.
+func ExampleGenerate() {
+	p := trace.GenParams{
+		Name: "demo", Seed: 42,
+		InstrFrac: 0.75,
+		CodeBytes: 8 << 10, MeanRun: 5, ITheta: 1.4,
+		DataLines: 512, DTheta: 1.4, DNewFrac: 0.01,
+	}
+	instr, data := trace.Count(trace.Generate(p, 100_000))
+	fmt.Printf("instruction fraction: %.2f\n", float64(instr)/float64(instr+data))
+	// Output:
+	// instruction fraction: 0.75
+}
+
+// Analyze profiles a stream: the stack-distance histogram it computes is
+// the miss-rate-versus-capacity function of a fully-associative LRU cache.
+func ExampleAnalyze() {
+	refs := []trace.Ref{
+		{Kind: trace.Data, Addr: 0x1000},
+		{Kind: trace.Data, Addr: 0x2000},
+		{Kind: trace.Data, Addr: 0x1000}, // reuse at stack distance 2
+		{Kind: trace.Write, Addr: 0x2000},
+	}
+	p := trace.Analyze(trace.NewSliceStream(refs))
+	fmt.Printf("loads %d, stores %d, cold %d\n", p.Loads, p.Stores, p.ColdDataRefs)
+	fmt.Printf("miss ratio at 1-line capacity: %.2f\n", p.MissRatioAtCapacity(1))
+	fmt.Printf("miss ratio at 2-line capacity: %.2f\n", p.MissRatioAtCapacity(2))
+	// Output:
+	// loads 3, stores 1, cold 2
+	// miss ratio at 1-line capacity: 1.00
+	// miss ratio at 2-line capacity: 0.50
+}

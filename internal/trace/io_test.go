@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	refs := []Ref{
+		{Instr, 0},
+		{Data, 1},
+		{Instr, 0x7FFFFFFF},
+		{Data, 0xFFFFFFFFFFFFFFFF},
+		{Instr, 0x123456789A},
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, r := range refs {
+		if err := bw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if bw.Count() != uint64(len(refs)) {
+		t.Errorf("Count() = %d, want %d", bw.Count(), len(refs))
+	}
+
+	br := NewBinaryReader(&buf)
+	for i, want := range refs {
+		got, ok := br.Next()
+		if !ok {
+			t.Fatalf("Next() #%d ended early: %v", i, br.Err())
+		}
+		if got != want {
+			t.Errorf("ref %d = %v, want %v", i, got, want)
+		}
+	}
+	if _, ok := br.Next(); ok {
+		t.Error("stream did not end")
+	}
+	if br.Err() != nil {
+		t.Errorf("clean EOF left error: %v", br.Err())
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]Ref, int(n))
+		for i := range refs {
+			refs[i] = Ref{Kind: Kind(rng.Intn(2)), Addr: rng.Uint64() >> uint(rng.Intn(64))}
+		}
+		var buf bytes.Buffer
+		bw := NewBinaryWriter(&buf)
+		for _, r := range refs {
+			if bw.Write(r) != nil {
+				return false
+			}
+		}
+		if bw.Flush() != nil {
+			return false
+		}
+		got := Collect(NewBinaryReader(bytes.NewReader(buf.Bytes())), 0)
+		if len(got) != len(refs) {
+			return false
+		}
+		for i := range refs {
+			if got[i] != refs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEmptyFileHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := NewBinaryReader(&buf)
+	if _, ok := br.Next(); ok {
+		t.Error("empty trace yielded a ref")
+	}
+	if br.Err() != nil {
+		t.Errorf("empty trace errored: %v", br.Err())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	br := NewBinaryReader(strings.NewReader("NOTATRACE-------"))
+	if _, ok := br.Next(); ok {
+		t.Fatal("bad magic accepted")
+	}
+	if !errors.Is(br.Err(), ErrBadMagic) {
+		t.Errorf("Err() = %v, want ErrBadMagic", br.Err())
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Write(Ref{Data, 0xFFFFFFFF}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	br := NewBinaryReader(bytes.NewReader(cut))
+	if _, ok := br.Next(); ok {
+		t.Fatal("truncated record decoded")
+	}
+	if br.Err() == nil {
+		t.Error("truncated record left no error")
+	}
+}
+
+func TestBinaryInvalidKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	buf.WriteByte(9) // invalid kind
+	buf.WriteByte(0)
+	br := NewBinaryReader(&buf)
+	if _, ok := br.Next(); ok {
+		t.Fatal("invalid kind accepted")
+	}
+	if br.Err() == nil {
+		t.Error("invalid kind left no error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	refs := []Ref{{Instr, 0x401000}, {Data, 0x10000004}, {Data, 0}}
+	var buf bytes.Buffer
+	tw := NewTextWriter(&buf)
+	for _, r := range refs {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != 3 {
+		t.Errorf("Count() = %d", tw.Count())
+	}
+	got := Collect(NewTextReader(&buf), 0)
+	if len(got) != len(refs) {
+		t.Fatalf("round trip %d refs, want %d", len(got), len(refs))
+	}
+	for i := range refs {
+		if got[i] != refs[i] {
+			t.Errorf("ref %d = %v, want %v", i, got[i], refs[i])
+		}
+	}
+}
+
+func TestTextReaderDineroLabels(t *testing.T) {
+	// 0 = read, 1 = write, 2 = ifetch.
+	in := "0 1000\n1 2000\n2 401000\n"
+	got := Collect(NewTextReader(strings.NewReader(in)), 0)
+	want := []Ref{{Data, 0x1000}, {Write, 0x2000}, {Instr, 0x401000}}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d refs", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ref %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n  \n2 10\n# another\n0 20\n"
+	got := Collect(NewTextReader(strings.NewReader(in)), 0)
+	if len(got) != 2 {
+		t.Fatalf("decoded %d refs, want 2", len(got))
+	}
+}
+
+func TestTextReaderErrors(t *testing.T) {
+	cases := []string{
+		"5 1000\n",  // unknown label
+		"2\n",       // missing address
+		"2 zzzz_\n", // bad hex
+	}
+	for _, in := range cases {
+		tr := NewTextReader(strings.NewReader(in))
+		if _, ok := tr.Next(); ok {
+			t.Errorf("input %q decoded", in)
+		}
+		if tr.Err() == nil {
+			t.Errorf("input %q left no error", in)
+		}
+	}
+}
+
+func TestWriteAll(t *testing.T) {
+	refs := []Ref{{Instr, 1}, {Data, 2}}
+	var got []Ref
+	n, err := WriteAll(NewSliceStream(refs), func(r Ref) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || n != 2 || len(got) != 2 {
+		t.Errorf("WriteAll = %d,%v; collected %d", n, err, len(got))
+	}
+	wantErr := errors.New("sink full")
+	_, err = WriteAll(NewSliceStream(refs), func(Ref) error { return wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Errorf("WriteAll error = %v, want %v", err, wantErr)
+	}
+}

@@ -1,0 +1,123 @@
+package trace
+
+import "math"
+
+// mtfStack is a move-to-front list of line addresses used to realize an
+// LRU stack-distance reuse model: referencing depth d reproduces an LRU
+// stack distance of exactly d, so a fully-associative LRU cache of
+// capacity C lines misses exactly the references drawn from depth > C
+// (plus compulsory references).
+type mtfStack struct {
+	lines []uint64
+}
+
+// push adds a brand-new line at the front (a compulsory reference).
+func (s *mtfStack) push(line uint64) {
+	s.lines = append(s.lines, 0)
+	copy(s.lines[1:], s.lines)
+	s.lines[0] = line
+}
+
+// prewarm fills the stack with n lines produced by gen(i), most recent
+// first, so the reuse model starts in steady state rather than growing a
+// footprint from nothing (the paper's traces are tens of millions to
+// billions of references of warmed-up execution).
+func (s *mtfStack) prewarm(n int, gen func(int) uint64) {
+	s.lines = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		s.lines[i] = gen(n - 1 - i)
+	}
+}
+
+// refDepth references the line at 1-based depth d, moving it to the
+// front, and returns its address. d must be in [1, len].
+func (s *mtfStack) refDepth(d int) uint64 {
+	i := d - 1
+	line := s.lines[i]
+	copy(s.lines[1:i+1], s.lines[:i])
+	s.lines[0] = line
+	return line
+}
+
+// depth returns the current stack depth.
+func (s *mtfStack) depth() int { return len(s.lines) }
+
+// zipfSampler draws 1-based stack depths from a truncated Zipf
+// distribution P(d) ∝ 1/d^theta over [1, n] by inverse-CDF lookup.
+// theta controls how quickly miss rate falls with cache capacity: larger
+// theta concentrates reuse near the top of the stack (miss rate falls
+// fast and then flattens), smaller theta spreads reuse across the whole
+// footprint (miss rate falls slowly — the tomcatv shape).
+type zipfSampler struct {
+	cdf []float64 // cdf[i] = P(depth <= i+1)
+}
+
+// newZipfSampler builds a sampler over depths [1, n].
+func newZipfSampler(n int, theta float64) *zipfSampler {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for d := 1; d <= n; d++ {
+		sum += math.Pow(float64(d), -theta)
+		cdf[d-1] = sum
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &zipfSampler{cdf: cdf}
+}
+
+// n returns the sampler's maximum depth.
+func (z *zipfSampler) n() int { return len(z.cdf) }
+
+// sample maps a uniform u in [0,1) to a depth in [1, n] via binary search.
+func (z *zipfSampler) sample(u float64) int {
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// xorshift64 is a small deterministic PRNG (Marsaglia xorshift*), used so
+// traces are reproducible across runs and platforms without pulling in
+// math/rand ordering guarantees.
+type xorshift64 struct{ state uint64 }
+
+// newXorshift seeds the generator; a zero seed is remapped to a fixed
+// non-zero constant since the xorshift state must never be zero.
+func newXorshift(seed uint64) *xorshift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift64{state: seed}
+}
+
+// next returns the next 64-bit value.
+func (x *xorshift64) next() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in [0, 1).
+func (x *xorshift64) float64() float64 {
+	return float64(x.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n).
+func (x *xorshift64) intn(n int) int {
+	return int(x.next() % uint64(n))
+}
