@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test test-short race ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is what .github/workflows/ci.yml runs.
+ci: vet build race
+
+clean:
+	$(GO) clean ./...

@@ -7,17 +7,28 @@
 //
 //	go run ./cmd/experiments > EXPERIMENTS.md
 //	go run ./cmd/experiments -refs 500000 > EXPERIMENTS.md   # faster
+//
+// The full run simulates hundreds of configurations; -checkpoint journals
+// each one as it completes and -resume replays the journal so an
+// interrupted run (SIGINT, -timeout) picks up where it left off:
+//
+//	go run ./cmd/experiments -checkpoint exp.journal > EXPERIMENTS.md
+//	go run ./cmd/experiments -resume exp.journal -checkpoint exp.journal > EXPERIMENTS.md
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"twolevel/internal/figures"
 	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
 )
 
 // claims maps each experiment to the paper's statement about it (or, for
@@ -111,9 +122,39 @@ var claims = map[string]string{
 
 func main() {
 	refs := flag.Uint64("refs", spec.DefaultRefs, "trace length per configuration")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+	checkpoint := flag.String("checkpoint", "", "journal completed configurations to this file")
+	resume := flag.String("resume", "", "skip configurations already completed in this journal")
 	flag.Parse()
 
-	h := figures.NewHarness(figures.Config{Refs: *refs})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rs *sweep.ResumeSet
+	if *resume != "" {
+		var err error
+		if rs, err = sweep.ResumeFile(*resume); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: resuming past %d completed configurations from %s\n", rs.Len(), *resume)
+	}
+	var ck *sweep.Checkpointer
+	if *checkpoint != "" {
+		var err error
+		if ck, err = sweep.OpenCheckpointFile(*checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer ck.Close()
+	}
+
+	h := figures.NewHarness(figures.Config{Refs: *refs, Context: ctx, Checkpoint: ck, Resume: rs})
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
@@ -131,7 +172,17 @@ func main() {
 	for _, id := range figures.IDs() {
 		f, err := h.ByID(id)
 		if err != nil {
+			// Flush the checkpoint before bailing so the completed
+			// configurations survive; a rerun with -resume skips them.
+			out.Flush()
 			fmt.Fprintln(os.Stderr, "experiments:", err)
+			if ck != nil {
+				if cerr := ck.Close(); cerr != nil {
+					fmt.Fprintln(os.Stderr, "experiments: flushing checkpoint:", cerr)
+				} else {
+					fmt.Fprintf(os.Stderr, "experiments: checkpoint flushed to %s; rerun with -resume to continue\n", *checkpoint)
+				}
+			}
 			os.Exit(1)
 		}
 		fmt.Fprintf(out, "## %s — %s\n\n", strings.ToUpper(id[:1])+id[1:], f.Title)

@@ -2,17 +2,30 @@
 // workloads and prints every evaluated configuration (optionally as CSV),
 // marking the best-performance envelope.
 //
+// Long-running sweeps can be bounded and made restartable: -timeout caps
+// the whole run, -cfg-timeout caps each configuration, -checkpoint
+// journals completed configurations, and -resume skips configurations a
+// previous journal already covers. SIGINT (Ctrl-C) drains gracefully:
+// the checkpoint is flushed, the partial envelope is printed, and the
+// process exits nonzero.
+//
 // Usage:
 //
 //	sweep -workload gcc1
 //	sweep -workload all -offchip 200 -l2assoc 4 -policy exclusive -csv
+//	sweep -workload all -checkpoint run.journal -o sweeps.json
+//	sweep -workload all -resume run.journal -checkpoint run.journal -o sweeps.json
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"twolevel/internal/core"
 	"twolevel/internal/spec"
@@ -21,14 +34,20 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "gcc1", "workload name, comma list, or 'all'")
-		offchip  = flag.Float64("offchip", 50, "off-chip miss service time, ns")
-		l2assoc  = flag.Int("l2assoc", 4, "L2 associativity")
-		policy   = flag.String("policy", "conventional", "conventional, exclusive, or inclusive")
-		dual     = flag.Bool("dual", false, "dual-ported L1 cells")
-		refs     = flag.Uint64("refs", spec.DefaultRefs, "trace length per configuration")
-		csv      = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		jsonOut  = flag.String("o", "", "also save the sweep(s) as JSON to this file (single workload only)")
+		workload   = flag.String("workload", "gcc1", "workload name, comma list, or 'all'")
+		offchip    = flag.Float64("offchip", 50, "off-chip miss service time, ns")
+		l2assoc    = flag.Int("l2assoc", 4, "L2 associativity")
+		policy     = flag.String("policy", "conventional", "conventional, exclusive, or inclusive")
+		dual       = flag.Bool("dual", false, "dual-ported L1 cells")
+		refs       = flag.Uint64("refs", spec.DefaultRefs, "trace length per configuration")
+		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut    = flag.String("o", "", "also save the sweep(s) as one JSON document to this file")
+		timeout    = flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
+		cfgTimeout = flag.Duration("cfg-timeout", 0, "evaluation budget per configuration (0 = none)")
+		retries    = flag.Int("retries", 0, "extra attempts per configuration after a transient failure")
+		checkpoint = flag.String("checkpoint", "", "journal completed configurations to this file")
+		resume     = flag.String("resume", "", "skip configurations already completed in this journal")
+		progress   = flag.Bool("progress", false, "report per-configuration progress on stderr")
 	)
 	flag.Parse()
 
@@ -43,22 +62,71 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -policy %q", *policy))
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var rs *sweep.ResumeSet
+	if *resume != "" {
+		var err error
+		if rs, err = sweep.ResumeFile(*resume); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sweep: resuming past %d completed configurations from %s\n", rs.Len(), *resume)
+	}
+	var ck *sweep.Checkpointer
+	if *checkpoint != "" {
+		var err error
+		if ck, err = sweep.OpenCheckpointFile(*checkpoint); err != nil {
+			fatal(err)
+		}
+		defer ck.Close()
+	}
+
 	opt := sweep.Options{
 		OffChipNS: *offchip, L2Assoc: *l2assoc, Policy: pol,
 		DualPorted: *dual, Refs: *refs,
+		Timeout: *cfgTimeout, Retries: *retries,
+		Checkpoint: ck, Resume: rs,
 	}
 
 	names := strings.Split(*workload, ",")
 	if *workload == "all" {
 		names = spec.Names()
 	}
+	var saved []sweep.Point
 	headerDone := false
+	degraded := false
 	for _, name := range names {
 		w, err := spec.ByName(strings.TrimSpace(name))
 		if err != nil {
 			fatal(err)
 		}
-		points := sweep.Run(w, opt)
+		if *progress {
+			opt.Progress = progressPrinter(w.Name)
+		}
+		start := time.Now()
+		points, err := sweep.RunContext(ctx, w, opt)
+		// A per-configuration timeout also wraps DeadlineExceeded, so
+		// run-level interruption (SIGINT, -timeout) is detected on the
+		// run context itself, not on the error chain.
+		if err != nil && ctx.Err() != nil {
+			drain(ck, w.Name, points, err)
+		}
+		if err != nil {
+			// One or more configurations failed; the sweep degrades to
+			// the completed points instead of crashing.
+			degraded = true
+			fmt.Fprintf(os.Stderr, "sweep: %s degraded:\n%v\n", w.Name, err)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "sweep: %s: %d points in %v\n", w.Name, len(points), time.Since(start).Round(time.Millisecond))
+		}
 
 		title := fmt.Sprintf("%s (offchip %.0fns, L2 %d-way, %s", w.Name, *offchip, *l2assoc, pol)
 		if *dual {
@@ -66,47 +134,78 @@ func main() {
 		}
 		title += ")"
 
-		r := sweep.Report{CSV: *csv, Workload: w.Name, Title: title}
-		if *csv && headerDone {
-			// Strip the repeated CSV header for subsequent workloads.
-			var sb strings.Builder
-			if err := r.Write(&sb, points); err != nil {
-				fatal(err)
-			}
-			out := sb.String()
-			if i := strings.IndexByte(out, '\n'); i >= 0 {
-				out = out[i+1:]
-			}
-			fmt.Print(out)
-		} else {
-			if err := r.Write(os.Stdout, points); err != nil {
-				fatal(err)
-			}
-			headerDone = true
+		r := sweep.Report{CSV: *csv, NoHeader: *csv && headerDone, Workload: w.Name, Title: title}
+		if err := r.Write(os.Stdout, points); err != nil {
+			fatal(err)
 		}
+		headerDone = true
 		if !*csv {
 			fmt.Printf("summary: %s\n\n", sweep.Summarize(points))
 		}
 		if *jsonOut != "" {
-			if len(names) > 1 {
-				fatal(fmt.Errorf("-o supports a single workload, got %d", len(names)))
-			}
-			f, err := os.Create(*jsonOut)
-			if err != nil {
-				fatal(err)
-			}
-			if err := sweep.SaveJSON(f, points); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Fprintf(os.Stderr, "saved %s\n", *jsonOut)
+			saved = append(saved, points...)
+		}
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sweep.SaveJSON(f, saved); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved %d points (%d workloads) to %s\n", len(saved), len(names), *jsonOut)
+	}
+	if degraded {
+		os.Exit(1)
+	}
+}
+
+// drain is the graceful-shutdown path: flush the checkpoint journal,
+// print the partial envelope, and exit nonzero.
+func drain(ck *sweep.Checkpointer, workload string, points []sweep.Point, cause error) {
+	fmt.Fprintln(os.Stderr, prefixed(cause))
+	if ck != nil {
+		if err := ck.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: flushing checkpoint: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, "sweep: checkpoint flushed; rerun with -resume to continue")
+		}
+	}
+	r := sweep.Report{Workload: workload, Title: fmt.Sprintf("%s partial envelope (%d configurations completed)", workload, len(points))}
+	if err := r.Write(os.Stdout, sweep.Envelope(points)); err != nil {
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+	}
+	os.Exit(1)
+}
+
+// progressPrinter reports per-configuration completions on stderr.
+func progressPrinter(workload string) func(sweep.ProgressEvent) {
+	return func(ev sweep.ProgressEvent) {
+		switch {
+		case ev.Skipped:
+			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s (resumed)\n", workload, ev.Done, ev.Total, ev.Label)
+		case ev.Err != nil:
+			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s FAILED: %v\n", workload, ev.Done, ev.Total, ev.Label, ev.Err)
+		default:
+			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s\n", workload, ev.Done, ev.Total, ev.Label)
 		}
 	}
 }
 
+// prefixed renders err with a single "sweep:" prefix (library errors
+// already carry one).
+func prefixed(err error) string {
+	if msg := err.Error(); strings.HasPrefix(msg, "sweep:") {
+		return msg
+	}
+	return "sweep: " + err.Error()
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
+	fmt.Fprintln(os.Stderr, prefixed(err))
 	os.Exit(1)
 }

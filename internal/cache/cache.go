@@ -163,11 +163,24 @@ type Cache struct {
 	stats Stats
 }
 
-// New builds a cache from cfg. It panics on an invalid configuration;
-// use Config.Validate to check untrusted input first.
+// New builds a cache from cfg. It is the trusted-input wrapper over
+// TryNew kept for configurations the caller has already validated
+// (package-internal invariants, literals in tests and examples): it
+// panics on an invalid configuration. Untrusted input goes through
+// TryNew or Config.Validate.
 func New(cfg Config) *Cache {
-	if err := cfg.Validate(); err != nil {
+	c, err := TryNew(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return c
+}
+
+// TryNew builds a cache from cfg, returning a descriptive error for an
+// invalid configuration instead of panicking.
+func TryNew(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	lines := cfg.Lines()
 	c := &Cache{
@@ -186,7 +199,7 @@ func New(cfg Config) *Cache {
 	case FIFO:
 		c.fifoPtr = make([]uint16, cfg.Sets())
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the configuration the cache was built with.

@@ -230,11 +230,24 @@ type System struct {
 	st  Stats
 }
 
-// NewSystem builds a hierarchy simulator; it panics on an invalid
-// configuration (use Config.Validate for untrusted input).
+// NewSystem builds a hierarchy simulator. It is the trusted-input
+// wrapper over TryNewSystem kept for already-validated configurations
+// (package-internal invariants, literals in tests and examples): it
+// panics on an invalid configuration. Untrusted input goes through
+// TryNewSystem or Config.Validate.
 func NewSystem(cfg Config) *System {
-	if err := cfg.Validate(); err != nil {
+	s, err := TryNewSystem(cfg)
+	if err != nil {
 		panic(err)
+	}
+	return s
+}
+
+// TryNewSystem builds a hierarchy simulator, returning a descriptive
+// error for an invalid configuration instead of panicking.
+func TryNewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	s := &System{
 		cfg: cfg,
@@ -244,7 +257,7 @@ func NewSystem(cfg Config) *System {
 	if cfg.TwoLevel() {
 		s.l2 = cache.New(cfg.L2)
 	}
-	return s
+	return s, nil
 }
 
 // Config returns the hierarchy configuration.

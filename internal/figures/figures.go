@@ -8,6 +8,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -61,6 +62,16 @@ type Config struct {
 	Refs uint64
 	// Tech overrides the technology (default: the paper's 0.5µm).
 	Tech timing.Tech
+	// Context, when non-nil, cancels the harness's design-space sweeps:
+	// once it is done, figure generation finishes fast with partial data
+	// and ByID reports the cancellation.
+	Context context.Context
+	// Checkpoint, when non-nil, journals every completed sweep point so
+	// an interrupted run can resume.
+	Checkpoint *sweep.Checkpointer
+	// Resume supplies points from a previous run's journal; matching
+	// configurations are not re-simulated.
+	Resume *sweep.ResumeSet
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +90,7 @@ type Harness struct {
 	cfg    Config
 	mu     sync.Mutex
 	sweeps map[string][]sweep.Point
+	err    error // first sweep failure (e.g. cancellation)
 }
 
 // NewHarness builds a harness.
@@ -99,7 +111,9 @@ func (h *Harness) options(offNS float64, l2assoc int, pol core.Policy, dual bool
 }
 
 // runSweep runs (or reuses) the full design-space sweep for one workload
-// under the given options.
+// under the given options. Failures (cancellation, bad configurations)
+// are remembered on the harness — figure generation continues with the
+// partial points and ByID surfaces the error.
 func (h *Harness) runSweep(w spec.Workload, opt sweep.Options) []sweep.Point {
 	key := fmt.Sprintf("%s/%v/%d/%v/%v/%d", w.Name, opt.OffChipNS, opt.L2Assoc, opt.Policy, opt.DualPorted, opt.Refs)
 	h.mu.Lock()
@@ -108,11 +122,32 @@ func (h *Harness) runSweep(w spec.Workload, opt sweep.Options) []sweep.Point {
 	if ok {
 		return pts
 	}
-	pts = sweep.Run(w, opt)
+	ctx := h.cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opt.Checkpoint = h.cfg.Checkpoint
+	opt.Resume = h.cfg.Resume
+	pts, err := sweep.RunContext(ctx, w, opt)
 	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		if h.err == nil {
+			h.err = err
+		}
+		// Do not memoize a partial sweep.
+		return pts
+	}
 	h.sweeps[key] = pts
-	h.mu.Unlock()
 	return pts
+}
+
+// Err reports the first sweep failure the harness has seen (nil when all
+// sweeps so far completed).
+func (h *Harness) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
 }
 
 func toXY(points []sweep.Point) []XY {
@@ -683,7 +718,10 @@ func (h *Harness) ByID(id string) (Figure, error) {
 	if !ok {
 		return Figure{}, fmt.Errorf("figures: unknown figure %q (have %v)", id, IDs())
 	}
-	return gen(), nil
+	f := gen()
+	// A sweep failure (cancellation, bad configuration) leaves the figure
+	// partial; surface it alongside whatever data was generated.
+	return f, h.Err()
 }
 
 // Render writes a figure as aligned text.

@@ -91,10 +91,11 @@ func (m MulticycleMachine) machine() Machine {
 	}
 }
 
-// ExecutionTimeNS returns the modeled total execution time for st.
-func (m MulticycleMachine) ExecutionTimeNS(st core.Stats) float64 {
+// ExecutionTime returns the modeled total execution time in ns for st,
+// with an invalid machine description returned as an error.
+func (m MulticycleMachine) ExecutionTime(st core.Stats) (float64, error) {
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return 0, err
 	}
 	inner := m.machine()
 	base := float64(st.InstrRefs) * m.DatapathCycleNS / float64(m.IssueRate)
@@ -110,7 +111,17 @@ func (m MulticycleMachine) ExecutionTimeNS(st core.Stats) float64 {
 		stalls = float64(st.L2Hits)*inner.L2HitPenaltyNS() +
 			float64(st.L2Misses)*inner.L2MissPenaltyNS()
 	}
-	return base + loadUse + stalls*(1-m.Overlap)
+	return base + loadUse + stalls*(1-m.Overlap), nil
+}
+
+// ExecutionTimeNS is the trusted-input wrapper over ExecutionTime kept
+// for already-validated machines: it panics on an invalid description.
+func (m MulticycleMachine) ExecutionTimeNS(st core.Stats) float64 {
+	t, err := m.ExecutionTime(st)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // TPI returns average time per instruction in ns.

@@ -96,14 +96,20 @@ func (m Machine) SingleLevelMissPenaltyNS() float64 {
 	return m.OffChipRounded() + m.L1CycleNS
 }
 
-// ExecutionTimeNS returns the paper's total execution time for the run
-// summarized by st: the no-miss issue time (one instruction per cycle at
-// IssueRate; data references pair with instruction issue, §2.5) plus the
-// L2-hit and L2-miss stall terms.
-func (m Machine) ExecutionTimeNS(st core.Stats) float64 {
+// ExecutionTime returns the paper's total execution time in ns for the
+// run summarized by st: the no-miss issue time (one instruction per
+// cycle at IssueRate; data references pair with instruction issue, §2.5)
+// plus the L2-hit and L2-miss stall terms. An invalid machine
+// description is returned as an error.
+func (m Machine) ExecutionTime(st core.Stats) (float64, error) {
 	if err := m.Validate(); err != nil {
-		panic(err)
+		return 0, err
 	}
+	return m.executionTime(st), nil
+}
+
+// executionTime is the §2.5 model arithmetic for a validated machine.
+func (m Machine) executionTime(st core.Stats) float64 {
 	base := float64(st.InstrRefs) * m.L1CycleNS / float64(m.IssueRate)
 	if m.L2CycleNS == 0 {
 		return base + float64(st.L1Misses())*m.SingleLevelMissPenaltyNS()
@@ -113,7 +119,28 @@ func (m Machine) ExecutionTimeNS(st core.Stats) float64 {
 		float64(st.L2Misses)*m.L2MissPenaltyNS()
 }
 
-// TPI returns average time per instruction in ns.
+// ExecutionTimeNS is the trusted-input wrapper over ExecutionTime kept
+// for already-validated machines: it panics on an invalid description.
+func (m Machine) ExecutionTimeNS(st core.Stats) float64 {
+	t, err := m.ExecutionTime(st)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TimePerInstruction returns average time per instruction in ns, with an
+// invalid machine description returned as an error.
+func (m Machine) TimePerInstruction(st core.Stats) (float64, error) {
+	t, err := m.ExecutionTime(st)
+	if err != nil || st.InstrRefs == 0 {
+		return 0, err
+	}
+	return t / float64(st.InstrRefs), nil
+}
+
+// TPI is the trusted-input wrapper over TimePerInstruction: it panics on
+// an invalid machine description.
 func (m Machine) TPI(st core.Stats) float64 {
 	if st.InstrRefs == 0 {
 		return 0
@@ -161,12 +188,13 @@ func (b BoardMachine) offChipPenaltyNS(serviceNS float64) float64 {
 	return m.L2MissPenaltyNS()
 }
 
-// ExecutionTimeNS computes total time with the off-chip fetches split by
-// where they were served. bs.BoardHits+bs.BoardMisses must equal the
-// on-chip system's off-chip fetch count.
-func (b BoardMachine) ExecutionTimeNS(st core.Stats, bs core.BoardStats) float64 {
+// ExecutionTime computes total time in ns with the off-chip fetches
+// split by where they were served. bs.BoardHits+bs.BoardMisses must
+// equal the on-chip system's off-chip fetch count. An invalid machine
+// description is returned as an error.
+func (b BoardMachine) ExecutionTime(st core.Stats, bs core.BoardStats) (float64, error) {
 	if err := b.Validate(); err != nil {
-		panic(err)
+		return 0, err
 	}
 	base := float64(st.InstrRefs) * b.L1CycleNS / float64(b.IssueRate)
 	var onChipHitsStall float64
@@ -175,7 +203,17 @@ func (b BoardMachine) ExecutionTimeNS(st core.Stats, bs core.BoardStats) float64
 	}
 	return base + onChipHitsStall +
 		float64(bs.BoardHits)*b.offChipPenaltyNS(b.OffChipNS) +
-		float64(bs.BoardMisses)*b.offChipPenaltyNS(b.MemoryNS)
+		float64(bs.BoardMisses)*b.offChipPenaltyNS(b.MemoryNS), nil
+}
+
+// ExecutionTimeNS is the trusted-input wrapper over ExecutionTime kept
+// for already-validated machines: it panics on an invalid description.
+func (b BoardMachine) ExecutionTimeNS(st core.Stats, bs core.BoardStats) float64 {
+	t, err := b.ExecutionTime(st, bs)
+	if err != nil {
+		panic(err)
+	}
+	return t
 }
 
 // TPI returns average time per instruction in ns.

@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twolevel/internal/core"
+)
+
+// saveBytes renders points exactly as cmd/sweep -o would.
+func saveBytes(t *testing.T, points []Point) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+
+	var journal bytes.Buffer
+	ck, err := NewCheckpointer(&journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck
+	full, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := Resume(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatalf("Resume rejected a journal Checkpointer wrote: %v", err)
+	}
+	if rs.Len() != len(full) {
+		t.Fatalf("journal holds %d points, sweep produced %d", rs.Len(), len(full))
+	}
+
+	// A resumed run must not evaluate anything.
+	evals := 0
+	withEvalHook(t, func(core.Config) { evals++ })
+	opt.Checkpoint = nil
+	opt.Resume = rs
+	var events []ProgressEvent
+	opt.Progress = func(ev ProgressEvent) { events = append(events, ev) }
+	resumed, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != 0 {
+		t.Errorf("fully-journaled sweep re-evaluated %d configurations", evals)
+	}
+	for _, ev := range events {
+		if !ev.Skipped {
+			t.Errorf("event %+v not marked skipped", ev)
+		}
+	}
+	if !bytes.Equal(saveBytes(t, resumed), saveBytes(t, full)) {
+		t.Error("resumed sweep output differs from the original")
+	}
+}
+
+func TestInterruptedThenResumedMatchesUninterrupted(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+
+	// The reference run: never interrupted, no journal.
+	want, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := saveBytes(t, want)
+
+	// The interrupted run: SIGINT (modeled as a context cancel) lands
+	// during the third evaluation; the journal keeps the first two.
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	ck, err := OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	calls := 0
+	withEvalHook(t, func(core.Config) {
+		if calls++; calls == 3 {
+			cancel()
+		}
+	})
+	opt.Checkpoint = ck
+	partial, err := RunContext(ctx, w, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: err = %v", err)
+	}
+	if len(partial) == 0 || len(partial) >= len(want) {
+		t.Fatalf("interrupted run completed %d/%d points", len(partial), len(want))
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed run: same options, same journal, fresh context. It
+	// must skip the journaled configurations and its output must be
+	// byte-identical to the uninterrupted run's.
+	evalTestHook = nil
+	rs, err := ResumeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != len(partial) {
+		t.Errorf("journal holds %d points, interrupted run completed %d", rs.Len(), len(partial))
+	}
+	evals := 0
+	withEvalHook(t, func(core.Config) { evals++ })
+	opt.Checkpoint = nil
+	opt.Resume = rs
+	got, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals != len(want)-rs.Len() {
+		t.Errorf("resumed run evaluated %d configurations, want %d", evals, len(want)-rs.Len())
+	}
+	if !bytes.Equal(saveBytes(t, got), wantBytes) {
+		t.Errorf("resumed output differs from uninterrupted output:\n%s\nvs\n%s",
+			saveBytes(t, got), wantBytes)
+	}
+}
+
+func TestCheckpointFileAppendsAcrossRuns(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+
+	// First run journals everything; reopening for a "resumed" run must
+	// append, not truncate the header or the existing entries.
+	ck, err := OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck
+	full, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err = OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := ResumeFile(path)
+	if err != nil {
+		t.Fatalf("journal corrupted by reopen: %v", err)
+	}
+	if rs.Len() != len(full) {
+		t.Errorf("journal holds %d points after reopen, want %d", rs.Len(), len(full))
+	}
+}
+
+func TestResumeKeyedByOptions(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	var journal bytes.Buffer
+	ck, err := NewCheckpointer(&journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck
+	if _, err := RunContext(context.Background(), w, opt); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Resume(bytes.NewReader(journal.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same journal, different off-chip time: nothing may be skipped.
+	evals := 0
+	withEvalHook(t, func(core.Config) { evals++ })
+	opt.Checkpoint = nil
+	opt.Resume = rs
+	opt.OffChipNS = 200
+	if _, err := RunContext(context.Background(), w, opt); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Configs(opt)); evals != want {
+		t.Errorf("changed options reused journal entries: %d evaluations, want %d", evals, want)
+	}
+}
+
+const validEntry = `{"key":"k","point":{"label":"1:0","l1_kb":1,"area_rbe":100,"tpi_ns":5,"l1_cycle_ns":2,"offchip_ns":50,"issue_rate":1,"stats":{}}}`
+
+func TestResumeErrors(t *testing.T) {
+	header := `{"format":"twolevel-sweep-journal/1"}`
+	cases := []struct {
+		name    string
+		journal string
+		wantErr string
+	}{
+		{"empty", "", "journal is empty"},
+		{"header not json", "what\n", "journal header"},
+		{"wrong format", `{"format":"twolevel-sweep/1"}` + "\n", "unknown journal format"},
+		{"garbage line", header + "\n{broken\n", "journal line 2"},
+		{"missing key", header + "\n" + strings.Replace(validEntry, `"key":"k"`, `"key":""`, 1) + "\n", "missing sweep key"},
+		{"negative tpi", header + "\n" + strings.Replace(validEntry, `"tpi_ns":5`, `"tpi_ns":-5`, 1) + "\n", "bad tpi_ns"},
+		{"nan area", header + "\n" + strings.Replace(validEntry, `"area_rbe":100`, `"area_rbe":"NaN"`, 1) + "\n", "journal line 2"},
+		{"zero l1", header + "\n" + strings.Replace(validEntry, `"l1_kb":1`, `"l1_kb":0`, 1) + "\n", "bad L1 size"},
+		{"duplicate", header + "\n" + validEntry + "\n" + validEntry + "\n", "duplicate configuration"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Resume(strings.NewReader(tc.journal))
+			if err == nil {
+				t.Fatalf("journal %q accepted", tc.journal)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestResumeAcceptsBlankLinesAndNilSet(t *testing.T) {
+	journal := `{"format":"twolevel-sweep-journal/1"}` + "\n\n" + validEntry + "\n"
+	rs, err := Resume(strings.NewReader(journal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 1 {
+		t.Errorf("Len = %d, want 1", rs.Len())
+	}
+	var nilSet *ResumeSet
+	if nilSet.Len() != 0 || nilSet.forKey("k") != nil {
+		t.Error("nil ResumeSet not empty")
+	}
+}
+
+func TestResumeFileMissing(t *testing.T) {
+	if _, err := ResumeFile(filepath.Join(t.TempDir(), "absent.journal")); err == nil {
+		t.Error("missing journal opened")
+	}
+}

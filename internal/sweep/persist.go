@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
@@ -13,6 +14,7 @@ import (
 // flattened so saved sweeps remain readable and diffable.
 type persistedPoint struct {
 	Label     string     `json:"label"`
+	Workload  string     `json:"workload,omitempty"`
 	L1KB      int64      `json:"l1_kb"`
 	L2KB      int64      `json:"l2_kb"`
 	L2Assoc   int        `json:"l2_assoc,omitempty"`
@@ -32,30 +34,89 @@ type persistedSweep struct {
 	Points []persistedPoint `json:"points"`
 }
 
-// persistFormat identifies the JSON schema version.
+// persistFormat identifies the JSON schema version. The optional
+// per-point "workload" field was added compatibly within version 1:
+// documents written before it load with empty workloads.
 const persistFormat = "twolevel-sweep/1"
 
-// SaveJSON writes points as a versioned JSON document.
+// pointToPersisted flattens a Point into its stable JSON shape.
+func pointToPersisted(p Point) persistedPoint {
+	pp := persistedPoint{
+		Label:     p.Label,
+		Workload:  p.Workload,
+		L1KB:      p.Config.L1I.Size >> 10,
+		AreaRbe:   p.AreaRbe,
+		TPINS:     p.TPINS,
+		L1Cycle:   p.Machine.L1CycleNS,
+		L2Cycle:   p.Machine.L2CycleNS,
+		OffChipNS: p.Machine.OffChipNS,
+		Issue:     p.Machine.IssueRate,
+		Stats:     p.Stats,
+	}
+	if p.Config.TwoLevel() {
+		pp.L2KB = p.Config.L2.Size >> 10
+		pp.L2Assoc = p.Config.L2.Assoc
+		pp.Policy = p.Config.Policy.String()
+	}
+	return pp
+}
+
+// badMetric reports a value that cannot have come from a real evaluation:
+// NaN, ±Inf, or negative.
+func badMetric(v float64) bool {
+	return math.IsNaN(v) || math.IsInf(v, 0) || v < 0
+}
+
+// pointFromPersisted validates a persisted point and rebuilds the Point.
+// Full cache configs are reconstructed from the flattened geometry with
+// the study's 16-byte lines.
+func pointFromPersisted(pp persistedPoint) (Point, error) {
+	switch {
+	case pp.L1KB <= 0:
+		return Point{}, fmt.Errorf("bad L1 size %d", pp.L1KB)
+	case badMetric(pp.AreaRbe):
+		return Point{}, fmt.Errorf("bad area_rbe %v", pp.AreaRbe)
+	case badMetric(pp.TPINS):
+		return Point{}, fmt.Errorf("bad tpi_ns %v", pp.TPINS)
+	case badMetric(pp.L1Cycle) || badMetric(pp.L2Cycle) || badMetric(pp.OffChipNS):
+		return Point{}, fmt.Errorf("bad cycle/service time (%v, %v, %v)", pp.L1Cycle, pp.L2Cycle, pp.OffChipNS)
+	case pp.L2KB < 0:
+		return Point{}, fmt.Errorf("bad L2 size %d", pp.L2KB)
+	}
+	p := Point{
+		Label:    pp.Label,
+		Workload: pp.Workload,
+		AreaRbe:  pp.AreaRbe,
+		TPINS:    pp.TPINS,
+		Stats:    pp.Stats,
+	}
+	p.Machine.L1CycleNS = pp.L1Cycle
+	p.Machine.L2CycleNS = pp.L2Cycle
+	p.Machine.OffChipNS = pp.OffChipNS
+	p.Machine.IssueRate = pp.Issue
+	p.Config.L1I = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
+	p.Config.L1D = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
+	if pp.L2KB > 0 {
+		p.Config.L2 = cache.Config{Size: pp.L2KB << 10, LineSize: 16, Assoc: pp.L2Assoc}
+		switch pp.Policy {
+		case "exclusive":
+			p.Config.Policy = core.Exclusive
+		case "inclusive":
+			p.Config.Policy = core.Inclusive
+		default:
+			p.Config.Policy = core.Conventional
+		}
+	}
+	return p, nil
+}
+
+// SaveJSON writes points as a versioned JSON document. Points from
+// different workloads may share a document; each carries its workload
+// name.
 func SaveJSON(w io.Writer, points []Point) error {
 	doc := persistedSweep{Format: persistFormat}
 	for _, p := range points {
-		pp := persistedPoint{
-			Label:     p.Label,
-			L1KB:      p.Config.L1I.Size >> 10,
-			AreaRbe:   p.AreaRbe,
-			TPINS:     p.TPINS,
-			L1Cycle:   p.Machine.L1CycleNS,
-			L2Cycle:   p.Machine.L2CycleNS,
-			OffChipNS: p.Machine.OffChipNS,
-			Issue:     p.Machine.IssueRate,
-			Stats:     p.Stats,
-		}
-		if p.Config.TwoLevel() {
-			pp.L2KB = p.Config.L2.Size >> 10
-			pp.L2Assoc = p.Config.L2.Assoc
-			pp.Policy = p.Config.Policy.String()
-		}
-		doc.Points = append(doc.Points, pp)
+		doc.Points = append(doc.Points, pointToPersisted(p))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -64,8 +125,9 @@ func SaveJSON(w io.Writer, points []Point) error {
 
 // LoadJSON reads a document written by SaveJSON. The returned points
 // carry enough to re-plot, re-rank, and re-compare envelopes (labels,
-// areas, TPIs, machines, stats); full cache configs are reconstructed
-// from the flattened geometry with the study's 16-byte lines.
+// workloads, areas, TPIs, machines, stats). Corrupted input — truncated
+// JSON, an unknown format string, or NaN/Inf/negative metrics — returns
+// a descriptive error rather than garbage points.
 func LoadJSON(r io.Reader) ([]Point, error) {
 	var doc persistedSweep
 	dec := json.NewDecoder(r)
@@ -77,31 +139,9 @@ func LoadJSON(r io.Reader) ([]Point, error) {
 	}
 	var points []Point
 	for i, pp := range doc.Points {
-		if pp.L1KB <= 0 {
-			return nil, fmt.Errorf("sweep: point %d: bad L1 size %d", i, pp.L1KB)
-		}
-		p := Point{
-			Label:   pp.Label,
-			AreaRbe: pp.AreaRbe,
-			TPINS:   pp.TPINS,
-			Stats:   pp.Stats,
-		}
-		p.Machine.L1CycleNS = pp.L1Cycle
-		p.Machine.L2CycleNS = pp.L2Cycle
-		p.Machine.OffChipNS = pp.OffChipNS
-		p.Machine.IssueRate = pp.Issue
-		p.Config.L1I = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
-		p.Config.L1D = cache.Config{Size: pp.L1KB << 10, LineSize: 16, Assoc: 1}
-		if pp.L2KB > 0 {
-			p.Config.L2 = cache.Config{Size: pp.L2KB << 10, LineSize: 16, Assoc: pp.L2Assoc}
-			switch pp.Policy {
-			case "exclusive":
-				p.Config.Policy = core.Exclusive
-			case "inclusive":
-				p.Config.Policy = core.Inclusive
-			default:
-				p.Config.Policy = core.Conventional
-			}
+		p, err := pointFromPersisted(pp)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: point %d: %w", i, err)
 		}
 		points = append(points, p)
 	}

@@ -56,15 +56,63 @@ func TestSaveLoadJSONRoundTrip(t *testing.T) {
 }
 
 func TestLoadJSONErrors(t *testing.T) {
-	cases := []string{
-		`not json`,
-		`{"format":"something-else/9","points":[]}`,
-		`{"format":"twolevel-sweep/1","points":[{"label":"x","l1_kb":0}]}`,
+	goodPoint := `"label":"4:0","l1_kb":4,"area_rbe":100,"tpi_ns":9,"l1_cycle_ns":2.5,"offchip_ns":50,"issue_rate":1,"stats":{}`
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"not json", `not json`, "decoding"},
+		{"truncated", `{"format":"twolevel-sweep/1","points":[{` + goodPoint, "decoding"},
+		{"unknown format", `{"format":"something-else/9","points":[]}`, "unknown format"},
+		{"zero l1", `{"format":"twolevel-sweep/1","points":[{"label":"x","l1_kb":0}]}`, "bad L1 size"},
+		{"negative area", `{"format":"twolevel-sweep/1","points":[{` + strings.Replace(goodPoint, `"area_rbe":100`, `"area_rbe":-1`, 1) + `}]}`, "bad area_rbe"},
+		{"negative tpi", `{"format":"twolevel-sweep/1","points":[{` + strings.Replace(goodPoint, `"tpi_ns":9`, `"tpi_ns":-9`, 1) + `}]}`, "bad tpi_ns"},
+		{"negative cycle", `{"format":"twolevel-sweep/1","points":[{` + strings.Replace(goodPoint, `"l1_cycle_ns":2.5`, `"l1_cycle_ns":-2.5`, 1) + `}]}`, "bad cycle"},
+		{"negative l2", `{"format":"twolevel-sweep/1","points":[{` + goodPoint + `,"l2_kb":-8}]}`, "bad L2 size"},
 	}
-	for _, in := range cases {
-		if _, err := LoadJSON(strings.NewReader(in)); err == nil {
-			t.Errorf("input %.30q accepted", in)
-		}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadJSON(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("input %.40q accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %q, want it to mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// JSON cannot encode NaN/Inf directly, but a hand-edited or corrupted
+// document could still smuggle them via large exponents; LoadJSON must
+// reject what badMetric flags either way.
+func TestLoadJSONRejectsInfinity(t *testing.T) {
+	in := `{"format":"twolevel-sweep/1","points":[{"label":"4:0","l1_kb":4,` +
+		`"area_rbe":1e400,"tpi_ns":9,"l1_cycle_ns":2.5,"offchip_ns":50,"issue_rate":1,"stats":{}}]}`
+	if _, err := LoadJSON(strings.NewReader(in)); err == nil {
+		t.Error("infinite area_rbe accepted")
+	}
+}
+
+func TestSaveLoadJSONKeepsWorkload(t *testing.T) {
+	pts := []Point{{
+		Label: "4:0", Workload: "gcc1",
+		AreaRbe: 100, TPINS: 9,
+		Machine: perf.Machine{L1CycleNS: 2.5, OffChipNS: 50, IssueRate: 1},
+	}}
+	pts[0].Config.L1I.Size = 4 << 10
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"workload": "gcc1"`) {
+		t.Errorf("JSON missing workload field:\n%s", buf.String())
+	}
+	loaded, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 || loaded[0].Workload != "gcc1" {
+		t.Errorf("workload lost on reload: %+v", loaded)
 	}
 }
 

@@ -11,6 +11,9 @@ import (
 type Report struct {
 	// CSV selects comma-separated output with a header row.
 	CSV bool
+	// NoHeader suppresses the CSV header row, so multi-workload output
+	// can be concatenated into one document with a single header.
+	NoHeader bool
 	// Workload labels the rows (first CSV column / table heading).
 	Workload string
 	// Title is printed above text tables.
@@ -27,8 +30,10 @@ func (r Report) Write(w io.Writer, points []Point) error {
 		env[p.Label] = true
 	}
 	if r.CSV {
-		if _, err := fmt.Fprintln(w, csvHeader); err != nil {
-			return err
+		if !r.NoHeader {
+			if _, err := fmt.Fprintln(w, csvHeader); err != nil {
+				return err
+			}
 		}
 		for _, p := range points {
 			_, err := fmt.Fprintf(w, "%s,%s,%.0f,%.4f,%.5f,%.5f,%.5f,%v\n",

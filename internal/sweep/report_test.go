@@ -69,6 +69,47 @@ func TestReportCSV(t *testing.T) {
 	}
 }
 
+func TestReportCSVNoHeader(t *testing.T) {
+	// Concatenating per-workload reports with NoHeader set after the
+	// first must yield one valid CSV document: a single header line.
+	var sb strings.Builder
+	for i, wl := range []string{"gcc1", "doduc"} {
+		r := Report{CSV: true, NoHeader: i > 0, Workload: wl}
+		if err := r.Write(&sb, samplePoints()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("combined CSV has %d lines, want 1 header + 6 rows", len(lines))
+	}
+	headers := 0
+	for _, line := range lines {
+		if line == csvHeader {
+			headers++
+		}
+	}
+	if headers != 1 {
+		t.Errorf("combined CSV has %d header lines, want 1", headers)
+	}
+	if !strings.HasPrefix(lines[4], "doduc,") {
+		t.Errorf("second workload's first row = %q", lines[4])
+	}
+}
+
+func TestReportTextIgnoresNoHeader(t *testing.T) {
+	var with, without strings.Builder
+	if err := (Report{Workload: "gcc1", Title: "demo"}).Write(&without, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Report{Workload: "gcc1", Title: "demo", NoHeader: true}).Write(&with, samplePoints()); err != nil {
+		t.Fatal(err)
+	}
+	if with.String() != without.String() {
+		t.Error("NoHeader changed the text (non-CSV) report")
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize(samplePoints())
 	if s.Points != 3 || s.EnvelopeSize != 2 {

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+// ConfigError describes one configuration whose evaluation failed — a
+// recovered panic, an invalid configuration, or a per-configuration
+// timeout. A sweep with failed configurations still returns every point
+// that completed; the ConfigErrors arrive joined in the error value.
+type ConfigError struct {
+	// Label is the configuration's "x:y" label.
+	Label string
+	// Workload names the workload being swept.
+	Workload string
+	// Cause is the underlying failure.
+	Cause error
+}
+
+// Error renders the failure with its configuration context.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sweep: configuration %s (workload %s): %v", e.Label, e.Workload, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *ConfigError) Unwrap() error { return e.Cause }
+
+// ProgressEvent reports one configuration's outcome to Options.Progress.
+type ProgressEvent struct {
+	// Done counts configurations finished so far (including skips and
+	// failures); Total is the size of the sweep.
+	Done, Total int
+	// Label is the configuration just finished.
+	Label string
+	// Err is the configuration's failure, nil on success.
+	Err error
+	// Skipped reports that the configuration was satisfied from
+	// Options.Resume without re-evaluation.
+	Skipped bool
+}
+
+// evalTestHook, when non-nil, runs at the start of every configuration
+// evaluation attempt. Tests use it to inject panics and count retries.
+var evalTestHook func(core.Config)
+
+// RunContext is Run with operational hardening for long-running and
+// service use:
+//
+//   - it honors ctx cancellation and deadlines, returning promptly with
+//     the completed points and an error wrapping ctx.Err();
+//   - each configuration is evaluated under recover(), so one panicking
+//     configuration degrades the sweep into a *ConfigError instead of
+//     crashing it;
+//   - Options.Timeout bounds each configuration and Options.Retries
+//     re-attempts transient failures;
+//   - Options.Checkpoint journals completed points and Options.Resume
+//     skips configurations a previous journal already covers;
+//   - Options.Progress observes completions.
+//
+// On success the error is nil and the points cover the full
+// configuration space, sorted by area exactly as Run sorts them. With
+// failed configurations the completed points are returned alongside the
+// joined ConfigErrors.
+func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, error) {
+	opt = opt.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfgs := Configs(opt)
+	total := len(cfgs)
+	key := checkpointKey(w.Name, opt)
+	resumed := opt.Resume.forKey(key)
+
+	var (
+		mu     sync.Mutex
+		points = make([]Point, total)
+		have   = make([]bool, total)
+		errs   []error
+		done   int
+	)
+	report := func(ev ProgressEvent) {
+		if opt.Progress != nil {
+			opt.Progress(ev)
+		}
+	}
+
+	type job struct {
+		i   int
+		cfg core.Config
+	}
+	var pending []job
+	for i, cfg := range cfgs {
+		label := Label(cfg)
+		if p, ok := resumed[label]; ok {
+			points[i], have[i] = p, true
+			done++
+			report(ProgressEvent{Done: done, Total: total, Label: label, Skipped: true})
+			continue
+		}
+		pending = append(pending, job{i, cfg})
+	}
+
+	if len(pending) > 0 && ctx.Err() == nil {
+		refs := trace.Collect(w.Stream(opt.Refs), 0)
+		jobs := make(chan job)
+		var wg sync.WaitGroup
+		for n := 0; n < min(opt.Workers, len(pending)); n++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range jobs {
+					p, err := evaluateOne(ctx, w.Name, refs, j.cfg, opt)
+					mu.Lock()
+					done++
+					switch {
+					case err == nil:
+						points[j.i], have[j.i] = p, true
+						if opt.Checkpoint != nil {
+							if cerr := opt.Checkpoint.Record(key, p); cerr != nil {
+								errs = append(errs, fmt.Errorf("sweep: checkpointing %s: %w", p.Label, cerr))
+							}
+						}
+					case ctx.Err() != nil:
+						// The whole run was cancelled mid-evaluation;
+						// that is reported once below, not per config.
+					default:
+						errs = append(errs, err)
+					}
+					report(ProgressEvent{Done: done, Total: total, Label: Label(j.cfg), Err: err})
+					mu.Unlock()
+				}
+			}()
+		}
+	feed:
+		for _, j := range pending {
+			select {
+			case jobs <- j:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	completed := make([]Point, 0, total)
+	for i, ok := range have {
+		if ok {
+			completed = append(completed, points[i])
+		}
+	}
+	SortByArea(completed)
+	if err := ctx.Err(); err != nil {
+		return completed, fmt.Errorf("sweep: %s interrupted after %d/%d configurations: %w",
+			w.Name, len(completed), total, err)
+	}
+	return completed, errors.Join(errs...)
+}
+
+// evaluateOne evaluates a single configuration with panic recovery, the
+// per-configuration timeout, and bounded retries, wrapping any final
+// failure in a ConfigError. A parent-context cancellation is returned
+// unwrapped (it is a property of the run, not of the configuration).
+func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg core.Config, opt Options) (Point, error) {
+	var err error
+	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		var p Point
+		p, err = evaluateGuarded(ctx, refs, cfg, opt)
+		if err == nil {
+			p.Workload = workload
+			return p, nil
+		}
+		if ctx.Err() != nil {
+			return Point{}, err
+		}
+	}
+	return Point{}, &ConfigError{Label: Label(cfg), Workload: workload, Cause: err}
+}
+
+// evaluateGuarded is one evaluation attempt: panics become errors and the
+// per-configuration timeout is applied.
+func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt Options) (p Point, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
+	if evalTestHook != nil {
+		evalTestHook(cfg)
+	}
+	return evaluateStream(ctx, trace.NewSliceStream(refs), cfg, opt)
+}
+
+// checkpointKey identifies one (workload, options) sweep in a journal.
+func checkpointKey(workload string, opt Options) string {
+	return workload + "|" + opt.Fingerprint()
+}

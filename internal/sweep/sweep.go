@@ -8,10 +8,11 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
+	"time"
 
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
@@ -57,6 +58,26 @@ type Options struct {
 	Workers int
 	// LineSize overrides the 16-byte line size (ablation only).
 	LineSize int
+
+	// Timeout bounds the evaluation of a single configuration under
+	// RunContext (0 = unbounded). A configuration that exceeds it fails
+	// with a ConfigError wrapping context.DeadlineExceeded; the rest of
+	// the sweep continues.
+	Timeout time.Duration
+	// Retries is the number of extra evaluation attempts RunContext makes
+	// for a configuration that failed transiently (panic or
+	// per-configuration timeout) before recording a ConfigError.
+	Retries int
+	// Progress, when non-nil, is called by RunContext after every
+	// configuration completes, fails, or is skipped via Resume. Calls are
+	// serialized; the callback must not block for long.
+	Progress func(ProgressEvent)
+	// Checkpoint, when non-nil, journals every completed point so an
+	// interrupted sweep can be continued with Resume.
+	Checkpoint *Checkpointer
+	// Resume holds points recovered from a checkpoint journal;
+	// configurations already present there are not re-evaluated.
+	Resume *ResumeSet
 }
 
 func (o Options) withDefaults() Options {
@@ -84,6 +105,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Fingerprint renders the result-determining option fields as a stable
+// string. Two sweeps with equal fingerprints over the same workload
+// evaluate identical configurations to identical points, so the
+// fingerprint keys checkpoint journals: resuming under changed options
+// re-evaluates everything instead of silently mixing results.
+func (o Options) Fingerprint() string {
+	o = o.withDefaults()
+	return fmt.Sprintf("tech=%g/%d;off=%g;l2assoc=%d;l2pol=%s;pol=%s;dual=%t;refs=%d;l1=%v;l2=%v;single=%t;two=%t;line=%d",
+		o.Tech.Scale, o.Tech.AddrBits, o.OffChipNS, o.L2Assoc, o.L2Policy,
+		o.Policy, o.DualPorted, o.Refs, o.L1Sizes, o.L2Sizes,
+		o.SingleLevelOnly, o.TwoLevelOnly, o.LineSize)
+}
+
 // PaperL1Sizes returns the paper's L1 size range, 1KB–256KB.
 func PaperL1Sizes() []int64 {
 	var s []int64
@@ -109,6 +143,9 @@ type Point struct {
 	Config core.Config
 	// Label is the paper's "x:y" notation (sizes in KB).
 	Label string
+	// Workload names the workload the point was evaluated under (empty
+	// for points priced outside Run/RunContext/Evaluate).
+	Workload string
 	// AreaRbe is the total on-chip cache area in register-bit
 	// equivalents.
 	AreaRbe float64
@@ -169,15 +206,25 @@ func Label(cfg core.Config) string {
 	return fmt.Sprintf("%d:%d", cfg.L1I.Size>>10, cfg.L2.Size>>10)
 }
 
-// Evaluate runs one workload through one configuration and prices it.
+// Evaluate runs one workload through one configuration and prices it. It
+// panics on an invalid configuration (use RunContext, or Config.Validate
+// first, for untrusted input).
 func Evaluate(w spec.Workload, cfg core.Config, opt Options) Point {
 	opt = opt.withDefaults()
-	return evaluateStream(w.Stream(opt.Refs), cfg, opt)
+	p, err := evaluateStream(context.Background(), w.Stream(opt.Refs), cfg, opt)
+	if err != nil {
+		panic(err)
+	}
+	p.Workload = w.Name
+	return p
 }
 
 // evaluateStream simulates cfg over an explicit reference stream and
-// prices the configuration.
-func evaluateStream(st trace.Stream, cfg core.Config, opt Options) Point {
+// prices the configuration, honoring ctx cancellation mid-simulation.
+func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt Options) (Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return Point{}, err
+	}
 	ports := 1
 	issue := 1
 	if opt.DualPorted {
@@ -188,7 +235,10 @@ func evaluateStream(st trace.Stream, cfg core.Config, opt Options) Point {
 		Size: cfg.L1I.Size, LineSize: cfg.L1I.LineSize,
 		Assoc: cfg.L1I.Assoc, OutputBits: 64, Ports: ports,
 	}
-	l1t := timing.Optimal(opt.Tech, l1p)
+	l1t, err := timing.TryOptimal(opt.Tech, l1p)
+	if err != nil {
+		return Point{}, err
+	}
 	totalArea := 2 * area.Cache(l1p, l1t.Org) // split I and D caches
 
 	m := perf.Machine{
@@ -201,22 +251,64 @@ func evaluateStream(st trace.Stream, cfg core.Config, opt Options) Point {
 			Size: cfg.L2.Size, LineSize: cfg.L2.LineSize,
 			Assoc: cfg.L2.Assoc, OutputBits: 64, Ports: 1,
 		}
-		l2t := timing.Optimal(opt.Tech, l2p)
+		l2t, err := timing.TryOptimal(opt.Tech, l2p)
+		if err != nil {
+			return Point{}, err
+		}
 		m.L2CycleNS = l2t.CycleTime
 		totalArea += area.Cache(l2p, l2t.Org)
 	}
+	if err := m.Validate(); err != nil {
+		return Point{}, err
+	}
 
-	sys := core.NewSystem(cfg)
-	stats := sys.Run(st)
+	sys, err := core.TryNewSystem(cfg)
+	if err != nil {
+		return Point{}, err
+	}
+	cs := &ctxStream{st: st, ctx: ctx}
+	stats := sys.Run(cs)
+	if cs.err != nil {
+		return Point{}, cs.err
+	}
+	tpi, err := m.TimePerInstruction(stats)
+	if err != nil {
+		return Point{}, err
+	}
 
 	return Point{
 		Config:  cfg,
 		Label:   Label(cfg),
 		AreaRbe: totalArea,
-		TPINS:   m.TPI(stats),
+		TPINS:   tpi,
 		Machine: m,
 		Stats:   stats,
+	}, nil
+}
+
+// ctxStream wraps a Stream and aborts it (reporting exhaustion) once ctx
+// is done, checking every ctxCheckInterval references so a cancelled
+// simulation stops promptly without a per-reference select.
+type ctxStream struct {
+	st  trace.Stream
+	ctx context.Context
+	n   uint32
+	err error
+}
+
+const ctxCheckInterval = 8192
+
+func (c *ctxStream) Next() (trace.Ref, bool) {
+	if c.n++; c.n >= ctxCheckInterval {
+		c.n = 0
+		select {
+		case <-c.ctx.Done():
+			c.err = c.ctx.Err()
+			return trace.Ref{}, false
+		default:
+		}
 	}
+	return c.st.Next()
 }
 
 // Run evaluates every configuration of the sweep for one workload and
@@ -224,24 +316,15 @@ func evaluateStream(st trace.Stream, cfg core.Config, opt Options) Point {
 // replayed against every configuration (the generator costs more than the
 // cache simulation, and replaying guarantees every configuration sees the
 // identical reference stream, as in the original trace-driven study).
+//
+// Run is the trusted-input wrapper over RunContext: it panics on any
+// evaluation failure. Services and long-running jobs should call
+// RunContext instead.
 func Run(w spec.Workload, opt Options) []Point {
-	opt = opt.withDefaults()
-	cfgs := Configs(opt)
-	refs := trace.Collect(w.Stream(opt.Refs), 0)
-	points := make([]Point, len(cfgs))
-	sem := make(chan struct{}, opt.Workers)
-	var wg sync.WaitGroup
-	for i, cfg := range cfgs {
-		wg.Add(1)
-		go func(i int, cfg core.Config) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			points[i] = evaluateStream(trace.NewSliceStream(refs), cfg, opt)
-		}(i, cfg)
+	points, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		panic(err)
 	}
-	wg.Wait()
-	SortByArea(points)
 	return points
 }
 

@@ -216,19 +216,34 @@ type optimalKey struct {
 
 // Optimal evaluates all legal organizations for p under t and returns the
 // one with the smallest cycle time (ties: smaller access time, then fewer
-// subarrays). It panics on invalid parameters. Results are memoized.
+// subarrays). It is the trusted-input wrapper over TryOptimal kept for
+// already-validated parameters: it panics on invalid input. Untrusted
+// input goes through TryOptimal. Results are memoized.
 func Optimal(t Tech, p Params) Result {
+	r, err := TryOptimal(t, p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// TryOptimal is Optimal with validation failures (and an unrealizable
+// search space) returned as errors instead of panics.
+func TryOptimal(t Tech, p Params) (Result, error) {
 	p = p.withDefaults()
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return Result{}, err
 	}
 	key := optimalKey{t, p}
 	if r, ok := optimalMemo.Load(key); ok {
-		return r.(Result)
+		return r.(Result), nil
 	}
 	r := optimalSearch(t, p)
+	if math.IsInf(r.CycleTime, 1) {
+		return Result{}, fmt.Errorf("timing: no realizable organization for %dB/%dB/%d-way", p.Size, p.LineSize, p.Assoc)
+	}
 	optimalMemo.Store(key, r)
-	return r
+	return r, nil
 }
 
 // optimalSearch is the uncached organization search.

@@ -30,6 +30,7 @@
 package twolevel
 
 import (
+	"context"
 	"io"
 
 	"twolevel/internal/area"
@@ -264,6 +265,38 @@ type Point = sweep.Point
 
 // Sweep evaluates the full configuration space for one workload.
 func Sweep(w Workload, opt SweepOptions) []Point { return sweep.Run(w, opt) }
+
+// SweepContext is the resilient form of Sweep: it honors ctx
+// cancellation and deadlines, isolates per-configuration panics as
+// *SweepConfigError values, and drives the checkpoint/resume machinery
+// configured in opt. The returned points are always usable (possibly
+// partial) even when err is non-nil.
+func SweepContext(ctx context.Context, w Workload, opt SweepOptions) ([]Point, error) {
+	return sweep.RunContext(ctx, w, opt)
+}
+
+// SweepConfigError reports the failure of one configuration inside a
+// sweep; errors.As extracts it from SweepContext's joined error.
+type SweepConfigError = sweep.ConfigError
+
+// SweepProgressEvent is one per-configuration progress callback payload.
+type SweepProgressEvent = sweep.ProgressEvent
+
+// Checkpointer journals completed sweep points so an interrupted sweep
+// can be resumed.
+type Checkpointer = sweep.Checkpointer
+
+// ResumeSet holds the validated contents of a checkpoint journal.
+type ResumeSet = sweep.ResumeSet
+
+// OpenCheckpointFile opens (or creates) a checkpoint journal for
+// appending.
+func OpenCheckpointFile(path string) (*Checkpointer, error) {
+	return sweep.OpenCheckpointFile(path)
+}
+
+// ResumeFile reads and validates a checkpoint journal.
+func ResumeFile(path string) (*ResumeSet, error) { return sweep.ResumeFile(path) }
 
 // SweepConfigs enumerates the configurations a sweep would evaluate.
 func SweepConfigs(opt SweepOptions) []Hierarchy { return sweep.Configs(opt) }
