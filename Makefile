@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race ci clean
+.PHONY: all build vet test test-short race cover staticcheck ci clean
 
 all: build
 
@@ -19,7 +19,18 @@ test-short:
 race:
 	$(GO) test -race ./...
 
-# ci is what .github/workflows/ci.yml runs.
+# cover writes coverage.out and prints the per-package totals; the CI
+# coverage job runs this and logs the per-function breakdown.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+# staticcheck expects the binary on PATH (CI installs a pinned version).
+staticcheck:
+	staticcheck ./...
+
+# ci is what .github/workflows/ci.yml's test job runs; staticcheck and
+# cover run as separate jobs.
 ci: vet build race
 
 clean:

@@ -22,6 +22,7 @@ import (
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
+	"twolevel/internal/obs"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -313,6 +314,75 @@ func benchHierarchy(b *testing.B, pol core.Policy) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Access(refs[i&(1<<16-1)])
+	}
+}
+
+// ---- Observability overhead ----
+//
+// The instrumented hot path always calls the counter methods; with no
+// registry attached the counters are nil and each call is a predictable
+// nil-check no-op. These benches pin both sides of that contract —
+// BenchmarkCacheAccessNilRegistry must match BenchmarkCacheAccessDM
+// (the pre-instrumentation baseline) and BenchmarkCacheAccessLiveRegistry
+// pays only the atomic increments. BENCH_obs.json records the measured
+// baseline.
+
+func BenchmarkCacheAccessNilRegistry(b *testing.B) { benchCacheObs(b, false) }
+
+func BenchmarkCacheAccessLiveRegistry(b *testing.B) { benchCacheObs(b, true) }
+
+func benchCacheObs(b *testing.B, attach bool) {
+	b.Helper()
+	c := cache.New(cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1})
+	if attach {
+		c.Instrument(obs.NewRegistry(), "bench_l1")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(cache.Addr(i*64) & 0xFFFFF)
+	}
+}
+
+func BenchmarkHierarchyAccessLiveRegistry(b *testing.B) {
+	sys := core.NewSystem(core.Config{
+		L1I:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L2:     cache.Config{Size: 64 << 10, LineSize: 16, Assoc: 4},
+		Policy: core.Conventional,
+	})
+	sys.Instrument(obs.NewRegistry())
+	w, err := spec.ByName("gcc1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := trace.Collect(w.Stream(1<<16), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Access(refs[i&(1<<16-1)])
+	}
+}
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncNil(b *testing.B) {
+	var c *obs.Counter
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_seconds", obs.ExpBuckets(0.001, 2, 24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) * 0.001)
 	}
 }
 

@@ -85,11 +85,10 @@ func main() {
 	}
 	fmt.Printf("chip area     : %.0f rbe\n", totalArea)
 	fmt.Println()
-	fmt.Printf("L1I: %d refs, %d misses (%.4f)\n", st.InstrRefs, st.L1IMisses, rate(st.L1IMisses, st.InstrRefs))
-	fmt.Printf("L1D: %d refs, %d misses (%.4f)\n", st.DataRefs, st.L1DMisses, rate(st.L1DMisses, st.DataRefs))
+	fmt.Printf("L1I: %s\n", sys.L1I().Stats())
+	fmt.Printf("L1D: %s\n", sys.L1D().Stats())
 	if cfg.TwoLevel() {
-		fmt.Printf("L2 : %d probes, %d hits, %d misses (local miss rate %.4f)\n",
-			st.L2Hits+st.L2Misses, st.L2Hits, st.L2Misses, st.LocalL2MissRate())
+		fmt.Printf("L2 : %s (local miss rate %.4f)\n", sys.L2().Stats(), st.LocalL2MissRate())
 		if cfg.Policy == core.Exclusive {
 			fmt.Printf("exclusive     : %d victims to L2, %d true swaps\n", st.VictimsToL2, st.Swaps)
 			fmt.Printf("on-chip lines : %d unique, %d duplicated in L2\n",
@@ -183,13 +182,6 @@ func parseSize(s string) (int64, error) {
 		return 0, err
 	}
 	return v * mult, nil
-}
-
-func rate(n, d uint64) float64 {
-	if d == 0 {
-		return 0
-	}
-	return float64(n) / float64(d)
 }
 
 func fatal(err error) {

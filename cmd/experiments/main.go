@@ -27,6 +27,7 @@ import (
 	"syscall"
 
 	"twolevel/internal/figures"
+	"twolevel/internal/obs"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -125,6 +126,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none)")
 	checkpoint := flag.String("checkpoint", "", "journal completed configurations to this file")
 	resume := flag.String("resume", "", "skip configurations already completed in this journal")
+	listen := flag.String("listen", "", "serve /metrics, /progress, and /debug/pprof on this address while running")
+	metricsOut := flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
+	eventsOut := flag.String("events", "", "append the structured run-event journal (JSONL) to this file")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -133,6 +137,29 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	var reg *obs.Registry
+	if *listen != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var elog *obs.EventLog
+	if *eventsOut != "" {
+		var err error
+		if elog, err = obs.OpenEventLogFile(*eventsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer elog.Close()
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg, sweep.ProgressSummary(reg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
 	}
 
 	var rs *sweep.ResumeSet
@@ -154,7 +181,20 @@ func main() {
 		defer ck.Close()
 	}
 
-	h := figures.NewHarness(figures.Config{Refs: *refs, Context: ctx, Checkpoint: ck, Resume: rs})
+	// flushMetrics persists the final snapshot; it runs on both the
+	// normal and the bail-out exit paths.
+	flushMetrics := func() {
+		if *metricsOut == "" {
+			return
+		}
+		if err := obs.WriteSnapshotFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing metrics snapshot:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "experiments: metrics snapshot saved to %s\n", *metricsOut)
+		}
+	}
+
+	h := figures.NewHarness(figures.Config{Refs: *refs, Context: ctx, Checkpoint: ck, Resume: rs, Metrics: reg, Events: elog})
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 
@@ -183,6 +223,8 @@ func main() {
 					fmt.Fprintf(os.Stderr, "experiments: checkpoint flushed to %s; rerun with -resume to continue\n", *checkpoint)
 				}
 			}
+			elog.Close()
+			flushMetrics()
 			os.Exit(1)
 		}
 		fmt.Fprintf(out, "## %s — %s\n\n", strings.ToUpper(id[:1])+id[1:], f.Title)
@@ -230,4 +272,5 @@ func main() {
 	fmt.Fprintln(out, "* In Figures 10-16 the count of single-level envelope members does not drop")
 	fmt.Fprintln(out, "  for every workload as the paper observes, but the two-level share of the")
 	fmt.Fprintln(out, "  envelope grows for every workload, which is the operative §6 conclusion.")
+	flushMetrics()
 }

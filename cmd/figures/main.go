@@ -18,15 +18,19 @@ import (
 	"strings"
 
 	"twolevel/internal/figures"
+	"twolevel/internal/obs"
+	"twolevel/internal/sweep"
 )
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "figure id (fig1..fig26, table1, ext...) or 'all'")
-		refs = flag.Uint64("refs", 0, "trace length per configuration (default 2,000,000)")
-		list = flag.Bool("list", false, "list figure identifiers and exit")
-		plot = flag.Bool("plot", false, "render series figures as ASCII log-log plots")
-		out  = flag.String("o", "", "write each figure to <dir>/<id>.txt instead of stdout")
+		fig        = flag.String("fig", "all", "figure id (fig1..fig26, table1, ext...) or 'all'")
+		refs       = flag.Uint64("refs", 0, "trace length per configuration (default 2,000,000)")
+		list       = flag.Bool("list", false, "list figure identifiers and exit")
+		plot       = flag.Bool("plot", false, "render series figures as ASCII log-log plots")
+		out        = flag.String("o", "", "write each figure to <dir>/<id>.txt instead of stdout")
+		listen     = flag.String("listen", "", "serve /metrics, /progress, and /debug/pprof on this address while running")
+		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 	)
 	flag.Parse()
 
@@ -35,7 +39,21 @@ func main() {
 		return
 	}
 
-	h := figures.NewHarness(figures.Config{Refs: *refs})
+	var reg *obs.Registry
+	if *listen != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg, sweep.ProgressSummary(reg))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "figures: observability on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
+	}
+
+	h := figures.NewHarness(figures.Config{Refs: *refs, Metrics: reg})
 	ids := figures.IDs()
 	if *fig != "all" {
 		ids = strings.Split(*fig, ",")
@@ -80,5 +98,12 @@ func main() {
 			}
 			fmt.Printf("wrote %s\n", filepath.Join(*out, id+".txt"))
 		}
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(*metricsOut, reg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "figures: metrics snapshot saved to %s\n", *metricsOut)
 	}
 }

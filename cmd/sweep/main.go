@@ -9,18 +9,27 @@
 // the checkpoint is flushed, the partial envelope is printed, and the
 // process exits nonzero.
 //
+// A running sweep can be observed live: -listen serves /metrics (counter,
+// gauge, and histogram snapshots), /progress (completion counts and an
+// ETA), and /debug/pprof on the given address; -metrics writes the final
+// snapshot to a JSON file; -events appends a structured JSONL journal of
+// run events (config_start, config_done, retries, checkpoint flushes, a
+// final run manifest).
+//
 // Usage:
 //
 //	sweep -workload gcc1
 //	sweep -workload all -offchip 200 -l2assoc 4 -policy exclusive -csv
 //	sweep -workload all -checkpoint run.journal -o sweeps.json
 //	sweep -workload all -resume run.journal -checkpoint run.journal -o sweeps.json
+//	sweep -workload all -listen localhost:6060 -metrics metrics.json -events run.jsonl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +37,7 @@ import (
 	"time"
 
 	"twolevel/internal/core"
+	"twolevel/internal/obs"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -47,7 +57,10 @@ func main() {
 		retries    = flag.Int("retries", 0, "extra attempts per configuration after a transient failure")
 		checkpoint = flag.String("checkpoint", "", "journal completed configurations to this file")
 		resume     = flag.String("resume", "", "skip configurations already completed in this journal")
-		progress   = flag.Bool("progress", false, "report per-configuration progress on stderr")
+		progress   = flag.Bool("progress", false, "report sweep progress on stderr (throttled to one line per second)")
+		listen     = flag.String("listen", "", "serve /metrics, /progress, and /debug/pprof on this address while running")
+		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
+		eventsOut  = flag.String("events", "", "append the structured run-event journal (JSONL) to this file")
 	)
 	flag.Parse()
 
@@ -69,6 +82,40 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	var reg *obs.Registry
+	if *listen != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	var elog *obs.EventLog
+	if *eventsOut != "" {
+		var err error
+		if elog, err = obs.OpenEventLogFile(*eventsOut); err != nil {
+			fatal(err)
+		}
+	}
+	// flushObs persists the observability outputs; it runs on both the
+	// normal and the drain exit paths.
+	flushObs := func() {
+		if err := elog.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: closing event journal: %v\n", err)
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteSnapshotFile(*metricsOut, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: writing metrics snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sweep: metrics snapshot saved to %s\n", *metricsOut)
+			}
+		}
+	}
+	if *listen != "" {
+		srv, err := obs.Serve(*listen, reg, sweep.ProgressSummary(reg))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sweep: observability on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
 	}
 
 	var rs *sweep.ResumeSet
@@ -93,6 +140,7 @@ func main() {
 		DualPorted: *dual, Refs: *refs,
 		Timeout: *cfgTimeout, Retries: *retries,
 		Checkpoint: ck, Resume: rs,
+		Metrics: reg, Events: elog,
 	}
 
 	names := strings.Split(*workload, ",")
@@ -108,7 +156,7 @@ func main() {
 			fatal(err)
 		}
 		if *progress {
-			opt.Progress = progressPrinter(w.Name)
+			opt.Progress = newProgressPrinter(os.Stderr, w.Name, time.Second, time.Now)
 		}
 		start := time.Now()
 		points, err := sweep.RunContext(ctx, w, opt)
@@ -116,7 +164,7 @@ func main() {
 		// run-level interruption (SIGINT, -timeout) is detected on the
 		// run context itself, not on the error chain.
 		if err != nil && ctx.Err() != nil {
-			drain(ck, w.Name, points, err)
+			drain(ck, flushObs, w.Name, points, err)
 		}
 		if err != nil {
 			// One or more configurations failed; the sweep degrades to
@@ -159,14 +207,15 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "saved %d points (%d workloads) to %s\n", len(saved), len(names), *jsonOut)
 	}
+	flushObs()
 	if degraded {
 		os.Exit(1)
 	}
 }
 
-// drain is the graceful-shutdown path: flush the checkpoint journal,
-// print the partial envelope, and exit nonzero.
-func drain(ck *sweep.Checkpointer, workload string, points []sweep.Point, cause error) {
+// drain is the graceful-shutdown path: flush the checkpoint journal and
+// observability outputs, print the partial envelope, and exit nonzero.
+func drain(ck *sweep.Checkpointer, flushObs func(), workload string, points []sweep.Point, cause error) {
 	fmt.Fprintln(os.Stderr, prefixed(cause))
 	if ck != nil {
 		if err := ck.Close(); err != nil {
@@ -175,6 +224,7 @@ func drain(ck *sweep.Checkpointer, workload string, points []sweep.Point, cause 
 			fmt.Fprintln(os.Stderr, "sweep: checkpoint flushed; rerun with -resume to continue")
 		}
 	}
+	flushObs()
 	r := sweep.Report{Workload: workload, Title: fmt.Sprintf("%s partial envelope (%d configurations completed)", workload, len(points))}
 	if err := r.Write(os.Stdout, sweep.Envelope(points)); err != nil {
 		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
@@ -182,16 +232,29 @@ func drain(ck *sweep.Checkpointer, workload string, points []sweep.Point, cause 
 	os.Exit(1)
 }
 
-// progressPrinter reports per-configuration completions on stderr.
-func progressPrinter(workload string) func(sweep.ProgressEvent) {
+// newProgressPrinter reports sweep progress on w, throttled to at most
+// one line per interval so a large sweep cannot flood the terminal.
+// Failures and the final configuration always print; everything goes to
+// w (stderr in main), keeping piped stdout output clean. The clock is a
+// parameter so tests can drive the throttle deterministically.
+func newProgressPrinter(w io.Writer, workload string, interval time.Duration, now func() time.Time) func(sweep.ProgressEvent) {
+	var last time.Time
 	return func(ev sweep.ProgressEvent) {
+		final := ev.Done >= ev.Total
+		if ev.Err == nil && !final {
+			t := now()
+			if !last.IsZero() && t.Sub(last) < interval {
+				return
+			}
+			last = t
+		}
 		switch {
 		case ev.Skipped:
-			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s (resumed)\n", workload, ev.Done, ev.Total, ev.Label)
+			fmt.Fprintf(w, "sweep: %s %3d/%d %-8s (resumed)\n", workload, ev.Done, ev.Total, ev.Label)
 		case ev.Err != nil:
-			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s FAILED: %v\n", workload, ev.Done, ev.Total, ev.Label, ev.Err)
+			fmt.Fprintf(w, "sweep: %s %3d/%d %-8s FAILED: %v\n", workload, ev.Done, ev.Total, ev.Label, ev.Err)
 		default:
-			fmt.Fprintf(os.Stderr, "sweep: %s %3d/%d %-8s\n", workload, ev.Done, ev.Total, ev.Label)
+			fmt.Fprintf(w, "sweep: %s %3d/%d %-8s\n", workload, ev.Done, ev.Total, ev.Label)
 		}
 	}
 }

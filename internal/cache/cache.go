@@ -11,8 +11,11 @@
 package cache
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
+
+	"twolevel/internal/obs"
 )
 
 // Addr is a physical byte address.
@@ -129,6 +132,33 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// HitRate reports Hits/Accesses, or 0 for an untouched cache.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// String renders the counters with the derived hit rate, e.g.
+// "102400 accesses, 1234 misses (hit rate 98.79%)".
+func (s Stats) String() string {
+	return fmt.Sprintf("%d accesses, %d misses (hit rate %.2f%%)",
+		s.Accesses, s.Misses, 100*s.HitRate())
+}
+
+// MarshalJSON emits the counters together with the derived rates, so
+// serialized stats are directly plottable.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Accesses uint64  `json:"accesses"`
+		Hits     uint64  `json:"hits"`
+		Misses   uint64  `json:"misses"`
+		HitRate  float64 `json:"hit_rate"`
+		MissRate float64 `json:"miss_rate"`
+	}{s.Accesses, s.Hits, s.Misses, s.HitRate(), s.MissRate()})
+}
+
 // Victim describes a line displaced by an insertion.
 type Victim struct {
 	// Line is the line address of the displaced line.
@@ -161,6 +191,11 @@ type Cache struct {
 	lfsr    uint32
 
 	stats Stats
+
+	// Registry instruments (nil when uninstrumented: every method on a
+	// nil obs instrument is a no-op, so the hot path pays one predictable
+	// nil-check per counter).
+	mHits, mMisses, mEvictions, mDirtyWB *obs.Counter
 }
 
 // New builds a cache from cfg. It is the trusted-input wrapper over
@@ -204,6 +239,20 @@ func TryNew(cfg Config) (*Cache, error) {
 
 // Config returns the configuration the cache was built with.
 func (c *Cache) Config() Config { return c.cfg }
+
+// Instrument wires the cache's whole-run counters into a metrics
+// registry under the given name prefix (e.g. "cache_l1d" yields
+// "cache_l1d_hits_total"). A nil registry hands out nil (no-op)
+// instruments, so calling Instrument(nil, ...) keeps the cache
+// effectively uninstrumented. Counters aggregate across every cache
+// instrumented under the same prefix, which is what sweep-level
+// dashboards want; per-cache numbers stay available via Stats.
+func (c *Cache) Instrument(r *obs.Registry, name string) {
+	c.mHits = r.Counter(name + "_hits_total")
+	c.mMisses = r.Counter(name + "_misses_total")
+	c.mEvictions = r.Counter(name + "_evictions_total")
+	c.mDirtyWB = r.Counter(name + "_dirty_writebacks_total")
+}
 
 // Stats returns the access counters accumulated so far.
 func (c *Cache) Stats() Stats { return c.stats }
@@ -260,6 +309,7 @@ func (c *Cache) access(a Addr, write bool) (hit bool, v Victim) {
 	c.stats.Accesses++
 	if w := c.findWay(set, l); w >= 0 {
 		c.stats.Hits++
+		c.mHits.Inc()
 		c.touch(set, w)
 		if write {
 			c.dirty[set*c.assoc+w] = true
@@ -267,6 +317,7 @@ func (c *Cache) access(a Addr, write bool) (hit bool, v Victim) {
 		return true, Victim{}
 	}
 	c.stats.Misses++
+	c.mMisses.Inc()
 	return false, c.insertState(set, l, write)
 }
 
@@ -279,10 +330,12 @@ func (c *Cache) Lookup(a Addr) bool {
 	c.stats.Accesses++
 	if w := c.findWay(set, l); w >= 0 {
 		c.stats.Hits++
+		c.mHits.Inc()
 		c.touch(set, w)
 		return true
 	}
 	c.stats.Misses++
+	c.mMisses.Inc()
 	return false
 }
 
@@ -423,6 +476,10 @@ func (c *Cache) insertState(set int, l LineAddr, dirty bool) Victim {
 	c.tags[base+w] = l
 	c.dirty[base+w] = dirty
 	c.touch(set, w)
+	c.mEvictions.Inc()
+	if oldDirty {
+		c.mDirtyWB.Inc()
+	}
 	return Victim{Line: old, Valid: true, Dirty: oldDirty}
 }
 

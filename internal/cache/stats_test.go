@@ -1,0 +1,94 @@
+package cache
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twolevel/internal/obs"
+)
+
+func TestStatsDerivedRates(t *testing.T) {
+	s := Stats{Accesses: 200, Hits: 150, Misses: 50}
+	if got := s.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %g, want 0.75", got)
+	}
+	if got := s.MissRate(); got != 0.25 {
+		t.Errorf("MissRate = %g, want 0.25", got)
+	}
+	if got := (Stats{}).HitRate(); got != 0 {
+		t.Errorf("empty HitRate = %g, want 0", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Accesses: 200, Hits: 150, Misses: 50}
+	got := s.String()
+	for _, want := range []string{"200 accesses", "50 misses", "hit rate 75.00%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestStatsMarshalJSON(t *testing.T) {
+	b, err := json.Marshal(Stats{Accesses: 4, Hits: 3, Misses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"accesses": 4, "hits": 3, "misses": 1,
+		"hit_rate": 0.75, "miss_rate": 0.25,
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("json[%q] = %g, want %g (full: %s)", k, m[k], v, b)
+		}
+	}
+}
+
+func TestInstrumentCountersMatchStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(Config{Size: 256, LineSize: 16, Assoc: 1})
+	c.Instrument(reg, "cache_test")
+	// 32 lines over a 16-line cache: second pass evicts everything.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 32; i++ {
+			c.AccessWrite(Addr(i * 16))
+		}
+	}
+	st := c.Stats()
+	snap := reg.Snapshot().Counters
+	if snap["cache_test_hits_total"] != st.Hits {
+		t.Errorf("hits counter %d != stats %d", snap["cache_test_hits_total"], st.Hits)
+	}
+	if snap["cache_test_misses_total"] != st.Misses {
+		t.Errorf("misses counter %d != stats %d", snap["cache_test_misses_total"], st.Misses)
+	}
+	// All 64 accesses miss (32 distinct lines, direct-mapped 16-line
+	// cache, stride = one line per set cycle): every miss after the
+	// first 16 fills evicts a dirty line.
+	if snap["cache_test_evictions_total"] == 0 {
+		t.Error("no evictions counted")
+	}
+	if snap["cache_test_dirty_writebacks_total"] == 0 {
+		t.Error("no dirty writebacks counted")
+	}
+	if snap["cache_test_evictions_total"] < snap["cache_test_dirty_writebacks_total"] {
+		t.Error("more dirty writebacks than evictions")
+	}
+}
+
+func TestInstrumentNilRegistryIsNoop(t *testing.T) {
+	c := New(Config{Size: 256, LineSize: 16, Assoc: 1})
+	c.Instrument(nil, "x")
+	c.Access(0)
+	c.Access(0)
+	if st := c.Stats(); st.Accesses != 2 || st.Hits != 1 {
+		t.Errorf("stats after nil-instrumented accesses = %+v", st)
+	}
+}

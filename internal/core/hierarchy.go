@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"twolevel/internal/cache"
+	"twolevel/internal/obs"
 	"twolevel/internal/trace"
 )
 
@@ -228,6 +229,9 @@ type System struct {
 	l1d *cache.Cache
 	l2  *cache.Cache // nil for single-level
 	st  Stats
+
+	// Registry instruments (nil when uninstrumented; see Instrument).
+	mSwaps, mVictims, mBackInv, mOffChip *obs.Counter
 }
 
 // NewSystem builds a hierarchy simulator. It is the trusted-input
@@ -258,6 +262,24 @@ func TryNewSystem(cfg Config) (*System, error) {
 		s.l2 = cache.New(cfg.L2)
 	}
 	return s, nil
+}
+
+// Instrument wires the hierarchy's whole-run counters — and those of its
+// member caches — into a metrics registry. A nil registry leaves the
+// system effectively uninstrumented (nil obs instruments are no-ops), so
+// callers thread whatever they were given without checking. Counters
+// aggregate across every system instrumented on the same registry, which
+// is the sweep-wide view the observability endpoints serve.
+func (s *System) Instrument(r *obs.Registry) {
+	s.l1i.Instrument(r, "cache_l1i")
+	s.l1d.Instrument(r, "cache_l1d")
+	if s.l2 != nil {
+		s.l2.Instrument(r, "cache_l2")
+	}
+	s.mSwaps = r.Counter("core_exclusive_swaps_total")
+	s.mVictims = r.Counter("core_victim_transfers_total")
+	s.mBackInv = r.Counter("core_back_invalidations_total")
+	s.mOffChip = r.Counter("core_offchip_fetches_total")
 }
 
 // Config returns the hierarchy configuration.
@@ -311,6 +333,7 @@ func (s *System) Access(r trace.Ref) {
 	}
 	if s.l2 == nil {
 		s.st.OffChipFetches++
+		s.mOffChip.Inc()
 		return
 	}
 	if s.l2.Lookup(cache.Addr(r.Addr)) {
@@ -319,6 +342,7 @@ func (s *System) Access(r trace.Ref) {
 	}
 	s.st.L2Misses++
 	s.st.OffChipFetches++
+	s.mOffChip.Inc()
 	v2 := s.l2.Insert(cache.Addr(r.Addr))
 	if v2.Valid && v2.Dirty {
 		s.st.WriteBacksOffChip++
@@ -378,6 +402,7 @@ func (s *System) backInvalidate(l1 *cache.Cache, l cache.LineAddr) {
 	present, dirty := l1.InvalidateLineState(l)
 	if present {
 		s.st.BackInvalidations++
+		s.mBackInv.Inc()
 	}
 	if dirty {
 		s.st.WriteBacksOffChip++
@@ -407,6 +432,7 @@ func (s *System) accessExclusive(r trace.Ref, l1 *cache.Cache, write bool) {
 	}
 	s.st.L2Misses++
 	s.st.OffChipFetches++
+	s.mOffChip.Inc()
 	// The requested line is loaded from off-chip directly into L1
 	// (already allocated by the L1 access); only the victim enters L2.
 	s.victimToL2(victim, reqLine, false)
@@ -419,11 +445,13 @@ func (s *System) victimToL2(victim cache.Victim, reqLine cache.LineAddr, l2Hit b
 		return
 	}
 	s.st.VictimsToL2++
+	s.mVictims.Inc()
 	if victim.Dirty {
 		s.st.WriteBacksToL2++
 	}
 	if l2Hit && s.sameL2Set(victim.Line, reqLine) {
 		s.st.Swaps++
+		s.mSwaps.Inc()
 	}
 	if v2 := s.l2.InsertLineState(victim.Line, victim.Dirty); v2.Valid && v2.Dirty {
 		s.st.WriteBacksOffChip++

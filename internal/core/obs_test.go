@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/obs"
+	"twolevel/internal/trace"
+)
+
+func obsTestConfig() Config {
+	return Config{
+		L1I:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+		L1D:    cache.Config{Size: 1 << 10, LineSize: 16, Assoc: 1},
+		L2:     cache.Config{Size: 4 << 10, LineSize: 16, Assoc: 1},
+		Policy: Exclusive,
+	}
+}
+
+// thrashStream alternates two data lines that conflict in both levels,
+// plus enough distinct lines to force victim traffic.
+func thrashStream(n int) []trace.Ref {
+	var refs []trace.Ref
+	for i := 0; i < n; i++ {
+		refs = append(refs, trace.Ref{Kind: trace.Data, Addr: uint64(i%512) * 16})
+	}
+	return refs
+}
+
+func TestSystemInstrumentMatchesStats(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := NewSystem(obsTestConfig())
+	sys.Instrument(reg)
+	for _, r := range thrashStream(20000) {
+		sys.Access(r)
+	}
+	st := sys.Stats()
+	c := reg.Snapshot().Counters
+	if got := c["core_victim_transfers_total"]; got != st.VictimsToL2 {
+		t.Errorf("victim transfers counter %d != stats %d", got, st.VictimsToL2)
+	}
+	if got := c["core_exclusive_swaps_total"]; got != st.Swaps {
+		t.Errorf("swaps counter %d != stats %d", got, st.Swaps)
+	}
+	if got := c["core_offchip_fetches_total"]; got != st.OffChipFetches {
+		t.Errorf("off-chip counter %d != stats %d", got, st.OffChipFetches)
+	}
+	if got := c["cache_l1d_misses_total"]; got != st.L1DMisses {
+		t.Errorf("L1D miss counter %d != stats %d", got, st.L1DMisses)
+	}
+	if st.VictimsToL2 == 0 || st.OffChipFetches == 0 {
+		t.Errorf("stream did not exercise the instrumented paths: %+v", st)
+	}
+}
+
+func TestSystemInstrumentNilRegistry(t *testing.T) {
+	sys := NewSystem(obsTestConfig())
+	sys.Instrument(nil)
+	for _, r := range thrashStream(1000) {
+		sys.Access(r)
+	}
+	if sys.Stats().Refs() != 1000 {
+		t.Errorf("refs = %d, want 1000", sys.Stats().Refs())
+	}
+}
+
+func TestBackInvalidationCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := obsTestConfig()
+	cfg.Policy = Inclusive
+	sys := NewSystem(cfg)
+	sys.Instrument(reg)
+	// A hot data line 0 interleaved with instruction lines 256 and 512:
+	// all three share L2 set 0 (256-line direct-mapped L2), so each
+	// instruction fill evicts the hot line from L2 while it is still
+	// resident in the L1D, forcing a back-invalidation.
+	for i := 0; i < 1000; i++ {
+		sys.Access(trace.Ref{Kind: trace.Data, Addr: 0})
+		sys.Access(trace.Ref{Kind: trace.Instr, Addr: uint64(256+(i%2)*256) * 16})
+	}
+	st := sys.Stats()
+	if got := reg.Snapshot().Counters["core_back_invalidations_total"]; got != st.BackInvalidations {
+		t.Errorf("back-invalidation counter %d != stats %d", got, st.BackInvalidations)
+	}
+	if st.BackInvalidations == 0 {
+		t.Error("stream produced no back-invalidations")
+	}
+}
+
+func TestStreamBufferInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	sbs, err := NewStreamBufferSystem(obsTestConfig(), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbs.Instrument(reg)
+	for _, r := range thrashStream(5000) {
+		sbs.Access(r)
+	}
+	wantFills := sbs.InstrBuffer().Prefetches
+	for _, b := range sbs.DataBuffers().bufs {
+		wantFills += b.Prefetches
+	}
+	if got := reg.Snapshot().Counters["core_stream_buffer_fills_total"]; got != wantFills {
+		t.Errorf("fills counter %d != buffer prefetches %d", got, wantFills)
+	}
+	if wantFills == 0 {
+		t.Error("stream produced no prefetch fills")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"twolevel/internal/cache"
+	"twolevel/internal/obs"
 	"twolevel/internal/trace"
 )
 
@@ -29,6 +30,10 @@ type StreamBuffer struct {
 	Hits       uint64
 	Restarts   uint64
 	Prefetches uint64
+
+	// mFills is the registry counter for prefetch fills (nil when
+	// uninstrumented; see StreamBufferSystem.Instrument).
+	mFills *obs.Counter
 }
 
 // NewStreamBuffer builds a buffer of depth entries (Jouppi used 4).
@@ -55,6 +60,7 @@ func (b *StreamBuffer) Lookup(l cache.LineAddr) bool {
 		b.valid[last] = true
 		b.next++
 		b.Prefetches++
+		b.mFills.Inc()
 		return true
 	}
 	// Restart: begin prefetching the successors of the missing line.
@@ -63,6 +69,7 @@ func (b *StreamBuffer) Lookup(l cache.LineAddr) bool {
 		b.entries[i] = l + 1 + cache.LineAddr(i)
 		b.valid[i] = true
 		b.Prefetches++
+		b.mFills.Inc()
 	}
 	b.next = l + 1 + cache.LineAddr(len(b.entries))
 	return false
@@ -164,6 +171,21 @@ func (s *StreamBufferSystem) Access(r trace.Ref) {
 		return
 	}
 	s.sys.Access(r)
+}
+
+// Instrument wires the wrapped hierarchy and every stream buffer into a
+// metrics registry; fills from all buffers aggregate into one
+// "core_stream_buffer_fills_total" counter. Nil-safe like
+// System.Instrument.
+func (s *StreamBufferSystem) Instrument(r *obs.Registry) {
+	s.sys.Instrument(r)
+	fills := r.Counter("core_stream_buffer_fills_total")
+	s.ibuf.mFills = fills
+	if s.dbuf != nil {
+		for _, b := range s.dbuf.bufs {
+			b.mFills = fills
+		}
+	}
 }
 
 // Run drains a stream through the system.

@@ -18,6 +18,7 @@ import (
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
+	"twolevel/internal/obs"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -72,6 +73,11 @@ type Config struct {
 	// Resume supplies points from a previous run's journal; matching
 	// configurations are not re-simulated.
 	Resume *sweep.ResumeSet
+	// Metrics, when non-nil, receives live sweep and simulator
+	// instrumentation (see internal/obs and the sweep.Metric* names).
+	Metrics *obs.Registry
+	// Events, when non-nil, receives each sweep's structured run journal.
+	Events *obs.EventLog
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +134,8 @@ func (h *Harness) runSweep(w spec.Workload, opt sweep.Options) []sweep.Point {
 	}
 	opt.Checkpoint = h.cfg.Checkpoint
 	opt.Resume = h.cfg.Resume
+	opt.Metrics = h.cfg.Metrics
+	opt.Events = h.cfg.Events
 	pts, err := sweep.RunContext(ctx, w, opt)
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEventLogSequenceAndTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit(Event{Type: EventSweepStart, Workload: "gcc1", Total: 3})
+	l.Emit(Event{Type: EventConfigDone, Label: "1:0", Done: 1, Total: 3})
+	l.Emit(Event{Type: EventSweepDone, Done: 3, Total: 3})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	var last int64 = -1
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.TNS < last {
+			t.Errorf("event %d timestamp %d went backwards (prev %d)", i, e.TNS, last)
+		}
+		last = e.TNS
+	}
+	if evs[0].Type != EventSweepStart || evs[0].Workload != "gcc1" || evs[0].Total != 3 {
+		t.Errorf("first event = %+v", evs[0])
+	}
+	if evs[1].Label != "1:0" {
+		t.Errorf("second event = %+v", evs[1])
+	}
+}
+
+func TestEventLogOmitsZeroFields(t *testing.T) {
+	var buf bytes.Buffer
+	NewEventLog(&buf).Emit(Event{Type: EventConfigStart, Label: "8:64"})
+	line := strings.TrimSpace(buf.String())
+	for _, field := range []string{"err", "attempt", "done", "total", "dur_ns", "area_rbe", "tpi_ns", "workload"} {
+		if strings.Contains(line, `"`+field+`"`) {
+			t.Errorf("zero field %q serialized: %s", field, line)
+		}
+	}
+}
+
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(Event{Type: "x"})
+	if err := l.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Emit(Event{Type: EventConfigDone, Label: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	evs, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 800 {
+		t.Fatalf("got %d events, want 800", len(evs))
+	}
+	seen := make(map[uint64]bool)
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestOpenEventLogFileAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	l, err := OpenEventLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Emit(Event{Type: EventSweepStart})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := OpenEventLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Emit(Event{Type: EventSweepDone})
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := ReadEvents(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[0].Type != EventSweepStart || evs[1].Type != EventSweepDone {
+		t.Errorf("appended journal = %+v", evs)
+	}
+}
+
+func TestReadEventsRejectsMalformed(t *testing.T) {
+	if _, err := ReadEvents(strings.NewReader("{\"seq\":1}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+// This file implements the live endpoints behind the cmd tools' -listen
+// flag: an expvar-style JSON snapshot of the metrics registry, an
+// optional caller-computed progress/ETA summary, and net/http/pprof for
+// CPU/heap/goroutine profiling of a running sweep.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux builds the observability mux:
+//
+//	/metrics        JSON Snapshot of reg
+//	/progress       JSON of summary() (404 when summary is nil)
+//	/debug/pprof/*  net/http/pprof handlers
+//	/               a plain-text index of the above
+func NewMux(reg *Registry, summary func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, reg.Snapshot())
+	})
+	if summary != nil {
+		mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, summary())
+		})
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "twolevel observability endpoints:")
+		fmt.Fprintln(w, "  /metrics       metric snapshot (JSON)")
+		if summary != nil {
+			fmt.Fprintln(w, "  /progress      run progress and ETA (JSON)")
+		}
+		fmt.Fprintln(w, "  /debug/pprof/  profiling")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}
+
+// Server is a running observability HTTP server.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability server on addr (":0" picks a free
+// port). It returns once the listener is bound; requests are served on a
+// background goroutine until Close.
+func Serve(addr string, reg *Registry, summary func() any) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{l: l, srv: &http.Server{Handler: NewMux(reg, summary)}}
+	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxMetricsAndProgress(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sweep_configs_done_total").Add(4)
+	mux := NewMux(reg, func() any { return map[string]int{"done": 4, "total": 10} })
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", rec.Code)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["sweep_configs_done_total"] != 4 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"total": 10`) {
+		t.Errorf("/progress: %d %s", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("/debug/pprof/: %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/nope: %d, want 404", rec.Code)
+	}
+}
+
+func TestMuxNoSummary(t *testing.T) {
+	mux := NewMux(NewRegistry(), nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/progress", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("/progress without summary: %d, want 404", rec.Code)
+	}
+}
+
+func TestServeLive(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g").Set(1)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"g": 1`) {
+		t.Errorf("live /metrics: %d %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilSafety(t *testing.T) {
+	// The whole point of the package: a nil registry and nil instruments
+	// must be usable everywhere without panicking.
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry handed out non-nil instruments: %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Error("nil instruments accumulated state")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hits")
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("counter = %d, want 10", c.Value())
+	}
+	if r.Counter("hits") != c {
+		t.Error("counter not interned")
+	}
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5", g.Value())
+	}
+	if r.Gauge("depth") != g {
+		t.Error("gauge not interned")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("sum = %g, want 106", h.Sum())
+	}
+	if got, want := h.Mean(), 106.0/5; got != want {
+		t.Errorf("mean = %g, want %g", got, want)
+	}
+	hs := r.Snapshot().Histograms["lat"]
+	// v <= bound buckets: [0.5, 1] -> bucket 0, 1.5 -> bucket 1, 3 ->
+	// bucket 2, 100 -> overflow.
+	want := []uint64{2, 1, 1, 1}
+	for i, c := range hs.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d (all: %v)", i, c, want[i], hs.Counts)
+			break
+		}
+	}
+	// The 3rd-smallest of 5 observations (1.5) sits in the <=2 bucket.
+	if q := hs.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %g, want 2", q)
+	}
+	if q := hs.Quantile(1); q != 4 {
+		t.Errorf("p100 = %g, want 4 (overflow clamps to largest bound)", q)
+	}
+}
+
+func TestHistogramConcurrentSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{1e9})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Errorf("sum = %g, want 4000", h.Sum())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ExpBuckets(0,2,4) did not panic")
+		}
+	}()
+	ExpBuckets(0, 2, 4)
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Gauge("b").Set(-2)
+	r.Histogram("c", []float64{1, 10}).Observe(5)
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["a"] != 3 || s.Gauges["b"] != -2 || s.Histograms["c"].Count != 1 {
+		t.Errorf("round-tripped snapshot = %+v", s)
+	}
+}

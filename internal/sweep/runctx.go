@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"twolevel/internal/core"
+	"twolevel/internal/obs"
 	"twolevel/internal/spec"
 	"twolevel/internal/trace"
 )
@@ -50,6 +52,13 @@ type ProgressEvent struct {
 // evaluation attempt. Tests use it to inject panics and count retries.
 var evalTestHook func(core.Config)
 
+// panicError marks a failure that was a recovered panic, so retry
+// accounting can distinguish panics from timeouts while the rendered
+// message stays "panic: <value>".
+type panicError struct{ v any }
+
+func (e panicError) Error() string { return fmt.Sprintf("panic: %v", e.v) }
+
 // RunContext is Run with operational hardening for long-running and
 // service use:
 //
@@ -77,13 +86,22 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 	total := len(cfgs)
 	key := checkpointKey(w.Name, opt)
 	resumed := opt.Resume.forKey(key)
+	met := newRunMetrics(opt.Metrics)
+	met.total.Add(int64(total))
+	met.workers.Set(int64(opt.Workers))
+	opt.Events.Emit(obs.Event{
+		Type: obs.EventSweepStart, Workload: w.Name,
+		Fingerprint: opt.Fingerprint(), Total: total,
+	})
 
 	var (
-		mu     sync.Mutex
-		points = make([]Point, total)
-		have   = make([]bool, total)
-		errs   []error
-		done   int
+		mu      sync.Mutex
+		points  = make([]Point, total)
+		have    = make([]bool, total)
+		errs    []error
+		done    int
+		skipped int
+		failed  int
 	)
 	report := func(ev ProgressEvent) {
 		if opt.Progress != nil {
@@ -101,6 +119,12 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		if p, ok := resumed[label]; ok {
 			points[i], have[i] = p, true
 			done++
+			skipped++
+			met.skipped.Inc()
+			opt.Events.Emit(obs.Event{
+				Type: obs.EventConfigSkipped, Workload: w.Name, Label: label,
+				Done: done, Total: total,
+			})
 			report(ProgressEvent{Done: done, Total: total, Label: label, Skipped: true})
 			continue
 		}
@@ -109,6 +133,7 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 
 	if len(pending) > 0 && ctx.Err() == nil {
 		refs := trace.Collect(w.Stream(opt.Refs), 0)
+		met.queueDepth.Set(int64(len(pending)))
 		jobs := make(chan job)
 		var wg sync.WaitGroup
 		for n := 0; n < min(opt.Workers, len(pending)); n++ {
@@ -116,24 +141,51 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 			go func() {
 				defer wg.Done()
 				for j := range jobs {
-					p, err := evaluateOne(ctx, w.Name, refs, j.cfg, opt)
+					met.queueDepth.Add(-1)
+					label := Label(j.cfg)
+					opt.Events.Emit(obs.Event{Type: obs.EventConfigStart, Workload: w.Name, Label: label})
+					start := time.Now()
+					p, err := evaluateOne(ctx, w.Name, refs, j.cfg, opt, met)
+					dur := time.Since(start)
 					mu.Lock()
 					done++
 					switch {
 					case err == nil:
 						points[j.i], have[j.i] = p, true
+						met.done.Inc()
+						met.cfgSeconds.Observe(dur.Seconds())
+						opt.Events.Emit(obs.Event{
+							Type: obs.EventConfigDone, Workload: w.Name, Label: label,
+							Done: done, Total: total, DurNS: dur.Nanoseconds(),
+							Area: p.AreaRbe, TPI: p.TPINS,
+						})
 						if opt.Checkpoint != nil {
-							if cerr := opt.Checkpoint.Record(key, p); cerr != nil {
+							ckStart := time.Now()
+							cerr := opt.Checkpoint.Record(key, p)
+							ckDur := time.Since(ckStart)
+							met.ckptSeconds.Observe(ckDur.Seconds())
+							if cerr != nil {
 								errs = append(errs, fmt.Errorf("sweep: checkpointing %s: %w", p.Label, cerr))
+							} else {
+								opt.Events.Emit(obs.Event{
+									Type: obs.EventCheckpointFlush, Workload: w.Name,
+									Label: label, DurNS: ckDur.Nanoseconds(),
+								})
 							}
 						}
 					case ctx.Err() != nil:
 						// The whole run was cancelled mid-evaluation;
 						// that is reported once below, not per config.
 					default:
+						failed++
+						met.failures.Inc()
 						errs = append(errs, err)
+						opt.Events.Emit(obs.Event{
+							Type: obs.EventConfigError, Workload: w.Name, Label: label,
+							Done: done, Total: total, Err: err.Error(),
+						})
 					}
-					report(ProgressEvent{Done: done, Total: total, Label: Label(j.cfg), Err: err})
+					report(ProgressEvent{Done: done, Total: total, Label: label, Err: err})
 					mu.Unlock()
 				}
 			}()
@@ -148,6 +200,7 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		}
 		close(jobs)
 		wg.Wait()
+		met.queueDepth.Set(0)
 	}
 
 	completed := make([]Point, 0, total)
@@ -157,10 +210,25 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		}
 	}
 	SortByArea(completed)
+	doneEv := obs.Event{
+		Type: obs.EventSweepDone, Workload: w.Name,
+		Done: done, Total: total, Skipped: skipped, Failed: failed,
+	}
+	manifest := obs.Event{
+		Type: obs.EventRunManifest, Workload: w.Name,
+		Fingerprint: opt.Fingerprint(),
+		Done:        done, Total: total, Skipped: skipped, Failed: failed,
+	}
 	if err := ctx.Err(); err != nil {
+		doneEv.Err = err.Error()
+		manifest.Err = err.Error()
+		opt.Events.Emit(doneEv)
+		opt.Events.Emit(manifest)
 		return completed, fmt.Errorf("sweep: %s interrupted after %d/%d configurations: %w",
 			w.Name, len(completed), total, err)
 	}
+	opt.Events.Emit(doneEv)
+	opt.Events.Emit(manifest)
 	return completed, errors.Join(errs...)
 }
 
@@ -168,7 +236,7 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 // per-configuration timeout, and bounded retries, wrapping any final
 // failure in a ConfigError. A parent-context cancellation is returned
 // unwrapped (it is a property of the run, not of the configuration).
-func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg core.Config, opt Options) (Point, error) {
+func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg core.Config, opt Options, met *runMetrics) (Point, error) {
 	var err error
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
 		var p Point
@@ -180,6 +248,22 @@ func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg cor
 		if ctx.Err() != nil {
 			return Point{}, err
 		}
+		var pe panicError
+		switch {
+		case errors.As(err, &pe):
+			met.panics.Inc()
+		case errors.Is(err, context.DeadlineExceeded):
+			// The parent context is live (checked above), so the deadline
+			// that fired was the per-configuration one.
+			met.timeouts.Inc()
+		}
+		if attempt < opt.Retries {
+			met.retries.Inc()
+			opt.Events.Emit(obs.Event{
+				Type: obs.EventConfigRetry, Workload: workload, Label: Label(cfg),
+				Attempt: attempt + 1, Err: err.Error(),
+			})
+		}
 	}
 	return Point{}, &ConfigError{Label: Label(cfg), Workload: workload, Cause: err}
 }
@@ -189,7 +273,7 @@ func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg cor
 func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt Options) (p Point, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			err = panicError{v: r}
 		}
 	}()
 	if opt.Timeout > 0 {

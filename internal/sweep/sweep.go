@@ -17,6 +17,7 @@ import (
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
+	"twolevel/internal/obs"
 	"twolevel/internal/perf"
 	"twolevel/internal/spec"
 	"twolevel/internal/timing"
@@ -78,6 +79,18 @@ type Options struct {
 	// Resume holds points recovered from a checkpoint journal;
 	// configurations already present there are not re-evaluated.
 	Resume *ResumeSet
+
+	// Metrics, when non-nil, receives live instrumentation under
+	// RunContext: the sweep-level counters/gauges/histograms named by the
+	// Metric* constants, plus the cache- and core-level counters of every
+	// simulated hierarchy. Nil (the default) costs nothing — instruments
+	// degrade to no-ops. Fingerprint ignores it.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the structured run journal
+	// (sweep_start, config_start/done/error/retry/skipped,
+	// checkpoint_flush, sweep_done, and a final run_manifest) as JSONL
+	// under RunContext. Nil costs nothing. Fingerprint ignores it.
+	Events *obs.EventLog
 }
 
 func (o Options) withDefaults() Options {
@@ -266,6 +279,7 @@ func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt O
 	if err != nil {
 		return Point{}, err
 	}
+	sys.Instrument(opt.Metrics)
 	cs := &ctxStream{st: st, ctx: ctx}
 	stats := sys.Run(cs)
 	if cs.err != nil {

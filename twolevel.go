@@ -37,6 +37,7 @@ import (
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
+	"twolevel/internal/obs"
 	"twolevel/internal/perf"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
@@ -297,6 +298,49 @@ func OpenCheckpointFile(path string) (*Checkpointer, error) {
 
 // ResumeFile reads and validates a checkpoint journal.
 func ResumeFile(path string) (*ResumeSet, error) { return sweep.ResumeFile(path) }
+
+// ---- Observability ----
+
+// MetricsRegistry interns named counters, gauges, and histograms; attach
+// one via SweepOptions.Metrics (or Cache.Instrument / System.Instrument)
+// to observe a run live. A nil registry is a valid no-op.
+type MetricsRegistry = obs.Registry
+
+// MetricsSnapshot is an atomic point-in-time copy of a registry.
+type MetricsSnapshot = obs.Snapshot
+
+// EventLog journals structured run events as JSONL; attach one via
+// SweepOptions.Events. A nil log is a valid no-op.
+type EventLog = obs.EventLog
+
+// RunEvent is one line of an event journal.
+type RunEvent = obs.Event
+
+// ObsServer is a running observability HTTP server (/metrics, /progress,
+// /debug/pprof).
+type ObsServer = obs.Server
+
+// NewMetricsRegistry builds an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEventLog starts a JSONL event journal on w.
+func NewEventLog(w io.Writer) *EventLog { return obs.NewEventLog(w) }
+
+// OpenEventLogFile opens (or creates, or appends to) an event journal.
+func OpenEventLogFile(path string) (*EventLog, error) { return obs.OpenEventLogFile(path) }
+
+// ReadRunEvents parses a JSONL event journal back into events.
+func ReadRunEvents(r io.Reader) ([]RunEvent, error) { return obs.ReadEvents(r) }
+
+// ServeObservability starts the observability HTTP server on addr; pass
+// SweepProgressSummary(reg) as summary to serve /progress.
+func ServeObservability(addr string, reg *MetricsRegistry, summary func() any) (*ObsServer, error) {
+	return obs.Serve(addr, reg, summary)
+}
+
+// SweepProgressSummary computes live sweep progress and ETA from the
+// registry's sweep metrics.
+func SweepProgressSummary(reg *MetricsRegistry) func() any { return sweep.ProgressSummary(reg) }
 
 // SweepConfigs enumerates the configurations a sweep would evaluate.
 func SweepConfigs(opt SweepOptions) []Hierarchy { return sweep.Configs(opt) }
