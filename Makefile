@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke ci clean
 
 all: build
 
@@ -28,6 +28,12 @@ cover:
 # staticcheck expects the binary on PATH (CI installs a pinned version).
 staticcheck:
 	staticcheck ./...
+
+# serve-smoke boots cmd/served on an ephemeral port and drives the HTTP
+# API end to end with curl, asserting the Pareto staircase and the
+# result-store hit on resubmission. Requires curl and jq.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # ci is what .github/workflows/ci.yml's test job runs; staticcheck and
 # cover run as separate jobs.

@@ -25,6 +25,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
@@ -158,7 +159,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		// Drain rather than drop: an in-flight /metrics scrape at exit
+		// gets a grace period to finish.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort exit drain
+		}()
 		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
 	}
 

@@ -1,0 +1,113 @@
+// Command served runs the sweep/evaluation job service: an HTTP JSON API
+// that accepts design-space jobs, fans their (workload, configuration)
+// evaluations out across a shared worker pool, memoizes every completed
+// point, and answers the paper's area-budget question directly from the
+// memoized results.
+//
+// Endpoints (see internal/service):
+//
+//	POST   /v1/jobs              submit a job
+//	GET    /v1/jobs[/{id}]       job statuses
+//	GET    /v1/jobs/{id}/result  completed points (twolevel-sweep/1 JSON)
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
+//	GET    /metrics, /progress, /debug/pprof/  observability
+//	GET    /healthz              liveness
+//
+// SIGINT/SIGTERM drains gracefully: new jobs are refused, running jobs
+// get -drain to finish, the final metrics snapshot is written, and the
+// HTTP server shuts down cleanly.
+//
+// Usage:
+//
+//	served -listen :8080
+//	served -listen 127.0.0.1:0 -workers 8 -events served.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twolevel/internal/obs"
+	"twolevel/internal/service"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", ":8080", "HTTP listen address (host:0 picks a free port)")
+		workers    = flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+		storeCap   = flag.Int("store-cap", 0, "maximum memoized points (0 = unbounded)")
+		drainTime  = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
+		eventsOut  = flag.String("events", "", "append the job/run event journal (JSONL) to this file")
+	)
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	var elog *obs.EventLog
+	if *eventsOut != "" {
+		var err error
+		if elog, err = obs.OpenEventLogFile(*eventsOut); err != nil {
+			fatal(err)
+		}
+	}
+
+	mgr := service.New(service.Config{
+		Workers: *workers,
+		Store:   service.NewStore(*storeCap),
+		Metrics: reg,
+		Events:  elog,
+	})
+
+	// One mux serves the job API and the observability endpoints; the
+	// obs mux holds "/" so /metrics, /debug/pprof, and the index work
+	// exactly as they do under cmd/sweep -listen.
+	root := http.NewServeMux()
+	api := service.NewHandler(mgr)
+	root.Handle("/", obs.NewMux(reg, nil))
+	root.Handle("/v1/", api)
+	root.Handle("/healthz", api)
+
+	srv, err := obs.ServeHandler(*listen, root)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "served: listening on http://%s (POST /v1/jobs, GET /v1/envelope, /metrics)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop()
+
+	fmt.Fprintf(os.Stderr, "served: draining (budget %v; running jobs finish, new jobs refused)\n", *drainTime)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "served: drain cut short: %v\n", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
+	}
+	if err := elog.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "served: closing event journal: %v\n", err)
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteSnapshotFile(*metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "served: writing metrics snapshot: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "served: metrics snapshot saved to %s\n", *metricsOut)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "served: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "served:", err)
+	os.Exit(1)
+}

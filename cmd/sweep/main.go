@@ -114,7 +114,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Drain rather than drop: an in-flight /metrics scrape at exit
+		// gets a grace period to finish.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx) //nolint:errcheck // best-effort exit drain
+		}()
 		fmt.Fprintf(os.Stderr, "sweep: observability on http://%s (/metrics /progress /debug/pprof)\n", srv.Addr())
 	}
 

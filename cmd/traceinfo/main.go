@@ -7,6 +7,7 @@
 //
 //	traceinfo -workload li -n 200000
 //	traceinfo -trace prog.din
+//	traceinfo -workload gcc1 -json   # machine-readable report
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 		workload = flag.String("workload", "gcc1", "synthetic workload name")
 		traceIn  = flag.String("trace", "", "trace file to profile instead (.din or binary)")
 		n        = flag.Uint64("n", 200_000, "references to profile (synthetic workloads)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON (twolevel-traceinfo/1)")
 	)
 	flag.Parse()
 
@@ -54,8 +56,14 @@ func main() {
 		label = w.Name
 	}
 
-	fmt.Printf("== profile of %s ==\n", label)
 	p := trace.Analyze(stream)
+	if *jsonOut {
+		if err := p.RenderJSON(os.Stdout, label); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("== profile of %s ==\n", label)
 	if err := p.Render(os.Stdout); err != nil {
 		fatal(err)
 	}

@@ -32,6 +32,9 @@ type Event struct {
 	Workload    string `json:"workload,omitempty"`
 	Label       string `json:"label,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Job identifies the owning service job on job/task lifecycle events
+	// (internal/service); empty for plain sweep events.
+	Job string `json:"job,omitempty"`
 	// Attempt is the 1-based retry attempt on config_retry events.
 	Attempt int    `json:"attempt,omitempty"`
 	Err     string `json:"err,omitempty"`

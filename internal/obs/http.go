@@ -6,6 +6,7 @@ package obs
 // CPU/heap/goroutine profiling of a running sweep.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -68,19 +69,31 @@ type Server struct {
 
 // Serve starts the observability server on addr (":0" picks a free
 // port). It returns once the listener is bound; requests are served on a
-// background goroutine until Close.
+// background goroutine until Close or Shutdown.
 func Serve(addr string, reg *Registry, summary func() any) (*Server, error) {
+	return ServeHandler(addr, NewMux(reg, summary))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler with the
+// same lifecycle as Serve — cmd/served uses it to serve the job-service
+// API alongside the observability endpoints.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{l: l, srv: &http.Server{Handler: NewMux(reg, summary)}}
-	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close
+	s := &Server{l: l, srv: &http.Server{Handler: h}}
+	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close/Shutdown
 	return s, nil
 }
 
 // Addr reports the bound listen address (useful with ":0").
 func (s *Server) Addr() string { return s.l.Addr().String() }
 
-// Close shuts the server down immediately.
+// Close shuts the server down immediately, dropping in-flight requests.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// Shutdown drains the server gracefully: the listener closes
+// immediately (no new connections), and in-flight requests get until
+// ctx expires to complete before being cut off.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }

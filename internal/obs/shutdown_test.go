@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerShutdownDrains: Shutdown lets an in-flight request finish
+// while refusing new connections, unlike Close.
+func TestServerShutdownDrains(t *testing.T) {
+	slow := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		<-slow
+		fmt.Fprint(w, "done")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/slow")
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+
+	// Give the request time to arrive, then drain while it is blocked.
+	time.Sleep(50 * time.Millisecond)
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	close(slow)
+
+	select {
+	case body := <-got:
+		if body != "done" {
+			t.Fatalf("in-flight request got %q, want %q", body, "done")
+		}
+	case err := <-errc:
+		t.Fatalf("in-flight request failed across Shutdown: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The listener is gone: new requests fail.
+	if _, err := http.Get("http://" + srv.Addr() + "/slow"); err == nil {
+		t.Fatal("request after Shutdown succeeded")
+	}
+}
+
+// TestServeIsServeHandler: the registry-backed Serve still works through
+// the ServeHandler path.
+func TestServeIsServeHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x").Inc()
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+}

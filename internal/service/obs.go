@@ -1,0 +1,105 @@
+package service
+
+// This file wires the job service into the observability layer
+// (internal/obs): the canonical metric names the manager maintains, the
+// pre-resolved instrument bundle, and the event type tags of the job
+// lifecycle journal. Everything follows the obs nil-safety contract —
+// with Config.Metrics and Config.Events unset the instruments are nil
+// no-ops.
+
+import "twolevel/internal/obs"
+
+// Metric names the Manager maintains on Config.Metrics.
+const (
+	// MetricJobsSubmitted counts accepted jobs.
+	MetricJobsSubmitted = "service_jobs_submitted_total"
+	// MetricJobsDone counts jobs that completed with every evaluation
+	// successful.
+	MetricJobsDone = "service_jobs_done_total"
+	// MetricJobsFailed counts jobs that completed with at least one
+	// failed evaluation.
+	MetricJobsFailed = "service_jobs_failed_total"
+	// MetricJobsCancelled counts jobs cancelled before completion.
+	MetricJobsCancelled = "service_jobs_cancelled_total"
+	// MetricStoreHits counts evaluations satisfied from the result store.
+	MetricStoreHits = "service_store_hits_total"
+	// MetricStoreMisses counts evaluations the store could not satisfy
+	// (scheduled onto the worker pool, or coalesced onto an identical
+	// in-flight evaluation).
+	MetricStoreMisses = "service_store_misses_total"
+	// MetricTasksCoalesced counts evaluations coalesced onto an identical
+	// evaluation already in flight for another job.
+	MetricTasksCoalesced = "service_tasks_coalesced_total"
+	// MetricTasksDone counts evaluations completed by the worker pool.
+	MetricTasksDone = "service_tasks_done_total"
+	// MetricTasksFailed counts evaluations that failed permanently.
+	MetricTasksFailed = "service_tasks_failed_total"
+	// MetricQueueDepth gauges evaluations queued but not yet picked up by
+	// a worker.
+	MetricQueueDepth = "service_queue_depth"
+	// MetricJobsActive gauges jobs submitted but not yet finished.
+	MetricJobsActive = "service_jobs_active"
+	// MetricWorkers gauges the evaluation worker-pool size.
+	MetricWorkers = "service_workers"
+	// MetricStoreSize gauges the number of memoized points.
+	MetricStoreSize = "service_store_points"
+	// MetricJobSeconds is the per-job wall-time histogram (submission to
+	// completion).
+	MetricJobSeconds = "service_job_seconds"
+)
+
+// Event type tags emitted by the job service on Config.Events. Task
+// events carry the job id in Event.Job and the configuration label in
+// Event.Label; sweep-level evaluation events (config_start, config_done,
+// retries) continue to arrive from the shared sweep instrumentation.
+const (
+	EventJobSubmitted  = "job_submitted"
+	EventJobDone       = "job_done"
+	EventJobCancelled  = "job_cancelled"
+	EventTaskCached    = "task_cached"
+	EventTaskCoalesced = "task_coalesced"
+	EventTaskDone      = "task_done"
+	EventTaskError     = "task_error"
+)
+
+// svcMetrics is the instrument bundle the manager updates. Instruments
+// are resolved once at construction so the per-task path stays at plain
+// atomic updates.
+type svcMetrics struct {
+	jobsSubmitted *obs.Counter
+	jobsDone      *obs.Counter
+	jobsFailed    *obs.Counter
+	jobsCancelled *obs.Counter
+	storeHits     *obs.Counter
+	storeMisses   *obs.Counter
+	coalesced     *obs.Counter
+	tasksDone     *obs.Counter
+	tasksFailed   *obs.Counter
+	queueDepth    *obs.Gauge
+	jobsActive    *obs.Gauge
+	workers       *obs.Gauge
+	storeSize     *obs.Gauge
+	jobSeconds    *obs.Histogram
+}
+
+// newSvcMetrics resolves the service instruments (all nil on a nil
+// registry).
+func newSvcMetrics(r *obs.Registry) *svcMetrics {
+	return &svcMetrics{
+		jobsSubmitted: r.Counter(MetricJobsSubmitted),
+		jobsDone:      r.Counter(MetricJobsDone),
+		jobsFailed:    r.Counter(MetricJobsFailed),
+		jobsCancelled: r.Counter(MetricJobsCancelled),
+		storeHits:     r.Counter(MetricStoreHits),
+		storeMisses:   r.Counter(MetricStoreMisses),
+		coalesced:     r.Counter(MetricTasksCoalesced),
+		tasksDone:     r.Counter(MetricTasksDone),
+		tasksFailed:   r.Counter(MetricTasksFailed),
+		queueDepth:    r.Gauge(MetricQueueDepth),
+		jobsActive:    r.Gauge(MetricJobsActive),
+		workers:       r.Gauge(MetricWorkers),
+		storeSize:     r.Gauge(MetricStoreSize),
+		// Jobs run from milliseconds (fully cached) to hours.
+		jobSeconds: r.Histogram(MetricJobSeconds, obs.ExpBuckets(0.001, 2, 24)),
+	}
+}

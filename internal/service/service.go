@@ -1,0 +1,601 @@
+// Package service is the sweep/evaluation job service: a Manager
+// accepts design-space jobs (a set of workloads × one option set), fans
+// the individual (workload, configuration) evaluations out across a
+// bounded shared worker pool, and memoizes every completed point in a
+// content-addressed result Store keyed by sweep.Key. Repeated and
+// overlapping jobs — the same L1 sizes under a different L2 list, the
+// paper's area-budget question asked twice — reuse prior work instead of
+// re-simulating, turning the paper's sweep from a batch run into a cheap
+// repeated query.
+//
+// Each evaluation runs with the per-configuration hardening of
+// sweep.RunContext (panic isolation, Options.Timeout, Options.Retries)
+// via sweep.Evaluator, and identical evaluations requested by
+// concurrently running jobs are coalesced onto one in-flight task. Job
+// and task lifecycle is observable through internal/obs metrics and
+// events (see obs.go); the HTTP API over the manager lives in http.go
+// and is served by cmd/served.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"twolevel/internal/core"
+	"twolevel/internal/obs"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+// ErrClosed reports a Submit to a manager that is shutting down.
+var ErrClosed = errors.New("service: manager is shut down")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers is the shared evaluation worker-pool size (default:
+	// GOMAXPROCS). The pool is global to the manager, not per job, so a
+	// burst of jobs queues rather than oversubscribing the host.
+	Workers int
+	// Store is the memoized result store (default: a new unbounded one).
+	Store *Store
+	// Metrics, when non-nil, receives the service instrumentation (see
+	// the Metric* constants) plus the sweep- and simulator-level metrics
+	// of every evaluation. Nil costs nothing.
+	Metrics *obs.Registry
+	// Events, when non-nil, receives the job/task lifecycle journal (see
+	// the Event* constants) plus the sweep-level evaluation events. Nil
+	// costs nothing.
+	Events *obs.EventLog
+}
+
+// JobRequest names the work of one job: every configuration of the
+// option set's design space, evaluated under every listed workload.
+type JobRequest struct {
+	// Workloads are spec workload names (at least one).
+	Workloads []string
+	// Options fixes the design space and evaluation parameters. The
+	// runtime plumbing fields (Progress, Checkpoint, Resume, Metrics,
+	// Events, Workers) are owned by the manager and ignored here.
+	Options sweep.Options
+}
+
+// State is a job's lifecycle state.
+type State string
+
+// Job states. A job is Running from submission (fully cached jobs jump
+// straight to Done) and reaches exactly one terminal state.
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// Manager owns the worker pool, the result store, and the job table.
+type Manager struct {
+	store  *Store
+	met    *svcMetrics
+	events *obs.EventLog
+	reg    *obs.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signals queue pushes and draining
+	queue    []*task
+	inflight map[string]*task
+	jobs     map[string]*Job
+	order    []string // job ids in submission order
+	seq      int
+	closed   bool // Submit refused
+	draining bool // workers exit once the queue is empty
+
+	workers    sync.WaitGroup
+	activeJobs sync.WaitGroup
+}
+
+// task is one (workload, configuration) evaluation wanted by one or
+// more jobs. Identical evaluations are coalesced: the task carries every
+// waiting job and delivers its result to all of them.
+type task struct {
+	key    string
+	cfg    core.Config
+	eval   *sweep.Evaluator
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	waiters []*Job
+}
+
+// dropWaiter removes j from the waiter list, cancelling the task's
+// context once nobody is left wanting the result.
+func (t *task) dropWaiter(j *Job) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, w := range t.waiters {
+		if w == j {
+			t.waiters = append(t.waiters[:i], t.waiters[i+1:]...)
+			break
+		}
+	}
+	if len(t.waiters) == 0 {
+		t.cancel()
+	}
+}
+
+// join adds j as a waiter, refusing if the task was already cancelled
+// (its evaluation would report the stale cancellation, not a result).
+func (t *task) join(j *Job) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.ctx.Err() != nil {
+		return false
+	}
+	t.waiters = append(t.waiters, j)
+	return true
+}
+
+// takeWaiters snapshots and clears the waiter list for delivery.
+func (t *task) takeWaiters() []*Job {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.waiters
+	t.waiters = nil
+	return w
+}
+
+// New builds a manager and starts its worker pool.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Store == nil {
+		cfg.Store = NewStore(0)
+	}
+	m := &Manager{
+		store:    cfg.Store,
+		met:      newSvcMetrics(cfg.Metrics),
+		events:   cfg.Events,
+		reg:      cfg.Metrics,
+		inflight: make(map[string]*task),
+		jobs:     make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.met.workers.Set(int64(cfg.Workers))
+	for i := 0; i < cfg.Workers; i++ {
+		m.workers.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Store exposes the manager's result store (read-mostly: the envelope
+// endpoint queries it).
+func (m *Manager) Store() *Store { return m.store }
+
+// Submit validates and enqueues one job, returning it immediately; the
+// job runs on the shared worker pool. Evaluations already memoized in
+// the store complete instantly; evaluations identical to one already in
+// flight for another job coalesce onto it.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	if len(req.Workloads) == 0 {
+		return nil, fmt.Errorf("service: job names no workloads")
+	}
+	ws := make([]spec.Workload, 0, len(req.Workloads))
+	for _, name := range req.Workloads {
+		w, err := spec.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		ws = append(ws, w)
+	}
+	opt := req.Options
+	// The manager owns the runtime plumbing: its own observability sinks,
+	// no checkpoint/resume (the store subsumes them), no progress hook.
+	opt.Metrics = m.reg
+	opt.Events = m.events
+	opt.Progress = nil
+	opt.Checkpoint = nil
+	opt.Resume = nil
+	cfgs := sweep.Configs(opt)
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("service: options enumerate no configurations")
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	m.seq++
+	j := &Job{
+		id:          fmt.Sprintf("j%d", m.seq),
+		m:           m,
+		workloads:   append([]string(nil), req.Workloads...),
+		fingerprint: opt.Fingerprint(),
+		created:     time.Now(),
+		state:       StateRunning,
+		total:       len(ws) * len(cfgs),
+		doneCh:      make(chan struct{}),
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.activeJobs.Add(1)
+	m.met.jobsSubmitted.Inc()
+	m.met.jobsActive.Add(1)
+	m.events.Emit(obs.Event{
+		Type: EventJobSubmitted, Job: j.id,
+		Fingerprint: j.fingerprint, Total: j.total,
+	})
+
+	var enqueued int
+	for _, w := range ws {
+		eval := sweep.NewEvaluator(w, opt)
+		for _, cfg := range cfgs {
+			key := sweep.Key(w.Name, cfg, opt)
+			if p, ok := m.store.Get(key); ok {
+				j.cached++
+				j.done++
+				j.points = append(j.points, p)
+				m.met.storeHits.Inc()
+				m.events.Emit(obs.Event{
+					Type: EventTaskCached, Job: j.id,
+					Workload: w.Name, Label: p.Label,
+				})
+				continue
+			}
+			m.met.storeMisses.Inc()
+			if t, ok := m.inflight[key]; ok && t.join(j) {
+				j.pending++
+				j.coalesced++
+				j.tasks = append(j.tasks, t)
+				m.met.coalesced.Inc()
+				m.events.Emit(obs.Event{
+					Type: EventTaskCoalesced, Job: j.id,
+					Workload: w.Name, Label: sweep.Label(cfg),
+				})
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			t := &task{key: key, cfg: cfg, eval: eval, ctx: ctx, cancel: cancel, waiters: []*Job{j}}
+			m.inflight[key] = t
+			m.queue = append(m.queue, t)
+			j.pending++
+			j.tasks = append(j.tasks, t)
+			enqueued++
+		}
+	}
+	m.met.queueDepth.Add(int64(enqueued))
+	if enqueued > 0 {
+		m.cond.Broadcast()
+	}
+	if j.pending == 0 {
+		// Every evaluation was memoized: the job is already done.
+		j.mu.Lock()
+		j.finalizeLocked()
+		j.mu.Unlock()
+	}
+	return j, nil
+}
+
+// Job looks a job up by id.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// worker is one pool goroutine: it pops tasks until the manager drains.
+func (m *Manager) worker() {
+	defer m.workers.Done()
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.draining {
+			m.cond.Wait()
+		}
+		if len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		t := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		m.met.queueDepth.Add(-1)
+		m.runTask(t)
+	}
+}
+
+// runTask evaluates one task and delivers the result to every waiting
+// job. Completed points enter the store before the task leaves the
+// in-flight table, so a concurrent Submit always sees the key in one of
+// the two (no duplicate evaluation window).
+func (m *Manager) runTask(t *task) {
+	defer t.cancel()
+	t.mu.Lock()
+	orphaned := len(t.waiters) == 0
+	t.mu.Unlock()
+	if orphaned {
+		// Every interested job was cancelled while the task was queued;
+		// skip the evaluation entirely.
+		m.mu.Lock()
+		if m.inflight[t.key] == t {
+			delete(m.inflight, t.key)
+		}
+		m.mu.Unlock()
+		return
+	}
+	p, err := t.eval.Evaluate(t.ctx, t.cfg)
+	m.mu.Lock()
+	if err == nil {
+		m.store.Put(t.key, p)
+		m.met.storeSize.Set(int64(m.store.Len()))
+	}
+	// A cancelled task may have been superseded in the in-flight table by
+	// a fresh one for the same key; only remove our own entry.
+	if m.inflight[t.key] == t {
+		delete(m.inflight, t.key)
+	}
+	m.mu.Unlock()
+
+	waiters := t.takeWaiters()
+	switch {
+	case err == nil:
+		m.met.tasksDone.Inc()
+	case t.ctx.Err() != nil && len(waiters) == 0:
+		// Aborted because the last waiter was cancelled mid-evaluation;
+		// nobody is owed a delivery.
+		return
+	default:
+		m.met.tasksFailed.Inc()
+	}
+	for _, j := range waiters {
+		j.deliver(p, err)
+	}
+}
+
+// Shutdown drains the manager gracefully: new submissions are refused
+// immediately, running jobs get until ctx expires to finish, then
+// whatever remains is cancelled. It returns ctx.Err() if the deadline
+// cut jobs off, nil on a clean drain. The worker pool has exited when
+// Shutdown returns.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.activeJobs.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, j := range m.Jobs() {
+			j.Cancel()
+		}
+		<-drained
+	}
+
+	m.mu.Lock()
+	m.draining = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.workers.Wait()
+	return err
+}
+
+// Close shuts the manager down immediately, cancelling every running
+// job.
+func (m *Manager) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m.Shutdown(ctx) //nolint:errcheck // the deadline is intentionally expired
+}
+
+// Job is one submitted design-space job.
+type Job struct {
+	id          string
+	m           *Manager
+	workloads   []string
+	fingerprint string
+	created     time.Time
+
+	mu        sync.Mutex
+	state     State
+	total     int
+	cached    int
+	coalesced int
+	done      int
+	failed    int
+	pending   int
+	points    []sweep.Point
+	errs      []string
+	tasks     []*task
+	finished  time.Time
+	doneCh    chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// deliver records one task outcome; the last delivery finalizes the
+// job.
+func (j *Job) deliver(p sweep.Point, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.pending--
+	if err != nil {
+		j.failed++
+		j.errs = append(j.errs, err.Error())
+	} else {
+		j.done++
+		j.points = append(j.points, p)
+	}
+	if j.pending == 0 {
+		j.finalizeLocked()
+	}
+}
+
+// finalizeLocked moves the job to its terminal success state. Caller
+// holds j.mu; the job must not already be terminal.
+func (j *Job) finalizeLocked() {
+	sweep.SortByArea(j.points)
+	if j.failed > 0 {
+		j.state = StateFailed
+		j.m.met.jobsFailed.Inc()
+	} else {
+		j.state = StateDone
+		j.m.met.jobsDone.Inc()
+	}
+	j.closeLocked(EventJobDone)
+}
+
+// Cancel moves a running job to the cancelled state. Queued evaluations
+// the job alone wanted are abandoned (a running one is aborted at its
+// next cancellation check); evaluations shared with other jobs continue
+// for them. Cancel reports whether this call performed the transition.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCancelled
+	tasks := j.tasks
+	j.m.met.jobsCancelled.Inc()
+	j.closeLocked(EventJobCancelled)
+	j.mu.Unlock()
+	for _, t := range tasks {
+		t.dropWaiter(j)
+	}
+	return true
+}
+
+// closeLocked performs the shared terminal-state bookkeeping: timestamp,
+// completion signal, metrics, and the lifecycle event. Caller holds
+// j.mu and has already set the terminal state.
+func (j *Job) closeLocked(event string) {
+	j.finished = time.Now()
+	close(j.doneCh)
+	j.m.activeJobs.Done()
+	j.m.met.jobsActive.Add(-1)
+	j.m.met.jobSeconds.Observe(j.finished.Sub(j.created).Seconds())
+	j.m.events.Emit(obs.Event{
+		Type: event, Job: j.id, Fingerprint: j.fingerprint,
+		Done: j.done, Total: j.total, Failed: j.failed, Skipped: j.cached,
+		DurNS: j.finished.Sub(j.created).Nanoseconds(),
+	})
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done exposes the completion signal (closed on any terminal state).
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Points returns the completed points so far, sorted by area exactly as
+// sweep.Run sorts them. For a job in StateDone this is the full design
+// space; for a running, failed, or cancelled job it is the completed
+// subset.
+func (j *Job) Points() []sweep.Point {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]sweep.Point, len(j.points))
+	copy(out, j.points)
+	sweep.SortByArea(out)
+	return out
+}
+
+// Status is a point-in-time JSON-ready snapshot of a job.
+type Status struct {
+	ID          string    `json:"id"`
+	State       State     `json:"state"`
+	Workloads   []string  `json:"workloads"`
+	Fingerprint string    `json:"fingerprint"`
+	Total       int       `json:"total"`
+	Done        int       `json:"done"`
+	Cached      int       `json:"cached"`
+	Coalesced   int       `json:"coalesced,omitempty"`
+	Failed      int       `json:"failed,omitempty"`
+	Pending     int       `json:"pending"`
+	Created     time.Time  `json:"created"`
+	Finished    *time.Time `json:"finished,omitempty"`
+	Errors      []string   `json:"errors,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:          j.id,
+		State:       j.state,
+		Workloads:   append([]string(nil), j.workloads...),
+		Fingerprint: j.fingerprint,
+		Total:       j.total,
+		Done:        j.done,
+		Cached:      j.cached,
+		Coalesced:   j.coalesced,
+		Failed:      j.failed,
+		Pending:     j.pending,
+		Created:     j.created,
+		Errors:      append([]string(nil), j.errs...),
+	}
+	if !j.finished.IsZero() {
+		fin := j.finished
+		s.Finished = &fin
+	}
+	return s
+}
+
+// EnvelopeAt answers the paper's headline question from memoized
+// results: over the given points, the Pareto staircase and the fastest
+// configuration whose area fits the budget. ok is false when no point
+// fits.
+func EnvelopeAt(points []sweep.Point, budget float64) (best sweep.Point, env []sweep.Point, ok bool) {
+	env = sweep.Envelope(points)
+	best, ok = sweep.BestAtArea(env, budget)
+	return best, env, ok
+}
+
+// sortPointsStable orders points deterministically for JSON rendering.
+func sortPointsStable(points []sweep.Point) {
+	sort.SliceStable(points, func(i, j int) bool {
+		if points[i].Workload != points[j].Workload {
+			return points[i].Workload < points[j].Workload
+		}
+		return points[i].AreaRbe < points[j].AreaRbe
+	})
+}

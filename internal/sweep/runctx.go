@@ -84,7 +84,7 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 	}
 	cfgs := Configs(opt)
 	total := len(cfgs)
-	key := checkpointKey(w.Name, opt)
+	key := SweepKey(w.Name, opt)
 	resumed := opt.Resume.forKey(key)
 	met := newRunMetrics(opt.Metrics)
 	met.total.Add(int64(total))
@@ -285,9 +285,4 @@ func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt
 		evalTestHook(cfg)
 	}
 	return evaluateStream(ctx, trace.NewSliceStream(refs), cfg, opt)
-}
-
-// checkpointKey identifies one (workload, options) sweep in a journal.
-func checkpointKey(workload string, opt Options) string {
-	return workload + "|" + opt.Fingerprint()
 }

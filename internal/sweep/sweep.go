@@ -342,13 +342,19 @@ func Run(w spec.Workload, opt Options) []Point {
 	return points
 }
 
-// SortByArea orders points by ascending area (ties: ascending TPI).
+// SortByArea orders points by ascending area (ties: ascending TPI, then
+// label). The full tie-break makes the order independent of the input
+// order, so sequential and worker-pool runs over the same point set sort
+// identically.
 func SortByArea(points []Point) {
 	sort.Slice(points, func(i, j int) bool {
 		if points[i].AreaRbe != points[j].AreaRbe {
 			return points[i].AreaRbe < points[j].AreaRbe
 		}
-		return points[i].TPINS < points[j].TPINS
+		if points[i].TPINS != points[j].TPINS {
+			return points[i].TPINS < points[j].TPINS
+		}
+		return points[i].Label < points[j].Label
 	})
 }
 

@@ -1,0 +1,101 @@
+package trace
+
+// This file is the machine-readable form of a Profile: the same report
+// Render prints, as a stable JSON document (cmd/traceinfo -json), so
+// service clients and scripts can consume the analyzer without parsing
+// aligned text.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// reportFormat identifies the traceinfo JSON schema version.
+const reportFormat = "twolevel-traceinfo/1"
+
+// HistBucket is one power-of-two stack-distance bucket: Count reuses at
+// LRU distance [MinLines, 2×MinLines).
+type HistBucket struct {
+	MinLines int    `json:"min_lines"`
+	Count    uint64 `json:"count"`
+}
+
+// CapacityMiss is the estimated fully-associative LRU data miss ratio at
+// one cache capacity.
+type CapacityMiss struct {
+	Lines     int     `json:"lines"`
+	Bytes     int64   `json:"bytes"`
+	MissRatio float64 `json:"miss_ratio"`
+}
+
+// Report is the JSON form of a profile: the raw counts plus the derived
+// ratios Render prints.
+type Report struct {
+	Format string `json:"format"`
+	Source string `json:"source,omitempty"`
+
+	Refs      uint64  `json:"refs"`
+	Instr     uint64  `json:"instr"`
+	Loads     uint64  `json:"loads"`
+	Stores    uint64  `json:"stores"`
+	InstrFrac float64 `json:"instr_frac"`
+	StoreFrac float64 `json:"store_frac"`
+
+	CodeLines int   `json:"code_lines"`
+	CodeBytes int64 `json:"code_bytes"`
+	DataLines int   `json:"data_lines"`
+	DataBytes int64 `json:"data_bytes"`
+
+	SequentialInstrFrac float64 `json:"sequential_instr_frac"`
+
+	StackHistogram []HistBucket   `json:"stack_histogram"`
+	ColdDataRefs   uint64         `json:"cold_data_refs"`
+	FarDataRefs    uint64         `json:"far_data_refs"`
+	MissByCapacity []CapacityMiss `json:"miss_ratio_by_capacity"`
+}
+
+// Report builds the JSON form of the profile. source labels the profiled
+// stream (workload name or trace path); the capacity table matches
+// Render's (64 lines to 64K lines, ×4).
+func (p Profile) Report(source string) Report {
+	r := Report{
+		Format:              reportFormat,
+		Source:              source,
+		Refs:                p.Refs,
+		Instr:               p.Instr,
+		Loads:               p.Loads,
+		Stores:              p.Stores,
+		InstrFrac:           p.InstrFrac(),
+		StoreFrac:           p.StoreFrac(),
+		CodeLines:           p.UniqueInstrLines,
+		CodeBytes:           int64(p.UniqueInstrLines) << lineShiftDefault,
+		DataLines:           p.UniqueDataLines,
+		DataBytes:           int64(p.UniqueDataLines) << lineShiftDefault,
+		SequentialInstrFrac: p.SequentialInstrFrac,
+		ColdDataRefs:        p.ColdDataRefs,
+		FarDataRefs:         p.FarDataRefs,
+		StackHistogram:      []HistBucket{},
+		MissByCapacity:      []CapacityMiss{},
+	}
+	for b, n := range p.DataStackHistogram {
+		if n == 0 {
+			continue
+		}
+		r.StackHistogram = append(r.StackHistogram, HistBucket{MinLines: 1 << uint(b), Count: n})
+	}
+	for lines := 64; lines <= 65536; lines *= 4 {
+		r.MissByCapacity = append(r.MissByCapacity, CapacityMiss{
+			Lines:     lines,
+			Bytes:     int64(lines) << lineShiftDefault,
+			MissRatio: p.MissRatioAtCapacity(lines),
+		})
+	}
+	return r
+}
+
+// RenderJSON writes the profile report as indented JSON.
+func (p Profile) RenderJSON(w io.Writer, source string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Report(source))
+}

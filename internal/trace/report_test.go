@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestProfileReport: the JSON report carries the same quantities Render
+// prints, with the derived values consistent with the raw counts.
+func TestProfileReport(t *testing.T) {
+	p := Analyze(Generate(GenParams{
+		Name: "t", Seed: 7, InstrFrac: 0.7,
+		CodeBytes: 4096, MeanRun: 6, ITheta: 1.3,
+		DataLines: 512, DTheta: 1.3, WriteFrac: 0.3,
+	}, 50_000))
+	r := p.Report("t")
+
+	if r.Format != "twolevel-traceinfo/1" {
+		t.Fatalf("format = %q", r.Format)
+	}
+	if r.Source != "t" {
+		t.Fatalf("source = %q", r.Source)
+	}
+	if r.Refs != p.Refs || r.Instr != p.Instr || r.Loads != p.Loads || r.Stores != p.Stores {
+		t.Fatal("raw counts do not match the profile")
+	}
+	if r.Instr+r.Loads+r.Stores != r.Refs {
+		t.Fatalf("mix does not sum: %d+%d+%d != %d", r.Instr, r.Loads, r.Stores, r.Refs)
+	}
+	if r.InstrFrac != p.InstrFrac() || r.StoreFrac != p.StoreFrac() {
+		t.Fatal("derived fractions do not match the profile")
+	}
+	if r.CodeBytes != int64(r.CodeLines)*16 || r.DataBytes != int64(r.DataLines)*16 {
+		t.Fatal("byte footprints are not 16-byte-line multiples of the line footprints")
+	}
+
+	// Histogram buckets plus cold plus far cover every data reference.
+	var hist uint64
+	for _, b := range r.StackHistogram {
+		if b.Count == 0 {
+			t.Fatalf("zero bucket emitted at %d lines", b.MinLines)
+		}
+		hist += b.Count
+	}
+	if hist+r.ColdDataRefs+r.FarDataRefs != r.Loads+r.Stores {
+		t.Fatal("stack histogram does not account for every data reference")
+	}
+
+	// The capacity table matches the Render table and is monotone
+	// non-increasing in capacity.
+	if len(r.MissByCapacity) != 6 || r.MissByCapacity[0].Lines != 64 || r.MissByCapacity[5].Lines != 65536 {
+		t.Fatalf("capacity table = %+v", r.MissByCapacity)
+	}
+	for i, c := range r.MissByCapacity {
+		if c.MissRatio != p.MissRatioAtCapacity(c.Lines) {
+			t.Fatalf("capacity %d: ratio %v != profile %v", c.Lines, c.MissRatio, p.MissRatioAtCapacity(c.Lines))
+		}
+		if c.Bytes != int64(c.Lines)*16 {
+			t.Fatalf("capacity %d: bytes %d", c.Lines, c.Bytes)
+		}
+		if i > 0 && c.MissRatio > r.MissByCapacity[i-1].MissRatio {
+			t.Fatal("miss ratio increased with capacity")
+		}
+	}
+}
+
+// TestRenderJSONRoundTrip: the emitted document parses back into an
+// identical report.
+func TestRenderJSONRoundTrip(t *testing.T) {
+	p := Analyze(Generate(GenParams{
+		Name: "rt", Seed: 3, InstrFrac: 0.75,
+		CodeBytes: 2048, MeanRun: 5, ITheta: 1.4,
+		DataLines: 256, DTheta: 1.4, WriteFrac: 0.25,
+	}, 20_000))
+	var buf bytes.Buffer
+	if err := p.RenderJSON(&buf, "rt"); err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	want := p.Report("rt")
+	wantBytes, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("round trip mismatch:\n%s\nvs\n%s", gotBytes, wantBytes)
+	}
+}

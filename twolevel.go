@@ -32,6 +32,7 @@ package twolevel
 import (
 	"context"
 	"io"
+	"net/http"
 
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
@@ -39,6 +40,7 @@ import (
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
 	"twolevel/internal/perf"
+	"twolevel/internal/service"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -344,6 +346,60 @@ func SweepProgressSummary(reg *MetricsRegistry) func() any { return sweep.Progre
 
 // SweepConfigs enumerates the configurations a sweep would evaluate.
 func SweepConfigs(opt SweepOptions) []Hierarchy { return sweep.Configs(opt) }
+
+// SweepKey identifies one (workload, options) sweep; it keys checkpoint
+// journals.
+func SweepKey(workload string, opt SweepOptions) string { return sweep.SweepKey(workload, opt) }
+
+// PointKey identifies one evaluated (workload, configuration, options)
+// point; it keys the job service's memoized result store.
+func PointKey(workload string, cfg Hierarchy, opt SweepOptions) string {
+	return sweep.Key(workload, cfg, opt)
+}
+
+// SweepEvaluator performs repeated hardened single-configuration
+// evaluations of one workload (the per-configuration semantics of
+// SweepContext without the enumeration).
+type SweepEvaluator = sweep.Evaluator
+
+// NewSweepEvaluator prepares an evaluator for one workload.
+func NewSweepEvaluator(w Workload, opt SweepOptions) *SweepEvaluator {
+	return sweep.NewEvaluator(w, opt)
+}
+
+// ---- Job service ----
+
+// JobService is the concurrent sweep/evaluation job manager: jobs fan
+// out across a shared worker pool and completed points are memoized in a
+// result store keyed by PointKey, so repeated and overlapping jobs reuse
+// prior work. Serve its HTTP API with NewJobServiceHandler (or run
+// cmd/served).
+type JobService = service.Manager
+
+// JobServiceConfig parameterizes a JobService.
+type JobServiceConfig = service.Config
+
+// JobRequest names the work of one job: a design space × a workload set.
+type JobRequest = service.JobRequest
+
+// Job is one submitted design-space job.
+type Job = service.Job
+
+// JobStatus is a point-in-time snapshot of a job.
+type JobStatus = service.Status
+
+// ResultStore memoizes completed evaluation points by PointKey.
+type ResultStore = service.Store
+
+// NewJobService builds a job service and starts its worker pool.
+func NewJobService(cfg JobServiceConfig) *JobService { return service.New(cfg) }
+
+// NewResultStore builds a result store holding at most cap points
+// (cap <= 0 means unbounded).
+func NewResultStore(cap int) *ResultStore { return service.NewStore(cap) }
+
+// NewJobServiceHandler builds the /v1 HTTP JSON API over a job service.
+func NewJobServiceHandler(m *JobService) http.Handler { return service.NewHandler(m) }
 
 // EvaluatePoint simulates and prices a single configuration.
 func EvaluatePoint(w Workload, cfg Hierarchy, opt SweepOptions) Point {
