@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke ci clean
 
 all: build
 
@@ -34,6 +34,12 @@ staticcheck:
 # result-store hit on resubmission. Requires curl and jq.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# explain-smoke drives the cache-explainability pipeline: cachesim
+# -explain-json 3C sum contract plus cmd/explain's conflict-share
+# collapse under exclusive 4-way L2. Requires jq.
+explain-smoke:
+	bash scripts/explain_smoke.sh
 
 # ci is what .github/workflows/ci.yml's test job runs; staticcheck and
 # cover run as separate jobs.

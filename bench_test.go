@@ -19,10 +19,12 @@ import (
 	"sync"
 	"testing"
 
+	"twolevel/internal/analyze"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -383,6 +385,59 @@ func BenchmarkObsHistogramObserve(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i&1023) * 0.001)
+	}
+}
+
+// Span tracing follows the same nil-safety contract as the counters: an
+// untraced run passes a nil tracer through every Start/Child/End call,
+// and each of those must cost a nil check, not a span.
+
+func BenchmarkObsSpanStartEndNil(b *testing.B) {
+	var tr *span.Tracer
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(nil, "bench")
+		s.Child("child").End()
+		s.End()
+	}
+}
+
+func BenchmarkObsSpanStartEnd(b *testing.B) {
+	tr := span.NewTracer()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(nil, "bench")
+		s.End()
+	}
+}
+
+func BenchmarkObsSpanChild(b *testing.B) {
+	tr := span.NewTracer()
+	root := tr.Start(nil, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.Child("child", span.Attr{Key: "i", Value: "x"}).End()
+	}
+}
+
+// BenchmarkObsAnalyzeShadowAccess prices the 3C/reuse-distance shadow
+// per demand access (Fenwick-tree stack distance + histogram observe) —
+// the cost cmd/cachesim -explain adds on top of the primary simulation.
+func BenchmarkObsAnalyzeShadowAccess(b *testing.B) {
+	sys := core.NewSystem(core.Config{
+		L1I:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L1D:    cache.Config{Size: 8 << 10, LineSize: 16, Assoc: 1},
+		L2:     cache.Config{Size: 64 << 10, LineSize: 16, Assoc: 4},
+		Policy: core.Conventional,
+	})
+	analyze.Attach(sys, nil)
+	w, err := spec.ByName("gcc1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	refs := trace.Collect(w.Stream(1<<16), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Access(refs[i&(1<<16-1)])
 	}
 }
 

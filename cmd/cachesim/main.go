@@ -2,11 +2,18 @@
 // hierarchy configuration and reports miss statistics, cycle times, chip
 // area, and TPI.
 //
+// With -explain, every demand miss is additionally classified as
+// compulsory, capacity, or conflict (the 3C model, via an exact LRU
+// stack-distance shadow simulation) and per-level reuse-distance
+// percentiles are printed; -explain-json saves the same analysis as a
+// twolevel-explain/1 JSON document.
+//
 // Usage:
 //
 //	cachesim -workload gcc1 -l1 8KB -l2 64KB -l2assoc 4 -policy exclusive
 //	cachesim -trace prog.din -l1 16KB
 //	cachesim -workload li -l1 4KB -l2 32KB -offchip 200 -refs 5000000
+//	cachesim -workload gcc1 -l1 4KB -l2 32KB -explain -explain-json gcc1.explain.json
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"twolevel/internal/analyze"
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
@@ -27,17 +35,19 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "gcc1", "synthetic workload name (see -list)")
-		traceIn  = flag.String("trace", "", "trace file to replay instead of a workload (.din text or binary)")
-		l1Size   = flag.String("l1", "8KB", "size of EACH split L1 cache (e.g. 8KB)")
-		l2Size   = flag.String("l2", "0", "L2 size (0 for single-level)")
-		l2Assoc  = flag.Int("l2assoc", 4, "L2 associativity")
-		lineSize = flag.Int("line", 16, "line size in bytes")
-		policy   = flag.String("policy", "conventional", "two-level policy: conventional, exclusive, inclusive")
-		offchip  = flag.Float64("offchip", 50, "off-chip miss service time, ns")
-		refs     = flag.Uint64("refs", spec.DefaultRefs, "trace length for synthetic workloads")
-		dual     = flag.Bool("dual", false, "dual-ported L1 cells (2x area, 2x issue rate)")
-		list     = flag.Bool("list", false, "list workloads and exit")
+		workload    = flag.String("workload", "gcc1", "synthetic workload name (see -list)")
+		traceIn     = flag.String("trace", "", "trace file to replay instead of a workload (.din text or binary)")
+		l1Size      = flag.String("l1", "8KB", "size of EACH split L1 cache (e.g. 8KB)")
+		l2Size      = flag.String("l2", "0", "L2 size (0 for single-level)")
+		l2Assoc     = flag.Int("l2assoc", 4, "L2 associativity")
+		lineSize    = flag.Int("line", 16, "line size in bytes")
+		policy      = flag.String("policy", "conventional", "two-level policy: conventional, exclusive, inclusive")
+		offchip     = flag.Float64("offchip", 50, "off-chip miss service time, ns")
+		refs        = flag.Uint64("refs", spec.DefaultRefs, "trace length for synthetic workloads")
+		dual        = flag.Bool("dual", false, "dual-ported L1 cells (2x area, 2x issue rate)")
+		list        = flag.Bool("list", false, "list workloads and exit")
+		explain     = flag.Bool("explain", false, "classify every miss (compulsory/capacity/conflict) and print per-level reuse-distance summaries")
+		explainJSON = flag.String("explain-json", "", "write the explanation as a twolevel-explain/1 JSON document to this file (implies -explain analysis)")
 	)
 	flag.Parse()
 
@@ -72,6 +82,10 @@ func main() {
 	}
 
 	sys := core.NewSystem(cfg)
+	var az *analyze.Analyzer
+	if *explain || *explainJSON != "" {
+		az = analyze.Attach(sys, nil)
+	}
 	st := sys.Run(stream)
 
 	fmt.Printf("configuration : %s\n", cfg)
@@ -101,6 +115,29 @@ func main() {
 	fmt.Printf("global miss rate: %.4f (off-chip fetches per reference)\n", st.GlobalMissRate())
 	fmt.Println()
 	fmt.Printf("TPI: %.3f ns  (CPI %.3f at %.2f ns/cycle)\n", m.TPI(st), m.CPI(st), m.L1CycleNS)
+
+	if az != nil {
+		rep := az.Report(label, st.Refs())
+		if *explain {
+			fmt.Println()
+			if err := rep.Write(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if *explainJSON != "" {
+			f, err := os.Create(*explainJSON)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "cachesim: explanation saved to %s\n", *explainJSON)
+		}
+	}
 }
 
 // buildConfig assembles the hierarchy from flag values.

@@ -29,6 +29,7 @@ import (
 
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -130,6 +131,7 @@ func main() {
 	listen := flag.String("listen", "", "serve /metrics, /progress, and /debug/pprof on this address while running")
 	metricsOut := flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 	eventsOut := flag.String("events", "", "append the structured run-event journal (JSONL) to this file")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON span tree to this file (open in Perfetto)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -188,9 +190,24 @@ func main() {
 		defer ck.Close()
 	}
 
-	// flushMetrics persists the final snapshot; it runs on both the
-	// normal and the bail-out exit paths.
+	var tr *span.Tracer
+	var root *span.Span
+	if *traceOut != "" {
+		tr = span.NewTracer()
+		root = tr.Start(nil, "run", span.Attr{Key: "command", Value: "experiments"})
+	}
+
+	// flushMetrics persists the final snapshot and span trace; it runs on
+	// both the normal and the bail-out exit paths.
 	flushMetrics := func() {
+		if *traceOut != "" {
+			root.End()
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: writing trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: span trace saved to %s\n", *traceOut)
+			}
+		}
 		if *metricsOut == "" {
 			return
 		}
@@ -201,7 +218,7 @@ func main() {
 		}
 	}
 
-	h := figures.NewHarness(figures.Config{Refs: *refs, Context: ctx, Checkpoint: ck, Resume: rs, Metrics: reg, Events: elog})
+	h := figures.NewHarness(figures.Config{Refs: *refs, Context: ctx, Checkpoint: ck, Resume: rs, Metrics: reg, Events: elog, Trace: tr, TraceParent: root})
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 

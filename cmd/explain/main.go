@@ -1,0 +1,172 @@
+// Command explain quantifies the paper's exclusive-caching narrative
+// with the 3C miss taxonomy: it fixes the L1s, sweeps the L2 size, and
+// for each size simulates three L2 organizations — the paper's baseline
+// direct-mapped conventional L2, a 4-way conventional L2, and a 4-way
+// exclusive L2 — attributing every L2 miss to compulsory, capacity, or
+// conflict causes via internal/analyze's shadow FA-LRU simulation.
+//
+// The paper (§8) argues exclusion supplies a limited form of extra
+// associativity plus extra capacity; here that shows up directly as the
+// conflict-miss share of the L2 collapsing when associativity and
+// exclusion are combined, while the compulsory floor stays fixed.
+//
+// Usage:
+//
+//	explain -workload gcc1
+//	explain -workload espresso -l1 4KB -refs 2000000
+//	explain -workload gcc1 -json            # machine-readable rows
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"twolevel/internal/analyze"
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/trace"
+)
+
+// variant is one L2 organization under comparison.
+type variant struct {
+	name   string
+	assoc  int
+	policy core.Policy
+}
+
+var variants = []variant{
+	{"conv-dm", 1, core.Conventional},
+	{"conv-4way", 4, core.Conventional},
+	{"excl-4way", 4, core.Exclusive},
+}
+
+// row is one (L2 size, variant) measurement.
+type row struct {
+	L2KB          int64   `json:"l2_kb"`
+	Variant       string  `json:"variant"`
+	Misses        uint64  `json:"l2_misses"`
+	Compulsory    uint64  `json:"compulsory_misses"`
+	Capacity      uint64  `json:"capacity_misses"`
+	Conflict      uint64  `json:"conflict_misses"`
+	ConflictShare float64 `json:"conflict_share"`
+	GlobalMiss    float64 `json:"global_miss_rate"`
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "gcc1", "synthetic workload name")
+		l1Size   = flag.Int64("l1kb", 4, "size of EACH split L1 cache, KB (direct-mapped)")
+		lineSize = flag.Int("line", 16, "line size in bytes")
+		refs     = flag.Uint64("refs", 1_000_000, "trace length per configuration")
+		l2List   = flag.String("l2kb", "16,32,64,128,256", "comma list of L2 sizes to sweep, KB")
+		jsonOut  = flag.Bool("json", false, "emit the rows as JSON instead of a table")
+	)
+	flag.Parse()
+
+	w, err := spec.ByName(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	var l2kbs []int64
+	for _, s := range strings.Split(*l2List, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -l2kb entry %q: %w", s, err))
+		}
+		l2kbs = append(l2kbs, v)
+	}
+
+	// One materialized trace replayed for every configuration, exactly as
+	// a sweep replays it, so the rows differ only in cache organization.
+	stream := trace.Collect(w.Stream(*refs), 0)
+
+	var rows []row
+	for _, l2kb := range l2kbs {
+		for _, v := range variants {
+			cfg := core.Config{
+				L1I:    cache.Config{Size: *l1Size << 10, LineSize: *lineSize, Assoc: 1},
+				L1D:    cache.Config{Size: *l1Size << 10, LineSize: *lineSize, Assoc: 1},
+				L2:     cache.Config{Size: l2kb << 10, LineSize: *lineSize, Assoc: v.assoc, Policy: cache.Random},
+				Policy: v.policy,
+			}
+			if err := cfg.Validate(); err != nil {
+				fatal(fmt.Errorf("L2 %dKB %s: %w", l2kb, v.name, err))
+			}
+			sys := core.NewSystem(cfg)
+			az := analyze.Attach(sys, nil)
+			st := sys.Run(trace.NewSliceStream(stream))
+			rep := az.Report(w.Name, st.Refs())
+			var l2 analyze.LevelReport
+			for _, lr := range rep.Levels {
+				if lr.Level == "l2" {
+					l2 = lr
+				}
+			}
+			rows = append(rows, row{
+				L2KB: l2kb, Variant: v.name,
+				Misses: l2.Misses, Compulsory: l2.Compulsory,
+				Capacity: l2.Capacity, Conflict: l2.Conflict,
+				ConflictShare: l2.ConflictShare,
+				GlobalMiss:    st.GlobalMissRate(),
+			})
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("L2 conflict-miss attribution — %s, %dKB direct-mapped L1s, %d refs\n", w.Name, *l1Size, *refs)
+	fmt.Printf("(3C shadow classification of L2 demand misses; conflict%% is the share a\n")
+	fmt.Printf("fully-associative L2 of the same capacity would have avoided)\n\n")
+	tw := tabwriter.NewWriter(os.Stdout, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "L2 KB\tvariant\tL2 misses\tcompulsory\tcapacity\tconflict\tconflict%\tglobal miss")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%d\t%d\t%d\t%d\t%.1f\t%.4f\n",
+			r.L2KB, r.Variant, r.Misses, r.Compulsory, r.Capacity, r.Conflict,
+			100*r.ConflictShare, r.GlobalMiss)
+	}
+	if err := tw.Flush(); err != nil {
+		fatal(err)
+	}
+
+	// Verdict: average conflict share per variant across the sweep.
+	share := map[string][]float64{}
+	for _, r := range rows {
+		share[r.Variant] = append(share[r.Variant], r.ConflictShare)
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	dm, conv4, excl4 := mean(share["conv-dm"]), mean(share["conv-4way"]), mean(share["excl-4way"])
+	fmt.Printf("\nmean conflict share: conv-dm %.1f%%, conv-4way %.1f%%, excl-4way %.1f%%\n",
+		100*dm, 100*conv4, 100*excl4)
+	switch {
+	case excl4 <= conv4 && conv4 <= dm:
+		fmt.Println("verdict: conflict share collapses monotonically — associativity helps and exclusion helps further (paper §8 narrative holds)")
+	case excl4 <= dm:
+		fmt.Println("verdict: exclusive 4-way below direct-mapped baseline (paper §8 narrative holds; 4-way ordering mixed)")
+	default:
+		fmt.Println("verdict: conflict share did NOT collapse under exclusion — investigate")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "explain:", err)
+	os.Exit(1)
+}

@@ -9,6 +9,7 @@
 //	POST   /v1/jobs              submit a job
 //	GET    /v1/jobs[/{id}]       job statuses
 //	GET    /v1/jobs/{id}/result  completed points (twolevel-sweep/1 JSON)
+//	GET    /v1/jobs/{id}/trace   span tree (Chrome trace_event JSON)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
 //	GET    /metrics, /progress, /debug/pprof/  observability
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/service"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		drainTime  = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		eventsOut  = flag.String("events", "", "append the job/run event journal (JSONL) to this file")
+		traceOut   = flag.String("trace", "", "write the service span trace (Chrome trace_event JSON) to this file at shutdown")
 	)
 	flag.Parse()
 
@@ -58,11 +61,16 @@ func main() {
 		}
 	}
 
+	// The manager traces every job regardless (GET /v1/jobs/{id}/trace
+	// serves per-job subtrees live); -trace additionally persists the
+	// whole accumulated tree at shutdown.
+	tr := span.NewTracer()
 	mgr := service.New(service.Config{
 		Workers: *workers,
 		Store:   service.NewStore(*storeCap),
 		Metrics: reg,
 		Events:  elog,
+		Trace:   tr,
 	})
 
 	// One mux serves the job API and the observability endpoints; the
@@ -102,6 +110,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "served: writing metrics snapshot: %v\n", err)
 		} else {
 			fmt.Fprintf(os.Stderr, "served: metrics snapshot saved to %s\n", *metricsOut)
+		}
+	}
+	if *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "served: writing trace: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "served: span trace saved to %s\n", *traceOut)
 		}
 	}
 	fmt.Fprintln(os.Stderr, "served: bye")

@@ -14,7 +14,9 @@
 // ETA), and /debug/pprof on the given address; -metrics writes the final
 // snapshot to a JSON file; -events appends a structured JSONL journal of
 // run events (config_start, config_done, retries, checkpoint flushes, a
-// final run manifest).
+// final run manifest); -trace writes the run's span tree
+// (run → sweep → config → attempt → simulate) as Chrome trace_event
+// JSON, loadable in Perfetto or chrome://tracing.
 //
 // Usage:
 //
@@ -38,6 +40,7 @@ import (
 
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -61,6 +64,7 @@ func main() {
 		listen     = flag.String("listen", "", "serve /metrics, /progress, and /debug/pprof on this address while running")
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		eventsOut  = flag.String("events", "", "append the structured run-event journal (JSONL) to this file")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span tree to this file (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -95,11 +99,27 @@ func main() {
 			fatal(err)
 		}
 	}
+	var tr *span.Tracer
+	var root *span.Span
+	if *traceOut != "" {
+		tr = span.NewTracer()
+		root = tr.Start(nil, "run",
+			span.Attr{Key: "workload", Value: *workload},
+			span.Attr{Key: "policy", Value: *policy})
+	}
 	// flushObs persists the observability outputs; it runs on both the
 	// normal and the drain exit paths.
 	flushObs := func() {
 		if err := elog.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: closing event journal: %v\n", err)
+		}
+		if *traceOut != "" {
+			root.End()
+			if err := tr.WriteFile(*traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "sweep: writing trace: %v\n", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "sweep: span trace saved to %s\n", *traceOut)
+			}
 		}
 		if *metricsOut != "" {
 			if err := obs.WriteSnapshotFile(*metricsOut, reg); err != nil {
@@ -147,6 +167,7 @@ func main() {
 		Timeout: *cfgTimeout, Retries: *retries,
 		Checkpoint: ck, Resume: rs,
 		Metrics: reg, Events: elog,
+		Trace: tr, TraceParent: root,
 	}
 
 	names := strings.Split(*workload, ",")

@@ -24,7 +24,7 @@ func main() {
 		workload = flag.String("workload", "gcc1", "synthetic workload name")
 		traceIn  = flag.String("trace", "", "trace file to profile instead (.din or binary)")
 		n        = flag.Uint64("n", 200_000, "references to profile (synthetic workloads)")
-		jsonOut  = flag.Bool("json", false, "emit the report as JSON (twolevel-traceinfo/1)")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON (twolevel-traceinfo/2)")
 	)
 	flag.Parse()
 

@@ -1,0 +1,116 @@
+package analyze
+
+// Report rendering: the "twolevel-explain/1" JSON document and the
+// aligned text form printed by cmd/cachesim -explain. The format string
+// is versioned like twolevel-traceinfo's: consumers reject documents
+// whose major version they do not know.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"twolevel/internal/obs"
+)
+
+// ReportFormat identifies the explain document schema.
+const ReportFormat = "twolevel-explain/1"
+
+// LevelReport is the per-level half of a Report.
+type LevelReport struct {
+	Level         string `json:"level"`
+	CapacityLines uint64 `json:"capacity_lines"`
+	Accesses      uint64 `json:"accesses"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+
+	// 3C classification; the three classes always sum to Misses.
+	Compulsory uint64 `json:"compulsory_misses"`
+	Capacity   uint64 `json:"capacity_misses"`
+	Conflict   uint64 `json:"conflict_misses"`
+
+	// ConflictShare is Conflict/Misses (0 with no misses) — the number
+	// cmd/explain tracks across L2 organizations.
+	ConflictShare float64 `json:"conflict_share"`
+
+	// ColdRefs counts first-touch references (they have no reuse
+	// distance and are excluded from the histogram).
+	ColdRefs uint64 `json:"cold_refs"`
+
+	// ReuseDistance is the log2-bucketed LRU stack-distance histogram
+	// of re-references, in lines.
+	ReuseDistance obs.HistogramSnapshot `json:"reuse_distance_lines"`
+}
+
+// Report is the full explain document for one simulated run.
+type Report struct {
+	Format   string        `json:"format"`
+	Workload string        `json:"workload,omitempty"`
+	Config   string        `json:"config"`
+	Policy   string        `json:"policy"`
+	Refs     uint64        `json:"refs"`
+	Levels   []LevelReport `json:"levels"`
+}
+
+// Report freezes the analyzer's state into a document. workload and
+// refs annotate provenance; the analyzer does not know them itself.
+func (a *Analyzer) Report(workload string, refs uint64) Report {
+	r := Report{
+		Format:   ReportFormat,
+		Workload: workload,
+		Config:   a.cfg.String(),
+		Policy:   a.cfg.Policy.String(),
+		Refs:     refs,
+	}
+	hists := a.reg.Snapshot().Histograms
+	for _, s := range a.levels {
+		lr := LevelReport{
+			Level:         s.name,
+			CapacityLines: s.capLines,
+			Accesses:      s.accesses,
+			Hits:          s.hits,
+			Misses:        s.misses,
+			Compulsory:    s.compulsory,
+			Capacity:      s.capacity,
+			Conflict:      s.conflict,
+			ColdRefs:      s.coldRefs,
+			ReuseDistance: hists["analyze_"+s.name+"_reuse_distance_lines"],
+		}
+		if s.misses > 0 {
+			lr.ConflictShare = float64(s.conflict) / float64(s.misses)
+		}
+		r.Levels = append(r.Levels, lr)
+	}
+	return r
+}
+
+// WriteJSON writes the document as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("analyze: encoding report: %w", err)
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// Write renders the document as an aligned text table: one row per
+// level with the 3C split and reuse-distance quantiles.
+func (r Report) Write(w io.Writer) error {
+	fmt.Fprintf(w, "3C miss classification (%s, %s policy, shadow FA-LRU per level)\n", r.Config, r.Policy)
+	tw := tabwriter.NewWriter(w, 0, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "level\tcap(lines)\taccesses\tmisses\tmiss%\tcompulsory\tcapacity\tconflict\tconflict%\treuse p50\treuse p90")
+	for _, l := range r.Levels {
+		missPct := 0.0
+		if l.Accesses > 0 {
+			missPct = 100 * float64(l.Misses) / float64(l.Accesses)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%d\t%d\t%d\t%.1f\t%.0f\t%.0f\n",
+			l.Level, l.CapacityLines, l.Accesses, l.Misses, missPct,
+			l.Compulsory, l.Capacity, l.Conflict, 100*l.ConflictShare,
+			l.ReuseDistance.Quantile(0.5), l.ReuseDistance.Quantile(0.9))
+	}
+	return tw.Flush()
+}

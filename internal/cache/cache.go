@@ -196,6 +196,21 @@ type Cache struct {
 	// nil obs instrument is a no-op, so the hot path pays one predictable
 	// nil-check per counter).
 	mHits, mMisses, mEvictions, mDirtyWB *obs.Counter
+
+	// observer, when set, sees every demand reference (nil when the
+	// cache is unobserved; the hot path pays one nil-check).
+	observer AccessObserver
+}
+
+// AccessObserver receives every demand reference a cache serves — the
+// Access/AccessWrite/Lookup stream, in order, after the cache's own
+// statistics are updated. Observers must not call back into the cache:
+// they are shadow analyses (e.g. internal/analyze's 3C classifier) that
+// may read but never perturb primary state.
+type AccessObserver interface {
+	// ObserveAccess reports one demand reference to line l and whether
+	// the primary cache hit it.
+	ObserveAccess(l LineAddr, hit bool)
 }
 
 // New builds a cache from cfg. It is the trusted-input wrapper over
@@ -254,6 +269,12 @@ func (c *Cache) Instrument(r *obs.Registry, name string) {
 	c.mDirtyWB = r.Counter(name + "_dirty_writebacks_total")
 }
 
+// Observe attaches an access observer (nil detaches). The observer sees
+// only demand references (Access, AccessWrite, Lookup) — never refills,
+// victim transfers, or invalidations — so its view is exactly the
+// reference stream the cache's hit/miss statistics describe.
+func (c *Cache) Observe(o AccessObserver) { c.observer = o }
+
 // Stats returns the access counters accumulated so far.
 func (c *Cache) Stats() Stats { return c.stats }
 
@@ -310,6 +331,9 @@ func (c *Cache) access(a Addr, write bool) (hit bool, v Victim) {
 	if w := c.findWay(set, l); w >= 0 {
 		c.stats.Hits++
 		c.mHits.Inc()
+		if c.observer != nil {
+			c.observer.ObserveAccess(l, true)
+		}
 		c.touch(set, w)
 		if write {
 			c.dirty[set*c.assoc+w] = true
@@ -318,6 +342,9 @@ func (c *Cache) access(a Addr, write bool) (hit bool, v Victim) {
 	}
 	c.stats.Misses++
 	c.mMisses.Inc()
+	if c.observer != nil {
+		c.observer.ObserveAccess(l, false)
+	}
 	return false, c.insertState(set, l, write)
 }
 
@@ -331,11 +358,17 @@ func (c *Cache) Lookup(a Addr) bool {
 	if w := c.findWay(set, l); w >= 0 {
 		c.stats.Hits++
 		c.mHits.Inc()
+		if c.observer != nil {
+			c.observer.ObserveAccess(l, true)
+		}
 		c.touch(set, w)
 		return true
 	}
 	c.stats.Misses++
 	c.mMisses.Inc()
+	if c.observer != nil {
+		c.observer.ObserveAccess(l, false)
+	}
 	return false
 }
 

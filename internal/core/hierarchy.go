@@ -297,6 +297,18 @@ func (s *System) L1D() *cache.Cache { return s.l1d }
 // L2 exposes the second-level cache, or nil for a single-level system.
 func (s *System) L2() *cache.Cache { return s.l2 }
 
+// ObserveLevels attaches demand-access observers to the three levels
+// (nil skips a level; the l2 observer is ignored on a single-level
+// system). Observers are shadow analyses — see cache.AccessObserver for
+// the non-perturbation contract.
+func (s *System) ObserveLevels(l1i, l1d, l2 cache.AccessObserver) {
+	s.l1i.Observe(l1i)
+	s.l1d.Observe(l1d)
+	if s.l2 != nil {
+		s.l2.Observe(l2)
+	}
+}
+
 // Access simulates one reference through the hierarchy.
 func (s *System) Access(r trace.Ref) {
 	var l1 *cache.Cache

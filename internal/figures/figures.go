@@ -19,6 +19,7 @@ import (
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -78,6 +79,11 @@ type Config struct {
 	Metrics *obs.Registry
 	// Events, when non-nil, receives each sweep's structured run journal.
 	Events *obs.EventLog
+	// Trace, when non-nil, records every design-space sweep as a span
+	// tree (sweep → config → attempt → simulate) under TraceParent.
+	Trace *span.Tracer
+	// TraceParent is the span new sweep spans attach to; nil roots them.
+	TraceParent *span.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +142,8 @@ func (h *Harness) runSweep(w spec.Workload, opt sweep.Options) []sweep.Point {
 	opt.Resume = h.cfg.Resume
 	opt.Metrics = h.cfg.Metrics
 	opt.Events = h.cfg.Events
+	opt.Trace = h.cfg.Trace
+	opt.TraceParent = h.cfg.TraceParent
 	pts, err := sweep.RunContext(ctx, w, opt)
 	h.mu.Lock()
 	defer h.mu.Unlock()

@@ -212,11 +212,37 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 
 // HistogramSnapshot is the frozen state of one histogram. Counts has one
 // more entry than Bounds; the extra last entry is the overflow bucket.
+// Buckets carries the same counts with each bucket's inclusive upper
+// bound made explicit, so external tooling can plot a histogram without
+// hardcoding the boundary scheme (Bounds/Counts remain for
+// back-compatibility with pre-existing consumers of the snapshot JSON).
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []uint64  `json:"counts"`
-	Count  uint64    `json:"count"`
-	Sum    float64   `json:"sum"`
+	Bounds  []float64         `json:"bounds"`
+	Counts  []uint64          `json:"counts"`
+	Buckets []HistogramBucket `json:"buckets"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+}
+
+// HistogramBucket is one histogram bucket with its inclusive upper
+// bound. The overflow bucket (everything above the last bound) has a
+// nil Le, serialized as JSON null.
+type HistogramBucket struct {
+	Le    *float64 `json:"le"`
+	Count uint64   `json:"count"`
+}
+
+// bucketize derives the explicit-bound Buckets form from Bounds/Counts.
+func (h *HistogramSnapshot) bucketize() {
+	h.Buckets = make([]HistogramBucket, len(h.Counts))
+	for i, c := range h.Counts {
+		b := HistogramBucket{Count: c}
+		if i < len(h.Bounds) {
+			le := h.Bounds[i]
+			b.Le = &le
+		}
+		h.Buckets[i] = b
+	}
 }
 
 // Mean reports Sum/Count, or 0 with no observations.
@@ -290,6 +316,7 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
 		}
+		hs.bucketize()
 		s.Histograms[name] = hs
 	}
 	return s

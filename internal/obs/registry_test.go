@@ -86,6 +86,26 @@ func TestHistogramBuckets(t *testing.T) {
 	if q := hs.Quantile(1); q != 4 {
 		t.Errorf("p100 = %g, want 4 (overflow clamps to largest bound)", q)
 	}
+	// The snapshot also carries self-describing buckets: each count paired
+	// with its explicit upper bound, the overflow bucket with a nil bound.
+	if len(hs.Buckets) != 4 {
+		t.Fatalf("snapshot has %d buckets, want 4", len(hs.Buckets))
+	}
+	for i, b := range hs.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, b.Count, want[i])
+		}
+		switch {
+		case i < 3:
+			if b.Le == nil || *b.Le != hs.Bounds[i] {
+				t.Errorf("bucket %d le = %v, want %g", i, b.Le, hs.Bounds[i])
+			}
+		default:
+			if b.Le != nil {
+				t.Errorf("overflow bucket has le %g, want nil", *b.Le)
+			}
+		}
+	}
 }
 
 func TestHistogramConcurrentSum(t *testing.T) {

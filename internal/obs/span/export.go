@@ -1,0 +1,166 @@
+package span
+
+// Chrome trace_event export. The format is the JSON object form
+// understood by Perfetto and chrome://tracing: a "traceEvents" array of
+// complete ("X") events with microsecond ts/dur. Those tools nest
+// events on one track (tid) purely by time containment, so the
+// exporter assigns each span a lane such that a span always shares a
+// lane with its enclosing ancestors and never with an overlapping
+// non-ancestor. The span tree itself stays machine-readable through the
+// span_id/parent_id args on every event.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// traceEvent is one Chrome trace_event entry.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// traceDoc is the exported JSON document.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// Export writes every finished span as a Chrome trace_event JSON
+// document. A nil tracer writes a valid empty document.
+func (t *Tracer) Export(w io.Writer) error {
+	return exportSpans(w, t.Snapshot())
+}
+
+// ExportSubtree writes the spans rooted at (and including) the span
+// with the given id. Unknown roots produce a valid empty document.
+func (t *Tracer) ExportSubtree(w io.Writer, root uint64) error {
+	return exportSpans(w, Subtree(t.Snapshot(), root))
+}
+
+// WriteFile exports the full trace to path, creating or truncating it.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("span: %w", err)
+	}
+	if err := t.Export(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("span: %w", err)
+	}
+	return nil
+}
+
+// Subtree filters spans to the one with the given id plus all its
+// descendants, preserving order.
+func Subtree(spans []Data, root uint64) []Data {
+	in := map[uint64]bool{root: true}
+	// Snapshot order is by start time, and a child cannot start before
+	// its parent, so one forward pass closes the descendant set.
+	var out []Data
+	for _, d := range spans {
+		if in[d.ID] || in[d.Parent] && d.Parent != 0 {
+			in[d.ID] = true
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// exportSpans renders spans (already sorted by start, id) as a trace
+// document on w.
+func exportSpans(w io.Writer, spans []Data) error {
+	doc := traceDoc{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{
+		{Name: "process_name", Ph: "M", PID: 1, Args: map[string]string{"name": "twolevel"}},
+	}}
+	lanes := assignLanes(spans)
+	for i, d := range spans {
+		args := map[string]string{
+			"span_id": fmt.Sprintf("%d", d.ID),
+		}
+		if d.Parent != 0 {
+			args["parent_id"] = fmt.Sprintf("%d", d.Parent)
+		}
+		for _, a := range d.Attrs {
+			if a.Key == "span_id" || a.Key == "parent_id" {
+				continue
+			}
+			args[a.Key] = a.Value
+		}
+		doc.TraceEvents = append(doc.TraceEvents, traceEvent{
+			Name: d.Name,
+			Ph:   "X",
+			TS:   float64(d.StartNS) / 1e3,
+			Dur:  float64(d.EndNS-d.StartNS) / 1e3,
+			PID:  1,
+			TID:  lanes[i],
+		})
+		doc.TraceEvents[len(doc.TraceEvents)-1].Args = args
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("span: encoding trace: %w", err)
+	}
+	return nil
+}
+
+// assignLanes maps each span (indexed as in spans, which must be sorted
+// by start then id) to a track id such that time containment on a track
+// reproduces the span tree: a span lands on its parent's lane whenever
+// the parent still encloses it, and never on a lane whose innermost
+// open span it merely overlaps. Concurrent siblings (sweep workers)
+// spread across extra lanes.
+func assignLanes(spans []Data) []int {
+	type open struct {
+		id  uint64
+		end int64
+	}
+	var stacks [][]open // per-lane stack of still-enclosing spans
+	lanes := make([]int, len(spans))
+	laneOf := make(map[uint64]int, len(spans))
+
+	// fits reports whether s can be placed on lane l, first discarding
+	// spans that ended before s starts (safe to commit: they would be
+	// discarded for every later span too, since starts are sorted).
+	fits := func(l int, d Data) bool {
+		st := stacks[l]
+		for len(st) > 0 && st[len(st)-1].end <= d.StartNS {
+			st = st[:len(st)-1]
+		}
+		stacks[l] = st
+		return len(st) == 0 || st[len(st)-1].end >= d.EndNS
+	}
+
+	for i, d := range spans {
+		lane := -1
+		if pl, ok := laneOf[d.Parent]; ok && fits(pl, d) {
+			lane = pl
+		} else {
+			for l := range stacks {
+				if fits(l, d) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			stacks = append(stacks, nil)
+			lane = len(stacks) - 1
+		}
+		stacks[lane] = append(stacks[lane], open{d.ID, d.EndNS})
+		lanes[i] = lane
+		laneOf[d.ID] = lane
+	}
+	return lanes
+}

@@ -8,6 +8,9 @@ package service
 //	GET    /v1/jobs/{id}/result  completed points as a twolevel-sweep/1
 //	                          document (sweep.SaveJSON; 202 + status
 //	                          while the job is still running)
+//	GET    /v1/jobs/{id}/trace   the job's span tree as Chrome
+//	                          trace_event JSON, loadable in Perfetto
+//	                          (202 + status while the job is running)
 //	DELETE /v1/jobs/{id}      cancel a running job
 //	GET    /v1/envelope       the paper's budget question: ?area=<rbe>
 //	                          [&workload=<name>] [&job=<id>] answers with
@@ -209,6 +212,25 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if err := sweep.SaveJSON(w, j.Points()); err != nil {
+			httpError(w, http.StatusInternalServerError, err)
+		}
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+			return
+		}
+		st := j.Status()
+		if !st.State.Terminal() {
+			// Spans are recorded as they finish; answer with the status
+			// until the tree is complete, exactly like the result
+			// endpoint.
+			writeJSON(w, http.StatusAccepted, st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := j.WriteTrace(w); err != nil {
 			httpError(w, http.StatusInternalServerError, err)
 		}
 	})

@@ -21,13 +21,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -51,6 +54,12 @@ type Config struct {
 	// the Event* constants) plus the sweep-level evaluation events. Nil
 	// costs nothing.
 	Events *obs.EventLog
+	// Trace, when non-nil, receives the span tree of every job (job →
+	// evaluate → store-{hit,miss}). When nil the manager keeps a private
+	// tracer so GET /v1/jobs/{id}/trace works regardless; pass one
+	// explicitly to also export the whole service trace (cmd/served
+	// -trace).
+	Trace *span.Tracer
 }
 
 // JobRequest names the work of one job: every configuration of the
@@ -85,6 +94,7 @@ type Manager struct {
 	met    *svcMetrics
 	events *obs.EventLog
 	reg    *obs.Registry
+	tracer *span.Tracer
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals queue pushes and draining
@@ -159,11 +169,18 @@ func New(cfg Config) *Manager {
 	if cfg.Store == nil {
 		cfg.Store = NewStore(0)
 	}
+	if cfg.Trace == nil {
+		// Job traces are part of the HTTP API, so tracing is always on;
+		// per-evaluation spans are far too coarse to matter next to the
+		// simulations they time.
+		cfg.Trace = span.NewTracer()
+	}
 	m := &Manager{
 		store:    cfg.Store,
 		met:      newSvcMetrics(cfg.Metrics),
 		events:   cfg.Events,
 		reg:      cfg.Metrics,
+		tracer:   cfg.Trace,
 		inflight: make(map[string]*task),
 		jobs:     make(map[string]*Job),
 	}
@@ -179,6 +196,10 @@ func New(cfg Config) *Manager {
 // Store exposes the manager's result store (read-mostly: the envelope
 // endpoint queries it).
 func (m *Manager) Store() *Store { return m.store }
+
+// WriteTrace exports the whole service trace — every job's span tree —
+// as one Chrome trace_event JSON document (cmd/served -trace).
+func (m *Manager) WriteTrace(w io.Writer) error { return m.tracer.Export(w) }
 
 // Submit validates and enqueues one job, returning it immediately; the
 // job runs on the shared worker pool. Evaluations already memoized in
@@ -224,7 +245,12 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		state:       StateRunning,
 		total:       len(ws) * len(cfgs),
 		doneCh:      make(chan struct{}),
+		evalSpans:   make(map[*task]*span.Span),
 	}
+	j.root = m.tracer.Start(nil, "job",
+		span.Attr{Key: "id", Value: j.id},
+		span.Attr{Key: "workloads", Value: strings.Join(j.workloads, ",")},
+		span.Attr{Key: "fingerprint", Value: j.fingerprint})
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.activeJobs.Add(1)
@@ -240,7 +266,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		eval := sweep.NewEvaluator(w, opt)
 		for _, cfg := range cfgs {
 			key := sweep.Key(w.Name, cfg, opt)
+			label := sweep.Label(cfg)
+			es := j.root.Child("evaluate",
+				span.Attr{Key: "workload", Value: w.Name},
+				span.Attr{Key: "label", Value: label})
 			if p, ok := m.store.Get(key); ok {
+				es.Child("store-hit").End()
+				es.Annotate("outcome", "cached")
+				es.End()
 				j.cached++
 				j.done++
 				j.points = append(j.points, p)
@@ -251,20 +284,24 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 				})
 				continue
 			}
+			es.Child("store-miss").End()
 			m.met.storeMisses.Inc()
 			if t, ok := m.inflight[key]; ok && t.join(j) {
+				es.Annotate("coalesced", "true")
+				j.evalSpans[t] = es
 				j.pending++
 				j.coalesced++
 				j.tasks = append(j.tasks, t)
 				m.met.coalesced.Inc()
 				m.events.Emit(obs.Event{
 					Type: EventTaskCoalesced, Job: j.id,
-					Workload: w.Name, Label: sweep.Label(cfg),
+					Workload: w.Name, Label: label,
 				})
 				continue
 			}
 			ctx, cancel := context.WithCancel(context.Background())
 			t := &task{key: key, cfg: cfg, eval: eval, ctx: ctx, cancel: cancel, waiters: []*Job{j}}
+			j.evalSpans[t] = es
 			m.inflight[key] = t
 			m.queue = append(m.queue, t)
 			j.pending++
@@ -368,7 +405,7 @@ func (m *Manager) runTask(t *task) {
 		m.met.tasksFailed.Inc()
 	}
 	for _, j := range waiters {
-		j.deliver(p, err)
+		j.deliver(t, p, err)
 	}
 }
 
@@ -422,6 +459,11 @@ type Job struct {
 	fingerprint string
 	created     time.Time
 
+	// root is the job's trace span; evalSpans holds the open "evaluate"
+	// child for every task the job still awaits (ended on delivery or at
+	// the terminal transition). Both live on the manager's tracer.
+	root *span.Span
+
 	mu        sync.Mutex
 	state     State
 	total     int
@@ -433,6 +475,7 @@ type Job struct {
 	points    []sweep.Point
 	errs      []string
 	tasks     []*task
+	evalSpans map[*task]*span.Span
 	finished  time.Time
 	doneCh    chan struct{}
 }
@@ -442,11 +485,21 @@ func (j *Job) ID() string { return j.id }
 
 // deliver records one task outcome; the last delivery finalizes the
 // job.
-func (j *Job) deliver(p sweep.Point, err error) {
+func (j *Job) deliver(t *task, p sweep.Point, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
 		return
+	}
+	if es := j.evalSpans[t]; es != nil {
+		if err != nil {
+			es.Annotate("outcome", "failed")
+			es.Annotate("error", err.Error())
+		} else {
+			es.Annotate("outcome", "ok")
+		}
+		es.End()
+		delete(j.evalSpans, t)
 	}
 	j.pending--
 	if err != nil {
@@ -497,9 +550,19 @@ func (j *Job) Cancel() bool {
 }
 
 // closeLocked performs the shared terminal-state bookkeeping: timestamp,
-// completion signal, metrics, and the lifecycle event. Caller holds
-// j.mu and has already set the terminal state.
+// completion signal, metrics, trace spans, and the lifecycle event.
+// Caller holds j.mu and has already set the terminal state.
 func (j *Job) closeLocked(event string) {
+	// Evaluations still open (cancellation, shutdown) end with the job,
+	// marked with the state that cut them off.
+	for t, es := range j.evalSpans {
+		es.Annotate("outcome", string(j.state))
+		es.End()
+		delete(j.evalSpans, t)
+	}
+	j.root.Annotate("state", string(j.state))
+	j.root.Annotate("done", fmt.Sprintf("%d/%d", j.done, j.total))
+	j.root.End()
 	j.finished = time.Now()
 	close(j.doneCh)
 	j.m.activeJobs.Done()
@@ -510,6 +573,13 @@ func (j *Job) closeLocked(event string) {
 		Done: j.done, Total: j.total, Failed: j.failed, Skipped: j.cached,
 		DurNS: j.finished.Sub(j.created).Nanoseconds(),
 	})
+}
+
+// WriteTrace exports the job's span subtree (job → evaluate →
+// store-{hit,miss}) as a Chrome trace_event JSON document — the same
+// document GET /v1/jobs/{id}/trace serves once the job is terminal.
+func (j *Job) WriteTrace(w io.Writer) error {
+	return j.m.tracer.ExportSubtree(w, j.root.ID())
 }
 
 // Wait blocks until the job reaches a terminal state or ctx expires.

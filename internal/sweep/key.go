@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"twolevel/internal/core"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/trace"
 )
@@ -94,11 +95,20 @@ func (e *Evaluator) Workload() spec.Workload { return e.w }
 // Evaluate runs one configuration with RunContext's per-configuration
 // hardening and returns the priced point. Failures arrive as
 // *ConfigError exactly as RunContext records them; a ctx cancellation is
-// returned unwrapped.
+// returned unwrapped. With Options.Trace set, each call contributes one
+// "config" span (under Options.TraceParent) with its attempt children.
 func (e *Evaluator) Evaluate(ctx context.Context, cfg core.Config) (Point, error) {
 	e.once.Do(func() { e.refs = trace.Collect(e.w.Stream(e.opt.Refs), 0) })
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return evaluateOne(ctx, e.w.Name, e.refs, cfg, e.opt, e.met)
+	cs := e.opt.Trace.Start(e.opt.TraceParent, "config",
+		span.Attr{Key: "workload", Value: e.w.Name},
+		span.Attr{Key: "label", Value: Label(cfg)})
+	p, err := evaluateOne(ctx, e.w.Name, e.refs, cfg, e.opt, e.met, cs)
+	if err != nil {
+		cs.Annotate("error", err.Error())
+	}
+	cs.End()
+	return p, err
 }

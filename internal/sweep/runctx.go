@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/trace"
 )
@@ -93,6 +95,10 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		Type: obs.EventSweepStart, Workload: w.Name,
 		Fingerprint: opt.Fingerprint(), Total: total,
 	})
+	sw := opt.Trace.Start(opt.TraceParent, "sweep",
+		span.Attr{Key: "workload", Value: w.Name},
+		span.Attr{Key: "fingerprint", Value: opt.Fingerprint()},
+		span.Attr{Key: "total", Value: strconv.Itoa(total)})
 
 	var (
 		mu      sync.Mutex
@@ -125,6 +131,11 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 				Type: obs.EventConfigSkipped, Workload: w.Name, Label: label,
 				Done: done, Total: total,
 			})
+			// Resumed configurations appear in the trace as instant
+			// config spans, so a resumed run's tree is still complete.
+			rs := sw.Child("config", span.Attr{Key: "label", Value: label})
+			rs.Annotate("outcome", "resumed")
+			rs.End()
 			report(ProgressEvent{Done: done, Total: total, Label: label, Skipped: true})
 			continue
 		}
@@ -144,8 +155,9 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 					met.queueDepth.Add(-1)
 					label := Label(j.cfg)
 					opt.Events.Emit(obs.Event{Type: obs.EventConfigStart, Workload: w.Name, Label: label})
+					cs := sw.Child("config", span.Attr{Key: "label", Value: label})
 					start := time.Now()
-					p, err := evaluateOne(ctx, w.Name, refs, j.cfg, opt, met)
+					p, err := evaluateOne(ctx, w.Name, refs, j.cfg, opt, met, cs)
 					dur := time.Since(start)
 					mu.Lock()
 					done++
@@ -154,15 +166,18 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 						points[j.i], have[j.i] = p, true
 						met.done.Inc()
 						met.cfgSeconds.Observe(dur.Seconds())
+						cs.Annotate("outcome", "ok")
 						opt.Events.Emit(obs.Event{
 							Type: obs.EventConfigDone, Workload: w.Name, Label: label,
 							Done: done, Total: total, DurNS: dur.Nanoseconds(),
 							Area: p.AreaRbe, TPI: p.TPINS,
 						})
 						if opt.Checkpoint != nil {
+							fl := cs.Child("checkpoint-flush")
 							ckStart := time.Now()
 							cerr := opt.Checkpoint.Record(key, p)
 							ckDur := time.Since(ckStart)
+							fl.End()
 							met.ckptSeconds.Observe(ckDur.Seconds())
 							if cerr != nil {
 								errs = append(errs, fmt.Errorf("sweep: checkpointing %s: %w", p.Label, cerr))
@@ -176,15 +191,19 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 					case ctx.Err() != nil:
 						// The whole run was cancelled mid-evaluation;
 						// that is reported once below, not per config.
+						cs.Annotate("outcome", "cancelled")
 					default:
 						failed++
 						met.failures.Inc()
 						errs = append(errs, err)
+						cs.Annotate("outcome", "failed")
+						cs.Annotate("error", err.Error())
 						opt.Events.Emit(obs.Event{
 							Type: obs.EventConfigError, Workload: w.Name, Label: label,
 							Done: done, Total: total, Err: err.Error(),
 						})
 					}
+					cs.End()
 					report(ProgressEvent{Done: done, Total: total, Label: label, Err: err})
 					mu.Unlock()
 				}
@@ -219,7 +238,12 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		Fingerprint: opt.Fingerprint(),
 		Done:        done, Total: total, Skipped: skipped, Failed: failed,
 	}
+	sw.Annotate("done", strconv.Itoa(done))
+	sw.Annotate("skipped", strconv.Itoa(skipped))
+	sw.Annotate("failed", strconv.Itoa(failed))
 	if err := ctx.Err(); err != nil {
+		sw.Annotate("interrupted", err.Error())
+		sw.End()
 		doneEv.Err = err.Error()
 		manifest.Err = err.Error()
 		opt.Events.Emit(doneEv)
@@ -227,6 +251,7 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 		return completed, fmt.Errorf("sweep: %s interrupted after %d/%d configurations: %w",
 			w.Name, len(completed), total, err)
 	}
+	sw.End()
 	opt.Events.Emit(doneEv)
 	opt.Events.Emit(manifest)
 	return completed, errors.Join(errs...)
@@ -236,45 +261,60 @@ func RunContext(ctx context.Context, w spec.Workload, opt Options) ([]Point, err
 // per-configuration timeout, and bounded retries, wrapping any final
 // failure in a ConfigError. A parent-context cancellation is returned
 // unwrapped (it is a property of the run, not of the configuration).
-func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg core.Config, opt Options, met *runMetrics) (Point, error) {
+// Every attempt appears in the trace as its own child of parent, so
+// retries show up as sibling "attempt" spans.
+func evaluateOne(ctx context.Context, workload string, refs []trace.Ref, cfg core.Config, opt Options, met *runMetrics, parent *span.Span) (Point, error) {
 	var err error
 	for attempt := 0; attempt <= opt.Retries; attempt++ {
+		as := parent.Child("attempt", span.Attr{Key: "attempt", Value: strconv.Itoa(attempt + 1)})
 		var p Point
-		p, err = evaluateGuarded(ctx, refs, cfg, opt)
+		p, err = evaluateGuarded(ctx, refs, cfg, opt, as)
 		if err == nil {
+			as.End()
 			p.Workload = workload
 			return p, nil
 		}
+		as.Annotate("error", err.Error())
 		if ctx.Err() != nil {
+			as.End()
 			return Point{}, err
 		}
 		var pe panicError
+		cause := "error"
 		switch {
 		case errors.As(err, &pe):
 			met.panics.Inc()
+			cause = "panic"
 		case errors.Is(err, context.DeadlineExceeded):
 			// The parent context is live (checked above), so the deadline
 			// that fired was the per-configuration one.
 			met.timeouts.Inc()
+			cause = "timeout"
 		}
 		if attempt < opt.Retries {
 			met.retries.Inc()
+			as.Annotate("retry_cause", cause)
 			opt.Events.Emit(obs.Event{
 				Type: obs.EventConfigRetry, Workload: workload, Label: Label(cfg),
 				Attempt: attempt + 1, Err: err.Error(),
 			})
 		}
+		as.End()
 	}
 	return Point{}, &ConfigError{Label: Label(cfg), Workload: workload, Cause: err}
 }
 
 // evaluateGuarded is one evaluation attempt: panics become errors and the
-// per-configuration timeout is applied.
-func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt Options) (p Point, err error) {
+// per-configuration timeout is applied. The simulation proper is traced
+// as a "simulate" child of the attempt span (ended even when the
+// evaluation panics, so the trace stays complete).
+func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt Options, sp *span.Span) (p Point, err error) {
+	sim := sp.Child("simulate", span.Attr{Key: "refs", Value: strconv.Itoa(len(refs))})
 	defer func() {
 		if r := recover(); r != nil {
 			err = panicError{v: r}
 		}
+		sim.End()
 	}()
 	if opt.Timeout > 0 {
 		var cancel context.CancelFunc

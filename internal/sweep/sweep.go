@@ -18,6 +18,7 @@ import (
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/perf"
 	"twolevel/internal/spec"
 	"twolevel/internal/timing"
@@ -91,6 +92,17 @@ type Options struct {
 	// checkpoint_flush, sweep_done, and a final run_manifest) as JSONL
 	// under RunContext. Nil costs nothing. Fingerprint ignores it.
 	Events *obs.EventLog
+	// Trace, when non-nil, receives a span tree of the run under
+	// RunContext and Evaluator: sweep → config → attempt → {simulate,
+	// checkpoint-flush}, exportable as Chrome trace_event JSON. Nil (the
+	// default) costs nothing — span methods degrade to no-ops.
+	// Fingerprint ignores it.
+	Trace *span.Tracer
+	// TraceParent, when non-nil, is the parent under which this sweep's
+	// spans nest (cmd tools hang every sweep below one "run" span; the
+	// service hangs evaluations below the job's span). Fingerprint
+	// ignores it.
+	TraceParent *span.Span
 }
 
 func (o Options) withDefaults() Options {

@@ -23,6 +23,14 @@ type Profile struct {
 	UniqueInstrLines int
 	UniqueDataLines  int
 
+	// UniqueInstrAddrs and UniqueDataAddrs are the touched footprints in
+	// distinct byte addresses — finer than the line footprints, and the
+	// denominators the 3C compulsory-miss cross-check uses (a level's
+	// compulsory misses equal its unique line footprint, so addr/line
+	// ratios bound how much spatial locality amortizes cold misses).
+	UniqueInstrAddrs int
+	UniqueDataAddrs  int
+
 	// SequentialInstrFrac is the fraction of instruction fetches that
 	// directly follow the previous one (spatial locality of code).
 	SequentialInstrFrac float64
@@ -49,6 +57,8 @@ const lineShiftDefault = 4
 func Analyze(s Stream) Profile {
 	var p Profile
 	iLines := make(map[uint64]struct{})
+	iAddrs := make(map[uint64]struct{})
+	dAddrs := make(map[uint64]struct{})
 	var prevInstr uint64
 	var havePrev bool
 	seq, iTotal := uint64(0), uint64(0)
@@ -82,6 +92,7 @@ func Analyze(s Stream) Profile {
 			iTotal++
 			line := r.Addr >> lineShiftDefault
 			iLines[line] = struct{}{}
+			iAddrs[r.Addr] = struct{}{}
 			if havePrev && r.Addr == prevInstr+4 {
 				seq++
 			}
@@ -92,6 +103,7 @@ func Analyze(s Stream) Profile {
 			} else {
 				p.Loads++
 			}
+			dAddrs[r.Addr] = struct{}{}
 			line := r.Addr >> lineShiftDefault
 			// Find the line in the MTF stack.
 			found := -1
@@ -123,6 +135,8 @@ func Analyze(s Stream) Profile {
 	}
 	p.UniqueInstrLines = len(iLines)
 	p.UniqueDataLines = len(seen)
+	p.UniqueInstrAddrs = len(iAddrs)
+	p.UniqueDataAddrs = len(dAddrs)
 	if iTotal > 1 {
 		p.SequentialInstrFrac = float64(seq) / float64(iTotal-1)
 	}
@@ -144,6 +158,15 @@ func (p Profile) StoreFrac() float64 {
 		return float64(p.Stores) / float64(d)
 	}
 	return 0
+}
+
+// ReadWriteRatio reports loads per store (0 for a store-free stream,
+// where the ratio is undefined — callers should check Stores first).
+func (p Profile) ReadWriteRatio() float64 {
+	if p.Stores == 0 {
+		return 0
+	}
+	return float64(p.Loads) / float64(p.Stores)
 }
 
 // MissRatioAtCapacity estimates the data miss ratio of a fully
@@ -171,10 +194,11 @@ func (p Profile) Render(w io.Writer) error {
 		p.Refs, p.Instr, p.Loads, p.Stores)
 	fmt.Fprintf(w, "instr fraction  : %.3f   store fraction of data: %.3f\n",
 		p.InstrFrac(), p.StoreFrac())
-	fmt.Fprintf(w, "code footprint  : %d lines (%s)\n",
-		p.UniqueInstrLines, formatBytes(int64(p.UniqueInstrLines)<<lineShiftDefault))
-	fmt.Fprintf(w, "data footprint  : %d lines (%s)\n",
-		p.UniqueDataLines, formatBytes(int64(p.UniqueDataLines)<<lineShiftDefault))
+	fmt.Fprintf(w, "read/write ratio: %.2f loads per store\n", p.ReadWriteRatio())
+	fmt.Fprintf(w, "code footprint  : %d lines (%s), %d unique addresses\n",
+		p.UniqueInstrLines, formatBytes(int64(p.UniqueInstrLines)<<lineShiftDefault), p.UniqueInstrAddrs)
+	fmt.Fprintf(w, "data footprint  : %d lines (%s), %d unique addresses\n",
+		p.UniqueDataLines, formatBytes(int64(p.UniqueDataLines)<<lineShiftDefault), p.UniqueDataAddrs)
 	fmt.Fprintf(w, "sequential instr: %.3f\n", p.SequentialInstrFrac)
 	fmt.Fprintln(w, "data LRU stack-distance histogram (per power-of-two bucket):")
 	total := p.Loads + p.Stores

@@ -11,7 +11,16 @@ import (
 )
 
 // reportFormat identifies the traceinfo JSON schema version.
-const reportFormat = "twolevel-traceinfo/1"
+//
+// Version 2 is strictly additive over version 1: it introduces the
+// unique-address footprints (unique_instr_addrs, unique_data_addrs) and
+// the read/write ratio (read_write_ratio) the 3C compulsory-miss
+// cross-check consumes, changing no existing field's name, type, or
+// meaning. Consumers written against twolevel-traceinfo/1 can read a /2
+// document by relaxing the version check; the version is bumped (rather
+// than silently extended) because this format promises that consumers
+// reject majors they do not know.
+const reportFormat = "twolevel-traceinfo/2"
 
 // HistBucket is one power-of-two stack-distance bucket: Count reuses at
 // LRU distance [MinLines, 2×MinLines).
@@ -46,6 +55,11 @@ type Report struct {
 	DataLines int   `json:"data_lines"`
 	DataBytes int64 `json:"data_bytes"`
 
+	// Unique-address footprints and the read/write ratio (v2 additions).
+	UniqueInstrAddrs int     `json:"unique_instr_addrs"`
+	UniqueDataAddrs  int     `json:"unique_data_addrs"`
+	ReadWriteRatio   float64 `json:"read_write_ratio"`
+
 	SequentialInstrFrac float64 `json:"sequential_instr_frac"`
 
 	StackHistogram []HistBucket   `json:"stack_histogram"`
@@ -71,6 +85,9 @@ func (p Profile) Report(source string) Report {
 		CodeBytes:           int64(p.UniqueInstrLines) << lineShiftDefault,
 		DataLines:           p.UniqueDataLines,
 		DataBytes:           int64(p.UniqueDataLines) << lineShiftDefault,
+		UniqueInstrAddrs:    p.UniqueInstrAddrs,
+		UniqueDataAddrs:     p.UniqueDataAddrs,
+		ReadWriteRatio:      p.ReadWriteRatio(),
 		SequentialInstrFrac: p.SequentialInstrFrac,
 		ColdDataRefs:        p.ColdDataRefs,
 		FarDataRefs:         p.FarDataRefs,

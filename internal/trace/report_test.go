@@ -16,7 +16,7 @@ func TestProfileReport(t *testing.T) {
 	}, 50_000))
 	r := p.Report("t")
 
-	if r.Format != "twolevel-traceinfo/1" {
+	if r.Format != "twolevel-traceinfo/2" {
 		t.Fatalf("format = %q", r.Format)
 	}
 	if r.Source != "t" {
@@ -33,6 +33,18 @@ func TestProfileReport(t *testing.T) {
 	}
 	if r.CodeBytes != int64(r.CodeLines)*16 || r.DataBytes != int64(r.DataLines)*16 {
 		t.Fatal("byte footprints are not 16-byte-line multiples of the line footprints")
+	}
+
+	// v2 fields: address footprints are at least the line footprints and
+	// at most 16x them; the read/write ratio matches the raw counts.
+	if r.UniqueInstrAddrs < r.CodeLines || r.UniqueInstrAddrs > 16*r.CodeLines {
+		t.Fatalf("unique instr addrs %d outside [%d, %d]", r.UniqueInstrAddrs, r.CodeLines, 16*r.CodeLines)
+	}
+	if r.UniqueDataAddrs < r.DataLines || r.UniqueDataAddrs > 16*r.DataLines {
+		t.Fatalf("unique data addrs %d outside [%d, %d]", r.UniqueDataAddrs, r.DataLines, 16*r.DataLines)
+	}
+	if want := float64(r.Loads) / float64(r.Stores); r.Stores > 0 && r.ReadWriteRatio != want {
+		t.Fatalf("read/write ratio = %v, want %v", r.ReadWriteRatio, want)
 	}
 
 	// Histogram buckets plus cold plus far cover every data reference.

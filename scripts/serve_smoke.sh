@@ -4,7 +4,9 @@
 # promises: the job reaches "done", the result document is the standard
 # twolevel-sweep/1 format, the envelope is a true Pareto staircase, and
 # a resubmitted identical job is served from the result store (visible
-# in the service_store_hits_total counter on /metrics).
+# in the service_store_hits_total counter on /metrics), and the job's
+# span tree is served as Chrome trace_event JSON (saved to ARTIFACT_DIR
+# when set, so CI can upload it).
 #
 # Requires: go, curl, jq. Run via `make serve-smoke`.
 set -euo pipefail
@@ -77,6 +79,22 @@ jq -e '
 	and (([.envelope[].tpi_ns]) as $t | $t == ($t | unique | reverse))
 ' <<<"$ENV" >/dev/null || { echo "$ENV" >&2; fail "envelope is not a feasible Pareto staircase"; }
 echo "serve-smoke: staircase ok ($(jq '.envelope | length' <<<"$ENV") points, best $(jq -r .best.label <<<"$ENV"))"
+
+# The trace endpoint serves the finished job's span tree as Chrome
+# trace_event JSON: a displayTimeUnit, at least one complete ("X") event
+# named "job", and one "evaluate" X event per evaluation. The document is
+# kept (ARTIFACT_DIR) so CI can upload it for loading into Perfetto.
+ARTIFACT_DIR="${ARTIFACT_DIR:-$TMP}"
+mkdir -p "$ARTIFACT_DIR"
+TRACE_FILE="$ARTIFACT_DIR/serve_smoke_trace.json"
+curl -fsS "$BASE/v1/jobs/$JOB/trace" >"$TRACE_FILE" || fail "trace endpoint"
+jq -e '
+	(.displayTimeUnit == "ms")
+	and ([.traceEvents[] | select(.ph == "X" and .name == "job")] | length == 1)
+	and ([.traceEvents[] | select(.ph == "X" and .name == "evaluate")] | length == 9)
+	and ([.traceEvents[] | select(.ph == "X")] | all(.ts != null and .dur != null and .pid != null and .tid != null))
+' <"$TRACE_FILE" >/dev/null || { cat "$TRACE_FILE" >&2; fail "trace document is not a valid job span tree"; }
+echo "serve-smoke: span trace ok ($(jq '[.traceEvents[] | select(.ph == "X")] | length' <"$TRACE_FILE") spans, saved to $TRACE_FILE)"
 
 # A resubmitted identical job must be answered from the result store.
 JOB2="$(curl -fsS -X POST "$BASE/v1/jobs" -d "$JOB_BODY" | jq -r .id)"

@@ -34,11 +34,13 @@ import (
 	"io"
 	"net/http"
 
+	"twolevel/internal/analyze"
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/perf"
 	"twolevel/internal/service"
 	"twolevel/internal/spec"
@@ -343,6 +345,49 @@ func ServeObservability(addr string, reg *MetricsRegistry, summary func() any) (
 // SweepProgressSummary computes live sweep progress and ETA from the
 // registry's sweep metrics.
 func SweepProgressSummary(reg *MetricsRegistry) func() any { return sweep.ProgressSummary(reg) }
+
+// SpanTracer collects a span tree of run execution (run → sweep →
+// config → attempt → simulate; job → evaluate → store-{hit,miss} in the
+// job service) and exports it as Chrome trace_event JSON loadable in
+// Perfetto. Attach one via SweepOptions.Trace or JobServiceConfig.Trace.
+// A nil tracer is a valid no-op: Start returns a nil Span whose methods
+// all no-op.
+type SpanTracer = span.Tracer
+
+// Span is one timed node of a span tree.
+type Span = span.Span
+
+// SpanAttr is one key/value annotation on a span.
+type SpanAttr = span.Attr
+
+// SpanData is the immutable snapshot of a completed span.
+type SpanData = span.Data
+
+// NewSpanTracer builds an empty span tracer.
+func NewSpanTracer() *SpanTracer { return span.NewTracer() }
+
+// ---- Cache explainability ----
+
+// CacheAnalyzer shadows a System with per-level infinite-cache +
+// fully-associative-LRU simulations, classifying every demand miss as
+// compulsory, capacity, or conflict (the 3C model) and accumulating
+// reuse-distance histograms. The shadow observes the demand stream only
+// and never perturbs the primary simulation's statistics.
+type CacheAnalyzer = analyze.Analyzer
+
+// ExplainReport is the twolevel-explain/1 document a CacheAnalyzer
+// produces: per-level 3C splits and reuse-distance histograms.
+type ExplainReport = analyze.Report
+
+// ExplainLevelReport is one level's half of an ExplainReport.
+type ExplainLevelReport = analyze.LevelReport
+
+// AttachAnalyzer instruments sys with a 3C/reuse-distance shadow
+// analyzer. Call before running the stream; reg may be nil (the analyzer
+// then uses a private registry for its histograms).
+func AttachAnalyzer(sys *System, reg *MetricsRegistry) *CacheAnalyzer {
+	return analyze.Attach(sys, reg)
+}
 
 // SweepConfigs enumerates the configurations a sweep would evaluate.
 func SweepConfigs(opt SweepOptions) []Hierarchy { return sweep.Configs(opt) }
