@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke ci clean
 
 all: build
 
@@ -16,8 +16,10 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# -shuffle=on randomizes test order so inter-test state dependencies
+# can't hide; a failure prints the seed to reproduce.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # cover writes coverage.out and prints the per-package totals; the CI
 # coverage job runs this and logs the per-function breakdown.
@@ -34,6 +36,13 @@ staticcheck:
 # result-store hit on resubmission. Requires curl and jq.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# chaos-smoke proves crash safety and admission control from outside
+# the process: kill -9 + restart with byte-identical results served
+# from the durable store, 429 shedding, the /readyz drain flip, and the
+# nonzero exit on an expired drain deadline. Requires curl and jq.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 # explain-smoke drives the cache-explainability pipeline: cachesim
 # -explain-json 3C sum contract plus cmd/explain's conflict-share

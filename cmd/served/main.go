@@ -6,7 +6,9 @@
 //
 // Endpoints (see internal/service):
 //
-//	POST   /v1/jobs              submit a job
+//	POST   /v1/jobs              submit a job (X-Timeout/?timeout= caps
+//	                             the job; 429 + Retry-After under load,
+//	                             413 for oversized bodies)
 //	GET    /v1/jobs[/{id}]       job statuses
 //	GET    /v1/jobs/{id}/result  completed points (twolevel-sweep/1 JSON)
 //	GET    /v1/jobs/{id}/trace   span tree (Chrome trace_event JSON)
@@ -14,14 +16,22 @@
 //	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
 //	GET    /metrics, /progress, /debug/pprof/  observability
 //	GET    /healthz              liveness
+//	GET    /readyz               readiness (503 once the drain begins)
 //
-// SIGINT/SIGTERM drains gracefully: new jobs are refused, running jobs
-// get -drain to finish, the final metrics snapshot is written, and the
-// HTTP server shuts down cleanly.
+// With -store-dir the result store is durable: completed points are
+// journaled to crash-safe segment files and replayed at boot, so a
+// kill -9 and restart serves previously computed results byte-for-byte
+// without re-simulating them.
+//
+// SIGINT/SIGTERM drains gracefully: /readyz flips to 503, new jobs are
+// refused, running jobs get -drain-timeout to finish, the final metrics
+// snapshot is written, and the HTTP server shuts down cleanly. If the
+// drain deadline expires with jobs still running, served exits nonzero
+// so supervisors can tell a clean stop from a cut-short one.
 //
 // Usage:
 //
-//	served -listen :8080
+//	served -listen :8080 -store-dir /var/lib/twolevel
 //	served -listen 127.0.0.1:0 -workers 8 -events served.jsonl
 package main
 
@@ -40,12 +50,19 @@ import (
 	"twolevel/internal/service"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		listen     = flag.String("listen", ":8080", "HTTP listen address (host:0 picks a free port)")
 		workers    = flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
-		storeCap   = flag.Int("store-cap", 0, "maximum memoized points (0 = unbounded)")
-		drainTime  = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+		storeCap   = flag.Int("store-cap", 0, "maximum memoized points for the in-memory store (0 = unbounded)")
+		storeDir   = flag.String("store-dir", "", "durable result-store directory (replayed at boot; empty = in-memory only)")
+		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; expiry cancels jobs and exits nonzero")
+		maxActive  = flag.Int("max-active-jobs", 0, "refuse submissions (429) over this many unfinished jobs (0 = unlimited)")
+		maxQueue   = flag.Int("max-queue", 0, "refuse submissions (429) while this many evaluations are queued (0 = unlimited)")
+		maxTimeout = flag.Duration("max-timeout", 0, "clamp client X-Timeout deadlines, and apply to jobs that set none (0 = no server deadline)")
+		maxBody    = flag.Int64("max-body-bytes", 0, "refuse larger POST /v1/jobs bodies with 413 (0 = 1MB default)")
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		eventsOut  = flag.String("events", "", "append the job/run event journal (JSONL) to this file")
 		traceOut   = flag.String("trace", "", "write the service span trace (Chrome trace_event JSON) to this file at shutdown")
@@ -57,8 +74,28 @@ func main() {
 	if *eventsOut != "" {
 		var err error
 		if elog, err = obs.OpenEventLogFile(*eventsOut); err != nil {
-			fatal(err)
+			return fail(err)
 		}
+	}
+
+	// The store: durable segments under -store-dir, or the bounded
+	// in-memory store.
+	var store service.Store
+	var disk *service.DiskStore
+	if *storeDir != "" {
+		var err error
+		if disk, err = service.OpenDiskStore(*storeDir, service.DiskStoreOptions{}); err != nil {
+			return fail(err)
+		}
+		st := disk.Stats()
+		fmt.Fprintf(os.Stderr, "served: store %s replayed %d points (%d segments", *storeDir, st.Points, st.Segments)
+		if st.CorruptDropped > 0 || st.TornRepaired > 0 {
+			fmt.Fprintf(os.Stderr, "; dropped %d corrupt, repaired %d torn", st.CorruptDropped, st.TornRepaired)
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		store = disk
+	} else {
+		store = service.NewStore(*storeCap)
 	}
 
 	// The manager traces every job regardless (GET /v1/jobs/{id}/trace
@@ -66,11 +103,15 @@ func main() {
 	// whole accumulated tree at shutdown.
 	tr := span.NewTracer()
 	mgr := service.New(service.Config{
-		Workers: *workers,
-		Store:   service.NewStore(*storeCap),
-		Metrics: reg,
-		Events:  elog,
-		Trace:   tr,
+		Workers:       *workers,
+		Store:         store,
+		Metrics:       reg,
+		Events:        elog,
+		Trace:         tr,
+		MaxActiveJobs: *maxActive,
+		MaxQueue:      *maxQueue,
+		MaxTimeout:    *maxTimeout,
+		MaxBodyBytes:  *maxBody,
 	})
 
 	// One mux serves the job API and the observability endpoints; the
@@ -81,10 +122,11 @@ func main() {
 	root.Handle("/", obs.NewMux(reg, nil))
 	root.Handle("/v1/", api)
 	root.Handle("/healthz", api)
+	root.Handle("/readyz", api)
 
 	srv, err := obs.ServeHandler(*listen, root)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "served: listening on http://%s (POST /v1/jobs, GET /v1/envelope, /metrics)\n", srv.Addr())
 
@@ -93,14 +135,22 @@ func main() {
 	<-ctx.Done()
 	stop()
 
+	code := 0
 	fmt.Fprintf(os.Stderr, "served: draining (budget %v; running jobs finish, new jobs refused)\n", *drainTime)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTime)
 	defer cancel()
 	if err := mgr.Shutdown(drainCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "served: drain cut short: %v\n", err)
+		fmt.Fprintf(os.Stderr, "served: drain cut short, running jobs cancelled: %v\n", err)
+		code = 1
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
+	}
+	if disk != nil {
+		if err := disk.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "served: closing store: %v\n", err)
+			code = 1
+		}
 	}
 	if err := elog.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "served: closing event journal: %v\n", err)
@@ -120,9 +170,10 @@ func main() {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "served: bye")
+	return code
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "served:", err)
-	os.Exit(1)
+	return 1
 }

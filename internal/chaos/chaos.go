@@ -1,0 +1,230 @@
+// Package chaos is a deterministic, seed-driven fault injector for
+// exercising the recovery paths of the sweep evaluator and the durable
+// result store: panics, delays, injected errors (including context
+// cancellation), and short/failed/corrupted I/O, fired at named sites.
+//
+// The package follows the nil-safety contract of internal/obs: every
+// method on a nil *Injector is a no-op, so production code calls the
+// hooks unconditionally and pays only a nil check when chaos is off.
+// All randomness comes from the seed given to New, so a failing test
+// reproduces exactly by re-running with the same seed and rules.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error value injected faults wrap when a rule does
+// not name its own error. Tests match failures with
+// errors.Is(err, chaos.ErrInjected).
+var ErrInjected = errors.New("chaos: injected fault")
+
+// Rule describes one fault bound to a site. A rule becomes eligible
+// after the site's first After hits, fires at most Times times (0 =
+// unlimited), and — when P is in (0, 1) — fires on an eligible hit with
+// probability P drawn from the injector's seeded source. The fault
+// itself is the union of the effect fields; Delay composes with the
+// others (sleep first, then panic / error / I/O damage).
+type Rule struct {
+	// Site names the injection point, e.g. "sweep.evaluate".
+	Site string
+	// After skips the first After hits of the site.
+	After int
+	// Times caps how often the rule fires (0 = every eligible hit).
+	Times int
+	// P is the per-hit firing probability; outside (0, 1) the rule
+	// always fires once eligible.
+	P float64
+
+	// Delay sleeps before applying the rest of the fault.
+	Delay time.Duration
+	// Panic, when non-nil, panics with this value at Hit sites.
+	Panic any
+	// Err is returned from Hit (or from a wrapped Write) when the rule
+	// fires; nil defaults to ErrInjected unless another effect field
+	// (Delay alone, Corrupt, Short) carries the fault. Use
+	// context.Canceled or context.DeadlineExceeded to impersonate
+	// cancellations.
+	Err error
+	// Corrupt flips one byte of a wrapped Write, which still reports
+	// success — simulating silent media corruption a checksum must
+	// catch.
+	Corrupt bool
+	// Short makes a wrapped Write persist only a prefix of the buffer
+	// and then fail — simulating a torn write cut off by a crash.
+	Short bool
+
+	fired int
+}
+
+// Injector fires configured rules at named sites. Nil is a valid,
+// inert injector; New builds a live one.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []*Rule
+	hits  map[string]int
+	fires map[string]int
+}
+
+// New builds an injector whose probabilistic decisions and corruption
+// offsets all derive from seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		hits:  make(map[string]int),
+		fires: make(map[string]int),
+	}
+}
+
+// Install adds a rule. No-op on a nil injector.
+func (in *Injector) Install(r Rule) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = append(in.rules, &r)
+}
+
+// Hits reports how many times the site was reached (0 on nil).
+func (in *Injector) Hits(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[site]
+}
+
+// Fired reports how many faults the site has injected (0 on nil).
+func (in *Injector) Fired(site string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fires[site]
+}
+
+// match picks the first rule that fires for this hit of site, updating
+// the hit and fire accounting. It returns nil when the site passes
+// clean.
+func (in *Injector) match(site string) *Rule {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.hits[site]
+	in.hits[site] = n + 1
+	for _, r := range in.rules {
+		if r.Site != site || n < r.After {
+			continue
+		}
+		if r.Times > 0 && r.fired >= r.Times {
+			continue
+		}
+		if r.P > 0 && r.P < 1 && in.rng.Float64() >= r.P {
+			continue
+		}
+		r.fired++
+		in.fires[site]++
+		return r
+	}
+	return nil
+}
+
+// Hit fires any due fault at site: it sleeps the rule's Delay, panics
+// with the rule's Panic value, or returns the rule's error (ErrInjected
+// when the rule names none). A clean pass — and every call on a nil
+// injector — returns nil.
+func (in *Injector) Hit(site string) error {
+	r := in.match(site)
+	if r == nil {
+		return nil
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.Panic != nil {
+		panic(r.Panic)
+	}
+	if r.Err != nil {
+		return r.Err
+	}
+	if r.Delay > 0 && !r.Corrupt && !r.Short {
+		// A pure-delay rule injects latency, not failure.
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, site)
+}
+
+// Writer wraps w so rules installed for site can fail, shorten, or
+// corrupt writes. On a nil injector it returns w unchanged.
+func (in *Injector) Writer(site string, w io.Writer) io.Writer {
+	if in == nil {
+		return w
+	}
+	return &faultWriter{in: in, site: site, w: w}
+}
+
+type faultWriter struct {
+	in   *Injector
+	site string
+	w    io.Writer
+}
+
+// Write applies at most one fault per call: a Short rule persists only
+// the first half of p and fails; a Corrupt rule flips one byte but
+// succeeds; an error rule fails before writing anything; a pure delay
+// sleeps and writes through.
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	r := fw.in.match(fw.site)
+	if r == nil {
+		return fw.w.Write(p)
+	}
+	if r.Delay > 0 {
+		time.Sleep(r.Delay)
+	}
+	if r.Panic != nil {
+		panic(r.Panic)
+	}
+	switch {
+	case r.Short:
+		n, err := fw.w.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, fmt.Errorf("%w: torn write at %s", ErrInjected, fw.site)
+	case r.Corrupt:
+		if len(p) == 0 {
+			return 0, nil
+		}
+		q := make([]byte, len(p))
+		copy(q, p)
+		// Never flip a trailing record delimiter: corrupting the framing
+		// byte would merge two records, and media corruption of payload
+		// bytes is the case a per-record checksum exists to catch.
+		span := len(q)
+		if span > 1 && q[span-1] == '\n' {
+			span--
+		}
+		fw.in.mu.Lock()
+		i := fw.in.rng.Intn(span)
+		fw.in.mu.Unlock()
+		q[i] ^= 0xff
+		return fw.w.Write(q)
+	case r.Err != nil:
+		return 0, r.Err
+	case r.Delay > 0:
+		return fw.w.Write(p)
+	default:
+		return 0, fmt.Errorf("%w at %s", ErrInjected, fw.site)
+	}
+}

@@ -1,0 +1,184 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: the obs nil-safety contract — every method on
+// a nil injector is a usable no-op.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	in.Install(Rule{Site: "x", Panic: "boom"})
+	if err := in.Hit("x"); err != nil {
+		t.Fatalf("nil injector Hit = %v", err)
+	}
+	if in.Hits("x") != 0 || in.Fired("x") != 0 {
+		t.Fatal("nil injector counted hits")
+	}
+	var buf bytes.Buffer
+	w := in.Writer("x", &buf)
+	if n, err := w.Write([]byte("ok")); n != 2 || err != nil {
+		t.Fatalf("nil injector Writer = %d, %v", n, err)
+	}
+	if buf.String() != "ok" {
+		t.Fatalf("nil injector altered the write: %q", buf.String())
+	}
+}
+
+// TestHitErrorAfterTimes: After skips early hits, Times caps firings,
+// and the default error wraps ErrInjected.
+func TestHitErrorAfterTimes(t *testing.T) {
+	in := New(1)
+	in.Install(Rule{Site: "eval", After: 2, Times: 3})
+	var failures int
+	for i := 0; i < 10; i++ {
+		if err := in.Hit("eval"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+			if i < 2 {
+				t.Fatalf("rule fired on hit %d, before After=2", i)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("rule fired %d times, want 3", failures)
+	}
+	if in.Hits("eval") != 10 || in.Fired("eval") != 3 {
+		t.Fatalf("accounting = %d hits / %d fired, want 10/3", in.Hits("eval"), in.Fired("eval"))
+	}
+}
+
+// TestHitPanicAndCancellation: panic faults panic, and error faults can
+// impersonate context cancellation for errors.Is dispatch.
+func TestHitPanicAndCancellation(t *testing.T) {
+	in := New(1)
+	in.Install(Rule{Site: "panic", Panic: "chaos-boom"})
+	in.Install(Rule{Site: "cancel", Err: context.Canceled})
+	func() {
+		defer func() {
+			if r := recover(); r != "chaos-boom" {
+				t.Fatalf("recovered %v, want chaos-boom", r)
+			}
+		}()
+		in.Hit("panic") //nolint:errcheck // the panic is the result
+		t.Fatal("panic rule did not panic")
+	}()
+	if err := in.Hit("cancel"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel fault = %v, want context.Canceled", err)
+	}
+}
+
+// TestHitDelay: a pure-delay rule injects latency but not failure.
+func TestHitDelay(t *testing.T) {
+	in := New(1)
+	in.Install(Rule{Site: "slow", Delay: 20 * time.Millisecond, Times: 1})
+	start := time.Now()
+	if err := in.Hit("slow"); err != nil {
+		t.Fatalf("delay rule returned error %v", err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("hit returned after %v, want >= 20ms", d)
+	}
+	if err := in.Hit("slow"); err != nil {
+		t.Fatalf("exhausted rule still fired: %v", err)
+	}
+}
+
+// TestWriterShort: a Short rule persists a prefix and fails — the torn
+// write a crash leaves behind.
+func TestWriterShort(t *testing.T) {
+	in := New(1)
+	in.Install(Rule{Site: "w", Short: true, Times: 1})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	payload := []byte("0123456789")
+	n, err := w.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("short write error = %v, want ErrInjected", err)
+	}
+	if n != 5 || buf.String() != "01234" {
+		t.Fatalf("short write persisted %d bytes %q, want the 5-byte prefix", n, buf.String())
+	}
+	if n, err := w.Write(payload); n != 10 || err != nil {
+		t.Fatalf("write after rule exhausted = %d, %v", n, err)
+	}
+}
+
+// TestWriterCorrupt: a Corrupt rule flips exactly one non-delimiter
+// byte and reports success.
+func TestWriterCorrupt(t *testing.T) {
+	in := New(42)
+	in.Install(Rule{Site: "w", Corrupt: true, Times: 1})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	payload := []byte(`{"k":"v"}` + "\n")
+	n, err := w.Write(payload)
+	if n != len(payload) || err != nil {
+		t.Fatalf("corrupt write = %d, %v, want full success", n, err)
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, payload) {
+		t.Fatal("corrupt rule left the payload intact")
+	}
+	if got[len(got)-1] != '\n' {
+		t.Fatal("corrupt rule flipped the record delimiter")
+	}
+	diff := 0
+	for i := range payload {
+		if payload[i] != got[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corrupt rule flipped %d bytes, want exactly 1", diff)
+	}
+}
+
+// TestWriterErr: an error rule fails the write without persisting
+// anything.
+func TestWriterErr(t *testing.T) {
+	in := New(1)
+	werr := errors.New("disk on fire")
+	in.Install(Rule{Site: "w", Err: werr, Times: 1})
+	var buf bytes.Buffer
+	w := in.Writer("w", &buf)
+	if n, err := w.Write([]byte("data")); n != 0 || !errors.Is(err, werr) {
+		t.Fatalf("error write = %d, %v, want 0 bytes and the rule error", n, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("failed write persisted %q", buf.String())
+	}
+}
+
+// TestDeterminism: the same seed and rules fire on the same hits.
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		in := New(7)
+		in.Install(Rule{Site: "p", P: 0.3})
+		var fired []int
+		for i := 0; i < 64; i++ {
+			if in.Hit("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("P=0.3 rule fired %d/64 times; expected a strict subset", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("two seeded runs fired differently: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("two seeded runs fired differently: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package service
+
+// These tests prove the admission-control layer: body-size limits,
+// load shedding with Retry-After, per-request deadlines, and the
+// readiness flip during drain — with slow evaluations manufactured by
+// chaos-injected delays rather than sleeps in production code.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+	"twolevel/internal/sweep"
+)
+
+// slowManager builds a manager whose every evaluation is delayed by d
+// via chaos injection, so jobs reliably stay in flight while the test
+// pokes the admission machinery.
+func slowManager(t *testing.T, d time.Duration, cfg Config) (*httptest.Server, *Manager, *obs.Registry) {
+	t.Helper()
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: sweep.ChaosSiteEvaluate, Delay: d})
+	reg := obs.NewRegistry()
+	cfg.Chaos = in
+	cfg.Metrics = reg
+	m := New(cfg)
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return srv, m, reg
+}
+
+// TestAPIOversizedBody413: a body over Config.MaxBodyBytes is refused
+// with 413 before any of it is parsed.
+func TestAPIOversizedBody413(t *testing.T) {
+	m := New(Config{Workers: 1, MaxBodyBytes: 256})
+	srv := httptest.NewServer(NewHandler(m))
+	defer func() { srv.Close(); m.Close() }()
+
+	big := `{"workloads": ["gcc1"], "options": {"l1_kb": [` + strings.Repeat("1,", 400) + `1]}}`
+	var body map[string]string
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", big, &body); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized POST: status %d, want 413", code)
+	}
+	if body["error"] == "" {
+		t.Fatal("413 response carries no error body")
+	}
+	// A normal submission still works afterwards.
+	var st Status
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", tinyJob, &st); code != http.StatusAccepted {
+		t.Fatalf("POST after 413: status %d", code)
+	}
+	pollDone(t, srv.URL, st.ID)
+}
+
+// TestAPIDeadlineExceeded: a job submitted with X-Timeout that cannot
+// finish in time lands in state deadline_exceeded, counts in the
+// expired metric, and still serves its partial result document.
+func TestAPIDeadlineExceeded(t *testing.T) {
+	srv, _, reg := slowManager(t, 100*time.Millisecond, Config{Workers: 1})
+
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader(tinyJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Timeout", "50ms")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if derr := json.NewDecoder(resp.Body).Decode(&st); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST with X-Timeout: status %d", resp.StatusCode)
+	}
+
+	final := pollDone(t, srv.URL, st.ID)
+	if final.State != StateDeadlineExceeded {
+		t.Fatalf("final state = %s, want %s", final.State, StateDeadlineExceeded)
+	}
+	if final.Done == final.Total {
+		t.Fatalf("deadline-exceeded job reports all %d evaluations done", final.Total)
+	}
+	if len(final.Errors) == 0 {
+		t.Fatal("deadline-exceeded job carries no error detail")
+	}
+	if n := reg.Counter(MetricJobsExpired).Value(); n != 1 {
+		t.Errorf("expired metric = %d, want 1", n)
+	}
+	// The terminal job serves whatever completed as a result document.
+	r2, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("GET result of expired job: status %d", r2.StatusCode)
+	}
+	if _, err := sweep.LoadJSON(r2.Body); err != nil {
+		t.Fatalf("expired job's result is not a loadable document: %v", err)
+	}
+}
+
+// TestAPIBadTimeoutRejected: an unparsable or non-positive timeout is a
+// 400, not a silently unbounded job.
+func TestAPIBadTimeoutRejected(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, v := range []string{"soon", "-1s", "0s"} {
+		var body map[string]string
+		code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs?timeout="+v, tinyJob, &body)
+		if code != http.StatusBadRequest {
+			t.Fatalf("timeout=%q: status %d, want 400", v, code)
+		}
+	}
+}
+
+// TestAPIOverloadShedding: with one active-job slot taken by a slow
+// job, further submissions bounce with 429 + Retry-After and count in
+// the shed metric; once the slot frees, submissions flow again.
+func TestAPIOverloadShedding(t *testing.T) {
+	srv, _, reg := slowManager(t, 100*time.Millisecond, Config{Workers: 1, MaxActiveJobs: 1})
+
+	var first Status
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", tinyJob, &first); code != http.StatusAccepted {
+		t.Fatalf("first POST: status %d", code)
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tinyJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("POST while saturated: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	if n := reg.Counter(MetricJobsShed).Value(); n != 1 {
+		t.Errorf("shed metric = %d, want 1", n)
+	}
+
+	pollDone(t, srv.URL, first.ID)
+	var again Status
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", tinyJob, &again); code != http.StatusAccepted {
+		t.Fatalf("POST after drain: status %d, want 202", code)
+	}
+	pollDone(t, srv.URL, again.ID)
+}
+
+// TestQueueLimitSheds: a full task queue refuses submissions directly at
+// the Submit layer.
+func TestQueueLimitSheds(t *testing.T) {
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: sweep.ChaosSiteEvaluate, Delay: 50 * time.Millisecond})
+	m := New(Config{Workers: 1, MaxQueue: 1, Chaos: in})
+	defer m.Close()
+
+	req := JobRequest{Workloads: []string{"gcc1"}, Options: sweep.Options{
+		Refs: 20000, L1Sizes: []int64{1 << 10, 2 << 10}, L2Sizes: []int64{0, 8 << 10},
+	}}
+	j1, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j1 queued 4 evaluations onto a queue capped at 1: the next submit
+	// must shed.
+	if _, err := m.Submit(req); err != ErrOverloaded {
+		t.Fatalf("submit onto full queue: err = %v, want ErrOverloaded", err)
+	}
+	j1.Cancel()
+}
+
+// TestReadyzFlipsDuringDrain: /readyz answers 200 while serving, 503
+// the moment Shutdown begins, submissions during the drain bounce, and
+// the drained manager leaks no goroutines.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: sweep.ChaosSiteEvaluate, Delay: 50 * time.Millisecond})
+	reg := obs.NewRegistry()
+	m := New(Config{Workers: 1, Chaos: in, Metrics: reg})
+	srv := httptest.NewServer(NewHandler(m))
+	defer srv.Close()
+
+	probe := func() int {
+		resp, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := probe(); code != http.StatusOK {
+		t.Fatalf("/readyz before drain: status %d", code)
+	}
+	if v := reg.Gauge(MetricReady).Value(); v != 1 {
+		t.Fatalf("ready gauge = %d, want 1", v)
+	}
+
+	var slow Status
+	if code := doJSON(t, http.MethodPost, srv.URL+"/v1/jobs", tinyJob, &slow); code != http.StatusAccepted {
+		t.Fatalf("POST: status %d", code)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- m.Shutdown(ctx) }()
+	// The drain begins before Shutdown returns: readiness must flip
+	// while the slow job is still running.
+	deadline := time.Now().Add(5 * time.Second)
+	for probe() != http.StatusServiceUnavailable {
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz still ready after Shutdown began")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := reg.Gauge(MetricReady).Value(); v != 0 {
+		t.Fatalf("ready gauge during drain = %d, want 0", v)
+	}
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tinyJob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST during drain: status %d, want 503", resp.StatusCode)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("drain with time to spare returned %v", err)
+	}
+	if st := pollDone(t, srv.URL, slow.ID); st.State != StateDone {
+		t.Fatalf("slow job state after clean drain = %s, want done", st.State)
+	}
+
+	// Every worker, timer, and drain goroutine has exited. The HTTP
+	// machinery (listener, keep-alive conns) is torn down first so only
+	// manager goroutines could be left to leak.
+	srv.Close()
+	http.DefaultClient.CloseIdleConnections()
+	for end := time.Now().Add(5 * time.Second); ; {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,689 @@
+package service
+
+// This file implements DiskStore, the crash-safe durable result store:
+// the same Store contract as MemStore, backed by append-only JSONL
+// segment files so a kill -9 and restart replays to the identical
+// memoized state.
+//
+// Layout and guarantees:
+//
+//   - The store directory holds numbered segments (seg-000001.jsonl,
+//     seg-000002.jsonl, ...). Exactly the highest-numbered segment is
+//     active (appended to); lower ones are sealed and immutable.
+//   - Every segment starts with a header line naming the format, then
+//     one record per line: {"crc": <IEEE CRC32>, "rec": {"key": ...,
+//     "point": <persisted twolevel-sweep/1 point>}}, with the checksum
+//     taken over the exact bytes of "rec".
+//   - Appends are fsynced (every DiskStoreOptions.SyncEvery records, 1
+//     by default), so a completed Put survives power loss.
+//   - On open, records with a failing checksum or unparsable body are
+//     dropped and counted (Stats().CorruptDropped) — the affected key
+//     is simply re-evaluated on next use. A torn final record (a
+//     newline-less tail, the signature of a crash mid-append) is
+//     truncated off the active segment so it is append-safe again.
+//   - When the active segment outgrows SegmentBytes it is sealed and a
+//     new one started. Once enough overwritten (dead) records
+//     accumulate, sealed segments are compacted in the background:
+//     the live snapshot is written to a temp file, fsynced, and
+//     atomically renamed over the highest sealed segment, then the
+//     lower ones are deleted. Replay order (ascending segment, then
+//     line order, last record wins) is preserved throughout.
+//
+// DiskStore keeps the full point map in memory — disk is durability,
+// not capacity — so Get/Points serve at MemStore speed.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/sweep"
+)
+
+// segmentFormat identifies the segment-file schema version.
+const segmentFormat = "twolevel-store-segment/1"
+
+// Chaos-injection sites of the durable store. Tests install
+// internal/chaos rules against these names to prove the recovery paths.
+const (
+	// ChaosSiteStoreAppend fires before a record append; an injected
+	// error models a full disk or failed syscall.
+	ChaosSiteStoreAppend = "store.append"
+	// ChaosSiteStoreWrite wraps the segment writer; Short rules tear
+	// records, Corrupt rules flip payload bytes the checksum must catch.
+	ChaosSiteStoreWrite = "store.write"
+	// ChaosSiteStoreRepair fires before the post-failure truncation
+	// that cuts a torn append back off; an injected error models the
+	// crash landing between the write and the repair.
+	ChaosSiteStoreRepair = "store.repair"
+	// ChaosSiteStoreSync fires before an fsync.
+	ChaosSiteStoreSync = "store.sync"
+	// ChaosSiteStoreCompact fires at the start of a compaction pass.
+	ChaosSiteStoreCompact = "store.compact"
+)
+
+// DiskStoreOptions tunes a DiskStore. The zero value selects the
+// defaults noted on each field.
+type DiskStoreOptions struct {
+	// SegmentBytes seals the active segment once it grows past this
+	// size (default 4MB).
+	SegmentBytes int64
+	// SyncEvery is the fsync cadence in records (default 1: every
+	// append reaches stable storage before Put returns).
+	SyncEvery int
+	// CompactMinDead is how many overwritten records may accumulate in
+	// sealed segments before a background compaction pass reclaims them
+	// (default 1024).
+	CompactMinDead int
+	// Chaos, when non-nil, fires at the ChaosSiteStore* sites so tests
+	// can inject append failures, torn writes, and corrupted bytes. Nil
+	// costs nothing.
+	Chaos *chaos.Injector
+}
+
+func (o DiskStoreOptions) withDefaults() DiskStoreOptions {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 1
+	}
+	if o.CompactMinDead <= 0 {
+		o.CompactMinDead = 1024
+	}
+	return o
+}
+
+// DiskStoreStats is a point-in-time snapshot of the store's disk state.
+type DiskStoreStats struct {
+	// Points is the number of live memoized points.
+	Points int
+	// Segments is the number of segment files (including the active
+	// one).
+	Segments int
+	// Dead counts records superseded by a later Put and not yet
+	// compacted away.
+	Dead int
+	// CorruptDropped counts records dropped at open time for checksum
+	// or parse failures.
+	CorruptDropped int
+	// TornRepaired counts torn final records truncated off at open.
+	TornRepaired int
+	// Compactions counts completed background compaction passes.
+	Compactions int
+}
+
+// segHeader is the first line of every segment.
+type segHeader struct {
+	Format  string `json:"format"`
+	Segment int    `json:"segment"`
+}
+
+// segRecord is one framed record line.
+type segRecord struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// recBody is the checksummed payload of a record.
+type recBody struct {
+	Key   string          `json:"key"`
+	Point json.RawMessage `json:"point"`
+}
+
+// DiskStore is the durable result store. It is safe for concurrent
+// use; OpenDiskStore builds one.
+type DiskStore struct {
+	dir string
+	opt DiskStoreOptions
+	inj *chaos.Injector
+
+	mu        sync.Mutex
+	m         map[string]sweep.Point
+	seg       *os.File // active segment (nil once persistence has failed hard)
+	segN      int
+	segBytes  int64
+	sinceSync int
+	dead      int
+	stats     DiskStoreStats
+	err       error // first persistence failure, sticky
+	closed    bool
+
+	compacting bool
+	compactWG  sync.WaitGroup
+}
+
+// OpenDiskStore opens (creating if needed) a durable result store in
+// dir, replaying every segment into memory. Corrupted records are
+// dropped and counted; a torn final record is truncated off. The
+// returned store is ready for Put traffic.
+func OpenDiskStore(dir string, opt DiskStoreOptions) (*DiskStore, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	s := &DiskStore{
+		dir: dir,
+		opt: opt,
+		inj: opt.Chaos,
+		m:   make(map[string]sweep.Point),
+	}
+	segs, err := s.listSegments()
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range segs {
+		if err := s.replaySegment(n, i == len(segs)-1); err != nil {
+			return nil, err
+		}
+	}
+	if len(segs) == 0 {
+		if err := s.startSegment(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(s.segPath(last), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("service: opening active segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("service: active segment: %w", err)
+		}
+		s.seg, s.segN, s.segBytes = f, last, st.Size()
+		if st.Size() == 0 {
+			// The torn-tail repair can leave a fully-truncated active
+			// segment; restore its header.
+			if err := s.writeHeader(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	s.stats.Segments = countSegments(segs)
+	return s, nil
+}
+
+func countSegments(segs []int) int {
+	if len(segs) == 0 {
+		return 1
+	}
+	return len(segs)
+}
+
+func (s *DiskStore) segPath(n int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%06d.jsonl", n))
+}
+
+// listSegments returns the existing segment numbers in ascending order.
+func (s *DiskStore) listSegments() ([]int, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	var segs []int
+	for _, e := range ents {
+		var n int
+		if _, err := fmt.Sscanf(e.Name(), "seg-%06d.jsonl", &n); err == nil && e.Name() == fmt.Sprintf("seg-%06d.jsonl", n) {
+			segs = append(segs, n)
+		}
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+// replaySegment loads one segment into the memory map. Only the final
+// segment may carry a torn tail; it is truncated off in place.
+func (s *DiskStore) replaySegment(n int, final bool) error {
+	path := s.segPath(n)
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("service: opening segment: %w", err)
+	}
+	torn, err := s.replayFrom(f, n, final)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if torn >= 0 {
+		if err := os.Truncate(path, torn); err != nil {
+			return fmt.Errorf("service: repairing torn segment tail: %w", err)
+		}
+		s.stats.TornRepaired++
+	}
+	return nil
+}
+
+// replayFrom reads one segment stream, returning the offset of a torn
+// final record to truncate (-1 for a clean tail).
+func (s *DiskStore) replayFrom(r io.Reader, n int, final bool) (int64, error) {
+	br := bufio.NewReaderSize(r, 64*1024)
+	var off int64
+
+	hdrLine, rerr := br.ReadBytes('\n')
+	if rerr != nil && rerr != io.EOF {
+		return -1, fmt.Errorf("service: reading segment %d: %w", n, rerr)
+	}
+	if len(hdrLine) == 0 {
+		return -1, nil // empty file: a fresh active segment
+	}
+	if rerr == io.EOF || hdrLine[len(hdrLine)-1] != '\n' {
+		if final {
+			return 0, nil // torn header: truncate the whole segment
+		}
+		return -1, fmt.Errorf("service: segment %d: torn header in sealed segment", n)
+	}
+	var hdr segHeader
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return -1, fmt.Errorf("service: segment %d header: %w", n, err)
+	}
+	if hdr.Format != segmentFormat {
+		return -1, fmt.Errorf("service: segment %d: unknown format %q (want %q)", n, hdr.Format, segmentFormat)
+	}
+	off += int64(len(hdrLine))
+
+	for {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return -1, fmt.Errorf("service: reading segment %d: %w", n, rerr)
+		}
+		if len(raw) == 0 {
+			return -1, nil
+		}
+		start := off
+		off += int64(len(raw))
+		if raw[len(raw)-1] != '\n' {
+			// A newline-less tail only occurs at EOF: the torn final
+			// record of a crashed append.
+			if final {
+				return start, nil
+			}
+			s.stats.CorruptDropped++
+			return -1, nil
+		}
+		key, p, err := decodeRecord(bytes.TrimSuffix(raw, []byte("\n")))
+		if err != nil {
+			// Checksum or parse failure: this key was not durably
+			// stored; drop it and let the next job re-evaluate it.
+			s.stats.CorruptDropped++
+			continue
+		}
+		if _, exists := s.m[key]; exists {
+			s.dead++
+		}
+		s.m[key] = p
+	}
+}
+
+// decodeRecord verifies and unpacks one record line.
+func decodeRecord(line []byte) (string, sweep.Point, error) {
+	var rec segRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return "", sweep.Point{}, err
+	}
+	if got := crc32.ChecksumIEEE(rec.Rec); got != rec.CRC {
+		return "", sweep.Point{}, fmt.Errorf("service: record checksum %08x, want %08x", got, rec.CRC)
+	}
+	var body recBody
+	if err := json.Unmarshal(rec.Rec, &body); err != nil {
+		return "", sweep.Point{}, err
+	}
+	if body.Key == "" {
+		return "", sweep.Point{}, fmt.Errorf("service: record missing key")
+	}
+	p, err := sweep.UnmarshalPointJSON(body.Point)
+	if err != nil {
+		return "", sweep.Point{}, err
+	}
+	return body.Key, p, nil
+}
+
+// encodeRecord frames one (key, point) as a checksummed record line.
+func encodeRecord(key string, p sweep.Point) ([]byte, error) {
+	pj, err := sweep.MarshalPointJSON(p)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(recBody{Key: key, Point: pj})
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(segRecord{CRC: crc32.ChecksumIEEE(body), Rec: body})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// startSegment creates and activates segment n. Caller holds s.mu (or
+// has exclusive access during open).
+func (s *DiskStore) startSegment(n int) error {
+	f, err := os.OpenFile(s.segPath(n), os.O_WRONLY|os.O_CREATE|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: creating segment: %w", err)
+	}
+	s.seg, s.segN, s.segBytes = f, n, 0
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
+	syncDir(s.dir)
+	return nil
+}
+
+// writeHeader writes the active segment's header line.
+func (s *DiskStore) writeHeader() error {
+	b, err := json.Marshal(segHeader{Format: segmentFormat, Segment: s.segN})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := s.seg.Write(b); err != nil {
+		return fmt.Errorf("service: segment header: %w", err)
+	}
+	s.segBytes += int64(len(b))
+	return s.seg.Sync()
+}
+
+// syncDir best-effort fsyncs a directory so renames and creates are
+// durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory; data writes carry their own fsync
+		d.Close()
+	}
+}
+
+// Get returns the stored point for key, if any.
+func (s *DiskStore) Get(key string) (sweep.Point, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[key]
+	return p, ok
+}
+
+// Len reports the number of stored points.
+func (s *DiskStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Points returns every stored point for which keep reports true (nil
+// keep means all), in no particular order.
+func (s *DiskStore) Points(keep func(sweep.Point) bool) []sweep.Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]sweep.Point, 0, len(s.m))
+	for _, p := range s.m {
+		if keep == nil || keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Put stores a completed point under key and appends it durably. The
+// in-memory map is updated even when the disk append fails (the store
+// degrades to MemStore semantics and records the failure in Err), so a
+// persistence fault never costs a finished evaluation.
+func (s *DiskStore) Put(key string, p sweep.Point) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.m[key]; exists {
+		s.dead++
+	}
+	s.m[key] = p
+	if s.seg == nil || s.closed {
+		return
+	}
+	line, err := encodeRecord(key, p)
+	if err != nil {
+		s.fail(fmt.Errorf("service: encoding record: %w", err))
+		return
+	}
+	if err := s.inj.Hit(ChaosSiteStoreAppend); err != nil {
+		s.fail(fmt.Errorf("service: appending record: %w", err))
+		return
+	}
+	w := s.inj.Writer(ChaosSiteStoreWrite, s.seg)
+	n, err := w.Write(line)
+	if err != nil {
+		s.fail(fmt.Errorf("service: appending record: %w", err))
+		if n > 0 {
+			// A partial record reached the file; cut it back off so the
+			// segment stays append-safe. If the repair itself fails (or
+			// chaos says the crash landed first), the torn bytes are the
+			// segment's final record for open-time recovery to truncate —
+			// so the segment must be retired NOW: one more append would
+			// glue onto the newline-less tail and corrupt a good record.
+			if rerr := s.inj.Hit(ChaosSiteStoreRepair); rerr == nil {
+				if terr := s.seg.Truncate(s.segBytes); terr == nil {
+					s.err = nil // repaired: the segment is clean again
+					return
+				}
+			}
+			s.seg.Close() //nolint:errcheck // already failed; memory keeps serving
+			s.seg = nil
+		}
+		return
+	}
+	s.segBytes += int64(n)
+	if s.sinceSync++; s.sinceSync >= s.opt.SyncEvery {
+		s.sinceSync = 0
+		if err := s.inj.Hit(ChaosSiteStoreSync); err != nil {
+			s.fail(fmt.Errorf("service: fsync: %w", err))
+		} else if err := s.seg.Sync(); err != nil {
+			s.fail(fmt.Errorf("service: fsync: %w", err))
+		}
+	}
+	if s.segBytes >= s.opt.SegmentBytes {
+		s.rotateLocked()
+	}
+	if s.dead >= s.opt.CompactMinDead && !s.compacting {
+		s.compacting = true
+		s.compactWG.Add(1)
+		go s.compact()
+	}
+}
+
+// fail records the first persistence failure. The store keeps serving
+// (and accepting) points from memory.
+func (s *DiskStore) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err reports the first persistence failure, if any. A non-nil value
+// means some completed points may not survive a restart.
+func (s *DiskStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats snapshots the disk-state counters.
+func (s *DiskStore) Stats() DiskStoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Points = len(s.m)
+	st.Dead = s.dead
+	return st
+}
+
+// Dir reports the store directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// rotateLocked seals the active segment and starts the next one.
+// Caller holds s.mu.
+func (s *DiskStore) rotateLocked() {
+	if err := s.seg.Sync(); err != nil {
+		s.fail(fmt.Errorf("service: sealing segment: %w", err))
+	}
+	if err := s.seg.Close(); err != nil {
+		s.fail(fmt.Errorf("service: sealing segment: %w", err))
+	}
+	s.sinceSync = 0
+	if err := s.startSegment(s.segN + 1); err != nil {
+		s.fail(err)
+		s.seg = nil // persistence is over; memory keeps serving
+		return
+	}
+	s.stats.Segments++
+}
+
+// Compact synchronously runs one compaction pass (the background
+// trigger calls the same machinery). It rewrites every sealed segment
+// into one snapshot segment via write-temp-then-rename, dropping dead
+// records, and deletes the superseded segments.
+func (s *DiskStore) Compact() error {
+	s.mu.Lock()
+	if s.compacting || s.closed || s.seg == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.compacting = true
+	s.compactWG.Add(1)
+	s.mu.Unlock()
+	return s.compactOnce()
+}
+
+// compact is the background compaction goroutine body.
+func (s *DiskStore) compact() {
+	s.compactOnce() //nolint:errcheck // recorded in s.err
+}
+
+// compactOnce rewrites the sealed segments into one. On any failure the
+// old segments are left in place (replay order makes the attempt
+// invisible).
+func (s *DiskStore) compactOnce() error {
+	defer s.compactWG.Done()
+	finish := func(err error) error {
+		s.mu.Lock()
+		s.compacting = false
+		if err != nil {
+			s.fail(err)
+		} else {
+			s.stats.Compactions++
+		}
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.inj.Hit(ChaosSiteStoreCompact); err != nil {
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+
+	// Seal the active segment so every record to compact lives in an
+	// immutable file, then snapshot the live map. Concurrent Puts land
+	// in the new active segment, which replays after the snapshot.
+	s.mu.Lock()
+	if s.closed || s.seg == nil {
+		s.mu.Unlock()
+		return finish(nil)
+	}
+	s.rotateLocked()
+	if s.seg == nil {
+		s.mu.Unlock()
+		return finish(fmt.Errorf("service: compaction: could not rotate"))
+	}
+	snap := make(map[string]sweep.Point, len(s.m))
+	for k, v := range s.m {
+		snap[k] = v
+	}
+	outN := s.segN - 1 // the snapshot replaces the highest sealed segment
+	deadAtSnap := s.dead
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(s.dir, "compact-*.tmp")
+	if err != nil {
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 256*1024)
+	hdr, err := json.Marshal(segHeader{Format: segmentFormat, Segment: outN})
+	if err != nil {
+		tmp.Close()
+		return finish(err)
+	}
+	bw.Write(append(hdr, '\n')) //nolint:errcheck // surfaced by Flush below
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		line, err := encodeRecord(k, snap[k])
+		if err != nil {
+			tmp.Close()
+			return finish(fmt.Errorf("service: compaction: %w", err))
+		}
+		if _, err := bw.Write(line); err != nil {
+			tmp.Close()
+			return finish(fmt.Errorf("service: compaction: %w", err))
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+	if err := os.Rename(tmp.Name(), s.segPath(outN)); err != nil {
+		return finish(fmt.Errorf("service: compaction: %w", err))
+	}
+	syncDir(s.dir)
+	for n := outN - 1; n >= 1; n-- {
+		if err := os.Remove(s.segPath(n)); err != nil && !os.IsNotExist(err) {
+			return finish(fmt.Errorf("service: compaction: removing segment %d: %w", n, err))
+		}
+	}
+
+	s.mu.Lock()
+	s.dead -= deadAtSnap
+	s.stats.Segments = 2 // the snapshot plus the active segment
+	s.mu.Unlock()
+	return finish(nil)
+}
+
+// Close seals the store: the active segment is fsynced and closed, and
+// any in-flight compaction finishes first. Get/Len/Points keep
+// serving from memory; further Puts update only memory.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.compactWG.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.seg != nil {
+		if err := s.seg.Sync(); err != nil {
+			s.fail(fmt.Errorf("service: closing store: %w", err))
+		}
+		if err := s.seg.Close(); err != nil {
+			s.fail(fmt.Errorf("service: closing store: %w", err))
+		}
+		s.seg = nil
+	}
+	return s.err
+}

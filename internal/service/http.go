@@ -16,10 +16,19 @@ package service
 //	                          [&workload=<name>] [&job=<id>] answers with
 //	                          the best configuration under the budget and
 //	                          the Pareto staircase, from memoized results
-//	GET    /healthz           liveness probe
+//	GET    /healthz           liveness probe (200 while the process runs)
+//	GET    /readyz            readiness probe (503 once shutdown begins)
 //
 // Request and response bodies are JSON; errors are {"error": "..."} with
 // a matching status code.
+//
+// Admission control: submissions are bounded by Config.MaxBodyBytes
+// (413 for oversized bodies) and by Config.MaxActiveJobs/MaxQueue (429
+// with a Retry-After when the service is saturated). A client caps its
+// job's lifetime with an X-Timeout header or ?timeout= query (a Go
+// duration like "30s"), clamped by Config.MaxTimeout; a job that
+// outlives its deadline ends in state "deadline_exceeded" with the
+// points completed so far.
 
 import (
 	"encoding/json"
@@ -155,8 +164,20 @@ type envelopeJSON struct {
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		timeout, err := requestTimeout(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		var spec jobSpec
+		r.Body = http.MaxBytesReader(w, r.Body, m.maxBody)
 		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("job body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job: %w", err))
 			return
 		}
@@ -169,8 +190,12 @@ func NewHandler(m *Manager) http.Handler {
 		if len(names) == 1 && names[0] == "all" {
 			names = workloadNames()
 		}
-		j, err := m.Submit(JobRequest{Workloads: names, Options: opt})
+		j, err := m.Submit(JobRequest{Workloads: names, Options: opt, Timeout: timeout})
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, err)
+			return
 		case errors.Is(err, ErrClosed):
 			httpError(w, http.StatusServiceUnavailable, err)
 			return
@@ -290,7 +315,32 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if !m.Ready() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
 	return mux
+}
+
+// requestTimeout reads the client's job deadline from the X-Timeout
+// header or ?timeout= query (the query wins when both are set); the
+// manager clamps it by Config.MaxTimeout. Zero means no client deadline.
+func requestTimeout(r *http.Request) (time.Duration, error) {
+	s := r.Header.Get("X-Timeout")
+	if q := r.URL.Query().Get("timeout"); q != "" {
+		s = q
+	}
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("timeout must be a positive duration like 30s, got %q", s)
+	}
+	return d, nil
 }
 
 // oneWorkload rejects an envelope query whose point set mixes workloads

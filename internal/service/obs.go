@@ -21,6 +21,12 @@ const (
 	MetricJobsFailed = "service_jobs_failed_total"
 	// MetricJobsCancelled counts jobs cancelled before completion.
 	MetricJobsCancelled = "service_jobs_cancelled_total"
+	// MetricJobsShed counts submissions refused by admission control
+	// (queue or active-job limits) — the HTTP layer's 429s.
+	MetricJobsShed = "service_jobs_shed_total"
+	// MetricJobsExpired counts jobs cut off by their per-request
+	// deadline.
+	MetricJobsExpired = "service_jobs_expired_total"
 	// MetricStoreHits counts evaluations satisfied from the result store.
 	MetricStoreHits = "service_store_hits_total"
 	// MetricStoreMisses counts evaluations the store could not satisfy
@@ -43,6 +49,9 @@ const (
 	MetricWorkers = "service_workers"
 	// MetricStoreSize gauges the number of memoized points.
 	MetricStoreSize = "service_store_points"
+	// MetricReady gauges readiness: 1 while the manager accepts jobs, 0
+	// once shutdown begins (mirrors GET /readyz).
+	MetricReady = "service_ready"
 	// MetricJobSeconds is the per-job wall-time histogram (submission to
 	// completion).
 	MetricJobSeconds = "service_job_seconds"
@@ -56,6 +65,8 @@ const (
 	EventJobSubmitted  = "job_submitted"
 	EventJobDone       = "job_done"
 	EventJobCancelled  = "job_cancelled"
+	EventJobShed       = "job_shed"
+	EventJobExpired    = "job_expired"
 	EventTaskCached    = "task_cached"
 	EventTaskCoalesced = "task_coalesced"
 	EventTaskDone      = "task_done"
@@ -70,6 +81,8 @@ type svcMetrics struct {
 	jobsDone      *obs.Counter
 	jobsFailed    *obs.Counter
 	jobsCancelled *obs.Counter
+	jobsShed      *obs.Counter
+	jobsExpired   *obs.Counter
 	storeHits     *obs.Counter
 	storeMisses   *obs.Counter
 	coalesced     *obs.Counter
@@ -79,6 +92,7 @@ type svcMetrics struct {
 	jobsActive    *obs.Gauge
 	workers       *obs.Gauge
 	storeSize     *obs.Gauge
+	ready         *obs.Gauge
 	jobSeconds    *obs.Histogram
 }
 
@@ -90,6 +104,8 @@ func newSvcMetrics(r *obs.Registry) *svcMetrics {
 		jobsDone:      r.Counter(MetricJobsDone),
 		jobsFailed:    r.Counter(MetricJobsFailed),
 		jobsCancelled: r.Counter(MetricJobsCancelled),
+		jobsShed:      r.Counter(MetricJobsShed),
+		jobsExpired:   r.Counter(MetricJobsExpired),
 		storeHits:     r.Counter(MetricStoreHits),
 		storeMisses:   r.Counter(MetricStoreMisses),
 		coalesced:     r.Counter(MetricTasksCoalesced),
@@ -99,6 +115,7 @@ func newSvcMetrics(r *obs.Registry) *svcMetrics {
 		jobsActive:    r.Gauge(MetricJobsActive),
 		workers:       r.Gauge(MetricWorkers),
 		storeSize:     r.Gauge(MetricStoreSize),
+		ready:         r.Gauge(MetricReady),
 		// Jobs run from milliseconds (fully cached) to hours.
 		jobSeconds: r.Histogram(MetricJobSeconds, obs.ExpBuckets(0.001, 2, 24)),
 	}

@@ -26,8 +26,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"twolevel/internal/chaos"
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
@@ -38,14 +40,21 @@ import (
 // ErrClosed reports a Submit to a manager that is shutting down.
 var ErrClosed = errors.New("service: manager is shut down")
 
+// ErrOverloaded reports a Submit refused by admission control (the
+// active-job or queue limit is reached). The HTTP layer maps it to 429
+// with a Retry-After; callers should back off and resubmit.
+var ErrOverloaded = errors.New("service: overloaded, retry later")
+
 // Config parameterizes a Manager.
 type Config struct {
 	// Workers is the shared evaluation worker-pool size (default:
 	// GOMAXPROCS). The pool is global to the manager, not per job, so a
 	// burst of jobs queues rather than oversubscribing the host.
 	Workers int
-	// Store is the memoized result store (default: a new unbounded one).
-	Store *Store
+	// Store is the memoized result store (default: a new unbounded
+	// in-memory one). Pass a DiskStore to make memoized work survive
+	// restarts.
+	Store Store
 	// Metrics, when non-nil, receives the service instrumentation (see
 	// the Metric* constants) plus the sweep- and simulator-level metrics
 	// of every evaluation. Nil costs nothing.
@@ -60,6 +69,27 @@ type Config struct {
 	// explicitly to also export the whole service trace (cmd/served
 	// -trace).
 	Trace *span.Tracer
+
+	// MaxActiveJobs bounds jobs submitted but not yet terminal; a Submit
+	// over the limit is refused with ErrOverloaded (0 = unlimited).
+	MaxActiveJobs int
+	// MaxQueue bounds evaluations waiting for a worker; a Submit while
+	// the queue is at the limit is refused with ErrOverloaded (0 =
+	// unlimited).
+	MaxQueue int
+	// MaxTimeout clamps the per-job deadline clients request
+	// (JobRequest.Timeout, the HTTP layer's X-Timeout). When set, it also
+	// applies to jobs that request no deadline at all, so no job can
+	// outlive it (0 = no server-side deadline).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds the POST /v1/jobs request body; larger bodies
+	// are refused with 413 (default 1MB).
+	MaxBodyBytes int64
+	// Chaos, when non-nil, is handed to every evaluation
+	// (sweep.ChaosSiteEvaluate), so fault-injection tests and drills
+	// exercise the service's retry, failure, and deadline paths with real
+	// injected faults. Nil costs nothing.
+	Chaos *chaos.Injector
 }
 
 // JobRequest names the work of one job: every configuration of the
@@ -71,6 +101,10 @@ type JobRequest struct {
 	// runtime plumbing fields (Progress, Checkpoint, Resume, Metrics,
 	// Events, Workers) are owned by the manager and ignored here.
 	Options sweep.Options
+	// Timeout, when positive, is the job's whole-lifetime deadline: a
+	// job still running when it expires moves to StateDeadlineExceeded
+	// with whatever points completed. Clamped by Config.MaxTimeout.
+	Timeout time.Duration
 }
 
 // State is a job's lifecycle state.
@@ -79,10 +113,11 @@ type State string
 // Job states. A job is Running from submission (fully cached jobs jump
 // straight to Done) and reaches exactly one terminal state.
 const (
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateFailed    State = "failed"
-	StateCancelled State = "cancelled"
+	StateRunning          State = "running"
+	StateDone             State = "done"
+	StateFailed           State = "failed"
+	StateCancelled        State = "cancelled"
+	StateDeadlineExceeded State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
@@ -90,11 +125,22 @@ func (s State) Terminal() bool { return s != StateRunning }
 
 // Manager owns the worker pool, the result store, and the job table.
 type Manager struct {
-	store  *Store
+	store  Store
 	met    *svcMetrics
 	events *obs.EventLog
 	reg    *obs.Registry
 	tracer *span.Tracer
+	chaos  *chaos.Injector
+
+	maxActive  int
+	maxQueue   int
+	maxTimeout time.Duration
+	maxBody    int64
+	// active counts non-terminal jobs for admission. It is atomic, not
+	// m.mu-guarded, because the terminal transition (closeLocked) runs
+	// under j.mu — sometimes while Submit already holds m.mu — and the
+	// lock order is strictly m.mu before j.mu.
+	active atomic.Int64
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signals queue pushes and draining
@@ -175,17 +221,26 @@ func New(cfg Config) *Manager {
 		// simulations they time.
 		cfg.Trace = span.NewTracer()
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	m := &Manager{
-		store:    cfg.Store,
-		met:      newSvcMetrics(cfg.Metrics),
-		events:   cfg.Events,
-		reg:      cfg.Metrics,
-		tracer:   cfg.Trace,
-		inflight: make(map[string]*task),
-		jobs:     make(map[string]*Job),
+		store:      cfg.Store,
+		met:        newSvcMetrics(cfg.Metrics),
+		events:     cfg.Events,
+		reg:        cfg.Metrics,
+		tracer:     cfg.Trace,
+		chaos:      cfg.Chaos,
+		maxActive:  cfg.MaxActiveJobs,
+		maxQueue:   cfg.MaxQueue,
+		maxTimeout: cfg.MaxTimeout,
+		maxBody:    cfg.MaxBodyBytes,
+		inflight:   make(map[string]*task),
+		jobs:       make(map[string]*Job),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.met.workers.Set(int64(cfg.Workers))
+	m.met.ready.Set(1)
 	for i := 0; i < cfg.Workers; i++ {
 		m.workers.Add(1)
 		go m.worker()
@@ -195,7 +250,15 @@ func New(cfg Config) *Manager {
 
 // Store exposes the manager's result store (read-mostly: the envelope
 // endpoint queries it).
-func (m *Manager) Store() *Store { return m.store }
+func (m *Manager) Store() Store { return m.store }
+
+// Ready reports whether the manager still accepts jobs: true from New
+// until Shutdown or Close begins. GET /readyz serves this.
+func (m *Manager) Ready() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.closed
+}
 
 // WriteTrace exports the whole service trace — every job's span tree —
 // as one Chrome trace_event JSON document (cmd/served -trace).
@@ -218,10 +281,12 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		ws = append(ws, w)
 	}
 	opt := req.Options
-	// The manager owns the runtime plumbing: its own observability sinks,
-	// no checkpoint/resume (the store subsumes them), no progress hook.
+	// The manager owns the runtime plumbing: its own observability sinks
+	// and fault injector, no checkpoint/resume (the store subsumes them),
+	// no progress hook.
 	opt.Metrics = m.reg
 	opt.Events = m.events
+	opt.Chaos = m.chaos
 	opt.Progress = nil
 	opt.Checkpoint = nil
 	opt.Resume = nil
@@ -229,11 +294,21 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("service: options enumerate no configurations")
 	}
+	timeout := req.Timeout
+	if m.maxTimeout > 0 && (timeout <= 0 || timeout > m.maxTimeout) {
+		timeout = m.maxTimeout
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, ErrClosed
+	}
+	if (m.maxActive > 0 && int(m.active.Load()) >= m.maxActive) ||
+		(m.maxQueue > 0 && len(m.queue) >= m.maxQueue) {
+		m.met.jobsShed.Inc()
+		m.events.Emit(obs.Event{Type: EventJobShed, Fingerprint: opt.Fingerprint()})
+		return nil, ErrOverloaded
 	}
 	m.seq++
 	j := &Job{
@@ -254,6 +329,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.activeJobs.Add(1)
+	m.active.Add(1)
 	m.met.jobsSubmitted.Inc()
 	m.met.jobsActive.Add(1)
 	m.events.Emit(obs.Event{
@@ -317,6 +393,10 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		// Every evaluation was memoized: the job is already done.
 		j.mu.Lock()
 		j.finalizeLocked()
+		j.mu.Unlock()
+	} else if timeout > 0 {
+		j.mu.Lock()
+		j.expireTimer = time.AfterFunc(timeout, j.expire)
 		j.mu.Unlock()
 	}
 	return j, nil
@@ -418,6 +498,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
+	// Unready from the first instant of the drain, so load balancers
+	// stop routing before submissions start bouncing off ErrClosed.
+	m.met.ready.Set(0)
 
 	drained := make(chan struct{})
 	go func() {
@@ -478,6 +561,9 @@ type Job struct {
 	evalSpans map[*task]*span.Span
 	finished  time.Time
 	doneCh    chan struct{}
+	// expireTimer enforces the job's deadline; stopped at any terminal
+	// transition so expired timers never outlive their job.
+	expireTimer *time.Timer
 }
 
 // ID returns the job's identifier.
@@ -549,10 +635,33 @@ func (j *Job) Cancel() bool {
 	return true
 }
 
+// expire moves a job past its deadline to StateDeadlineExceeded, with
+// whatever points completed. Like Cancel, evaluations the job alone
+// wanted are abandoned; shared ones continue for their other jobs.
+func (j *Job) expire() {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateDeadlineExceeded
+	j.errs = append(j.errs, fmt.Sprintf("deadline exceeded with %d/%d evaluations done", j.done, j.total))
+	tasks := j.tasks
+	j.m.met.jobsExpired.Inc()
+	j.closeLocked(EventJobExpired)
+	j.mu.Unlock()
+	for _, t := range tasks {
+		t.dropWaiter(j)
+	}
+}
+
 // closeLocked performs the shared terminal-state bookkeeping: timestamp,
 // completion signal, metrics, trace spans, and the lifecycle event.
 // Caller holds j.mu and has already set the terminal state.
 func (j *Job) closeLocked(event string) {
+	if j.expireTimer != nil {
+		j.expireTimer.Stop()
+	}
 	// Evaluations still open (cancellation, shutdown) end with the job,
 	// marked with the state that cut them off.
 	for t, es := range j.evalSpans {
@@ -566,6 +675,7 @@ func (j *Job) closeLocked(event string) {
 	j.finished = time.Now()
 	close(j.doneCh)
 	j.m.activeJobs.Done()
+	j.m.active.Add(-1)
 	j.m.met.jobsActive.Add(-1)
 	j.m.met.jobSeconds.Observe(j.finished.Sub(j.created).Seconds())
 	j.m.events.Emit(obs.Event{

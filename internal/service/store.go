@@ -1,6 +1,6 @@
 package service
 
-// This file implements the content-addressed result store: completed
+// This file defines the content-addressed result store: completed
 // evaluation points keyed by sweep.Key (workload + option fingerprint +
 // configuration label), so any job that names the same evaluation —
 // an identical resubmission, or an overlapping sweep with, say, the same
@@ -8,6 +8,10 @@ package service
 // of re-simulating. Because the key covers every result-determining
 // option field, a stored point is exactly the point a fresh evaluation
 // would produce, and serving it preserves byte-identical sweep output.
+//
+// Store is the interface the Manager memoizes through; MemStore (here)
+// is the in-memory implementation and DiskStore (diskstore.go) the
+// crash-safe durable one.
 
 import (
 	"sync"
@@ -15,10 +19,25 @@ import (
 	"twolevel/internal/sweep"
 )
 
-// Store memoizes completed evaluation points by their sweep.Key. It is
-// safe for concurrent use. The zero value is not usable; NewStore builds
-// one.
-type Store struct {
+// Store memoizes completed evaluation points by their sweep.Key.
+// Implementations must be safe for concurrent use; Put must be
+// idempotent for a key (evaluations are deterministic, so re-putting a
+// key stores the same value either way).
+type Store interface {
+	// Get returns the stored point for key, if any.
+	Get(key string) (sweep.Point, bool)
+	// Put stores a completed point under key.
+	Put(key string, p sweep.Point)
+	// Len reports the number of stored points.
+	Len() int
+	// Points returns every stored point for which keep reports true
+	// (nil keep means all), in no particular order.
+	Points(keep func(sweep.Point) bool) []sweep.Point
+}
+
+// MemStore is the in-memory result store. It is safe for concurrent
+// use. The zero value is not usable; NewStore builds one.
+type MemStore struct {
 	mu sync.Mutex
 	m  map[string]sweep.Point
 	// order tracks insertion order for FIFO eviction under cap.
@@ -26,16 +45,16 @@ type Store struct {
 	cap   int
 }
 
-// NewStore builds a result store holding at most cap points (cap <= 0
-// means unbounded). Eviction is FIFO by insertion: design-space queries
-// tend to re-touch recent option sets, and FIFO keeps eviction O(1)
-// without per-Get bookkeeping on the hot path.
-func NewStore(cap int) *Store {
-	return &Store{m: make(map[string]sweep.Point), cap: cap}
+// NewStore builds an in-memory result store holding at most cap points
+// (cap <= 0 means unbounded). Eviction is FIFO by insertion:
+// design-space queries tend to re-touch recent option sets, and FIFO
+// keeps eviction O(1) without per-Get bookkeeping on the hot path.
+func NewStore(cap int) *MemStore {
+	return &MemStore{m: make(map[string]sweep.Point), cap: cap}
 }
 
 // Get returns the stored point for key, if any.
-func (s *Store) Get(key string) (sweep.Point, bool) {
+func (s *MemStore) Get(key string) (sweep.Point, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.m[key]
@@ -43,9 +62,8 @@ func (s *Store) Get(key string) (sweep.Point, bool) {
 }
 
 // Put stores a completed point under key. Re-putting an existing key
-// overwrites the point without growing the store (the evaluation is
-// deterministic, so the value is the same either way).
-func (s *Store) Put(key string, p sweep.Point) {
+// overwrites the point without growing the store.
+func (s *MemStore) Put(key string, p sweep.Point) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.m[key]; !exists {
@@ -59,7 +77,7 @@ func (s *Store) Put(key string, p sweep.Point) {
 }
 
 // Len reports the number of stored points.
-func (s *Store) Len() int {
+func (s *MemStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.m)
@@ -68,7 +86,7 @@ func (s *Store) Len() int {
 // Points returns every stored point for which keep reports true (nil
 // keep means all), in no particular order. The envelope endpoint layers
 // sweep.Envelope over this.
-func (s *Store) Points(keep func(sweep.Point) bool) []sweep.Point {
+func (s *MemStore) Points(keep func(sweep.Point) bool) []sweep.Point {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]sweep.Point, 0, len(s.m))

@@ -1,0 +1,118 @@
+package sweep
+
+// These tests prove the evaluator's recovery paths — retry, panic
+// isolation, timeout accounting, failure reporting — against faults
+// injected with internal/chaos, instead of assuming them.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+)
+
+// TestChaosPanicIsRetriedAndIsolated: an injected panic on the first
+// attempt is recovered, counted, and retried to success; the sweep's
+// output is unaffected.
+func TestChaosPanicIsRetriedAndIsolated(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	want, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: ChaosSiteEvaluate, Panic: "chaos-boom", Times: 1})
+	reg := obs.NewRegistry()
+	opt.Chaos = in
+	opt.Metrics = reg
+	opt.Retries = 1
+	got, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatalf("sweep with one injected panic and one retry failed: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("completed %d points, want %d", len(got), len(want))
+	}
+	if n := reg.Counter(MetricPanics).Value(); n != 1 {
+		t.Errorf("panics counter = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricRetries).Value(); n != 1 {
+		t.Errorf("retries counter = %d, want 1", n)
+	}
+	if in.Fired(ChaosSiteEvaluate) != 1 {
+		t.Errorf("injector fired %d times, want 1", in.Fired(ChaosSiteEvaluate))
+	}
+}
+
+// TestChaosErrorExhaustsRetries: a fault injected on every attempt of
+// one site hit count burns through the retries and surfaces as a
+// ConfigError wrapping the injected error, while the rest of the sweep
+// completes.
+func TestChaosErrorExhaustsRetries(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	total := len(Configs(opt))
+
+	in := chaos.New(1)
+	// Fire on the first configuration's every attempt (original + 2
+	// retries), then stay quiet.
+	in.Install(chaos.Rule{Site: ChaosSiteEvaluate, Times: 3})
+	opt.Chaos = in
+	opt.Retries = 2
+	got, err := RunContext(context.Background(), w, opt)
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v is not a ConfigError", err)
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("ConfigError %v does not wrap the injected fault", err)
+	}
+	if len(got) != total-1 {
+		t.Fatalf("completed %d points, want %d (all but the poisoned one)", len(got), total-1)
+	}
+}
+
+// TestChaosDeadlineCountsAsTimeout: an injected context.DeadlineExceeded
+// is classified as a timeout (not a generic failure) by the retry
+// accounting.
+func TestChaosDeadlineCountsAsTimeout(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: ChaosSiteEvaluate, Err: context.DeadlineExceeded, Times: 1})
+	reg := obs.NewRegistry()
+	opt.Chaos = in
+	opt.Metrics = reg
+	opt.Retries = 1
+	if _, err := RunContext(context.Background(), w, opt); err != nil {
+		t.Fatalf("sweep with one injected timeout and one retry failed: %v", err)
+	}
+	if n := reg.Counter(MetricTimeouts).Value(); n != 1 {
+		t.Errorf("timeouts counter = %d, want 1", n)
+	}
+	if n := reg.Counter(MetricRetries).Value(); n != 1 {
+		t.Errorf("retries counter = %d, want 1", n)
+	}
+}
+
+// TestChaosCancellationAborts: an injected context.Canceled surfaces
+// like any evaluation failure when the run context itself is live.
+func TestChaosCancellationAborts(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	in := chaos.New(1)
+	in.Install(chaos.Rule{Site: ChaosSiteEvaluate, Err: context.Canceled, Times: 1})
+	opt.Chaos = in
+	got, err := RunContext(context.Background(), w, opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the injected cancellation in the ConfigError chain", err)
+	}
+	if len(got) != len(Configs(opt))-1 {
+		t.Fatalf("completed %d points, want all but the cancelled one", len(got))
+	}
+}

@@ -9,6 +9,7 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -155,65 +156,125 @@ func (r *ResumeSet) forKey(key string) map[string]Point {
 	return r.points[key]
 }
 
+// maxJournalLine bounds one journal record (a persisted point is well
+// under a kilobyte; 4MB leaves generous headroom).
+const maxJournalLine = 4 * 1024 * 1024
+
 // Resume reads and validates a checkpoint journal: the format line must
 // match, every point must pass the same validation LoadJSON applies
 // (no NaN/Inf/negative metrics), and a (sweep, label) pair may appear at
-// most once. Any malformed line is an error — a journal that fails here
-// should be deleted and the sweep restarted from scratch.
+// most once.
+//
+// The one failure an interrupted run legitimately leaves behind — a
+// torn final record, partially written (no trailing newline) when the
+// process died — is recovered, not fatal: the record is dropped and its
+// configuration is simply re-evaluated. Any unreadable record that IS
+// newline-terminated is real corruption and remains an error — such a
+// journal should be deleted and the sweep restarted from scratch.
 func Resume(rd io.Reader) (*ResumeSet, error) {
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	if !sc.Scan() {
-		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("sweep: reading journal: %w", err)
-		}
-		return nil, fmt.Errorf("sweep: journal is empty (missing %q header)", journalFormat)
-	}
-	var hdr journalHeader
-	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
-		return nil, fmt.Errorf("sweep: journal header: %w", err)
-	}
-	if hdr.Format != journalFormat {
-		return nil, fmt.Errorf("sweep: unknown journal format %q (want %q)", hdr.Format, journalFormat)
-	}
-	rs := &ResumeSet{points: make(map[string]map[string]Point)}
-	for line := 2; sc.Scan(); line++ {
-		if len(sc.Bytes()) == 0 {
-			continue
-		}
-		var e journalEntry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			return nil, fmt.Errorf("sweep: journal line %d: %w", line, err)
-		}
-		if e.Key == "" {
-			return nil, fmt.Errorf("sweep: journal line %d: missing sweep key", line)
-		}
-		p, err := pointFromPersisted(e.Point)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: journal line %d: %w", line, err)
-		}
-		m := rs.points[e.Key]
-		if m == nil {
-			m = make(map[string]Point)
-			rs.points[e.Key] = m
-		}
-		if _, dup := m[p.Label]; dup {
-			return nil, fmt.Errorf("sweep: journal line %d: duplicate configuration %q", line, p.Label)
-		}
-		m[p.Label] = p
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("sweep: reading journal: %w", err)
-	}
-	return rs, nil
+	rs, _, err := resume(rd)
+	return rs, err
 }
 
-// ResumeFile reads a checkpoint journal from disk.
+// resume is Resume plus the byte offset at which a dropped torn final
+// record begins (-1 when the journal ends cleanly), so ResumeFile can
+// truncate the tear off before the journal is appended to again.
+func resume(rd io.Reader) (*ResumeSet, int64, error) {
+	br := bufio.NewReaderSize(rd, 64*1024)
+	var off int64
+
+	hdrLine, rerr := br.ReadBytes('\n')
+	if rerr != nil && rerr != io.EOF {
+		return nil, -1, fmt.Errorf("sweep: reading journal: %w", rerr)
+	}
+	if len(bytes.TrimSpace(hdrLine)) == 0 {
+		return nil, -1, fmt.Errorf("sweep: journal is empty (missing %q header)", journalFormat)
+	}
+	var hdr journalHeader
+	if err := json.Unmarshal(hdrLine, &hdr); err != nil {
+		return nil, -1, fmt.Errorf("sweep: journal header: %w", err)
+	}
+	if hdr.Format != journalFormat {
+		return nil, -1, fmt.Errorf("sweep: unknown journal format %q (want %q)", hdr.Format, journalFormat)
+	}
+	off += int64(len(hdrLine))
+
+	rs := &ResumeSet{points: make(map[string]map[string]Point)}
+	for line := 2; ; line++ {
+		raw, rerr := br.ReadBytes('\n')
+		if rerr != nil && rerr != io.EOF {
+			return nil, -1, fmt.Errorf("sweep: reading journal: %w", rerr)
+		}
+		if len(raw) == 0 {
+			break // clean EOF on a record boundary
+		}
+		if len(raw) > maxJournalLine {
+			return nil, -1, fmt.Errorf("sweep: journal line %d exceeds %d bytes", line, maxJournalLine)
+		}
+		start := off
+		off += int64(len(raw))
+		if raw[len(raw)-1] != '\n' {
+			// Only the journal's very last record can lack its
+			// terminator (ReadBytes returns a newline-less line only at
+			// EOF): this is the torn tail of an interrupted run. Drop
+			// the record — even one that happens to parse — because
+			// appending after a newline-less line would corrupt both
+			// records; the configuration is simply re-evaluated.
+			return rs, start, nil
+		}
+		data := bytes.TrimSuffix(raw, []byte("\n"))
+		if len(bytes.TrimSpace(data)) == 0 {
+			continue
+		}
+		if err := readEntry(rs, data); err != nil {
+			return nil, -1, fmt.Errorf("sweep: journal line %d: %w", line, err)
+		}
+	}
+	return rs, -1, nil
+}
+
+// readEntry parses and validates one journal record and stores it in rs.
+func readEntry(rs *ResumeSet, data []byte) error {
+	var e journalEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return err
+	}
+	if e.Key == "" {
+		return fmt.Errorf("missing sweep key")
+	}
+	p, err := pointFromPersisted(e.Point)
+	if err != nil {
+		return err
+	}
+	m := rs.points[e.Key]
+	if m == nil {
+		m = make(map[string]Point)
+		rs.points[e.Key] = m
+	}
+	if _, dup := m[p.Label]; dup {
+		return fmt.Errorf("duplicate configuration %q", p.Label)
+	}
+	m[p.Label] = p
+	return nil
+}
+
+// ResumeFile reads a checkpoint journal from disk. A torn final record
+// (see Resume) is additionally truncated off the file, so the journal
+// is safe to keep appending to.
 func ResumeFile(path string) (*ResumeSet, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: opening journal: %w", err)
 	}
-	defer f.Close()
-	return Resume(f)
+	rs, torn, err := resume(f)
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if torn >= 0 {
+		if terr := os.Truncate(path, torn); terr != nil {
+			return nil, fmt.Errorf("sweep: truncating torn journal record: %w", terr)
+		}
+	}
+	return rs, nil
 }

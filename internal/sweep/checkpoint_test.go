@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -254,5 +255,117 @@ func TestResumeAcceptsBlankLinesAndNilSet(t *testing.T) {
 func TestResumeFileMissing(t *testing.T) {
 	if _, err := ResumeFile(filepath.Join(t.TempDir(), "absent.journal")); err == nil {
 		t.Error("missing journal opened")
+	}
+}
+
+// TestResumeRecoversTornFinalRecord: every possible torn tail — the
+// journal cut anywhere inside its final record, byte by byte — resumes
+// cleanly with exactly that one record dropped.
+func TestResumeRecoversTornFinalRecord(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	var journal bytes.Buffer
+	ck, err := NewCheckpointer(&journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck
+	full, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := journal.Bytes()
+	lastStart := bytes.LastIndexByte(bytes.TrimSuffix(b, []byte("\n")), '\n') + 1
+
+	for cut := len(b) - 1; cut > lastStart; cut-- {
+		rs, err := Resume(bytes.NewReader(b[:cut]))
+		if err != nil {
+			t.Fatalf("cut at byte %d: Resume failed: %v", cut, err)
+		}
+		if rs.Len() != len(full)-1 {
+			t.Fatalf("cut at byte %d: recovered %d points, want %d", cut, rs.Len(), len(full)-1)
+		}
+	}
+
+	// Cutting exactly at the final record's start is not torn at all:
+	// the journal simply ends one record earlier.
+	rs, err := Resume(bytes.NewReader(b[:lastStart]))
+	if err != nil || rs.Len() != len(full)-1 {
+		t.Fatalf("record-boundary cut: %d points, err %v", rs.Len(), err)
+	}
+}
+
+// TestResumeFileTruncatesTornTail: ResumeFile repairs the journal on
+// disk — the torn record is truncated off, the resumed sweep
+// re-evaluates exactly that configuration, and the extended journal is
+// whole again.
+func TestResumeFileTruncatesTornTail(t *testing.T) {
+	w := testWorkload(t)
+	opt := smallOpt()
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	ck, err := OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck
+	full, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := saveBytes(t, full)
+
+	// Tear the final record: drop the last 7 bytes, modeling a crash
+	// mid-append.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := int64(bytes.LastIndexByte(bytes.TrimSuffix(b, []byte("\n")), '\n') + 1)
+	if err := os.Truncate(path, int64(len(b))-7); err != nil {
+		t.Fatal(err)
+	}
+
+	rs, err := ResumeFile(path)
+	if err != nil {
+		t.Fatalf("ResumeFile on a torn journal: %v", err)
+	}
+	if rs.Len() != len(full)-1 {
+		t.Fatalf("recovered %d points, want %d", rs.Len(), len(full)-1)
+	}
+	if st, err := os.Stat(path); err != nil || st.Size() != lastStart {
+		t.Fatalf("journal size after repair = %d, want truncated to %d (err %v)", st.Size(), lastStart, err)
+	}
+
+	// The resumed run re-evaluates exactly the dropped configuration and
+	// reproduces the original output byte for byte.
+	evals := 0
+	withEvalHook(t, func(core.Config) { evals++ })
+	ck2, err := OpenCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Checkpoint = ck2
+	opt.Resume = rs
+	resumed, err := RunContext(context.Background(), w, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if evals != 1 {
+		t.Errorf("resumed run evaluated %d configurations, want exactly the torn one", evals)
+	}
+	if !bytes.Equal(saveBytes(t, resumed), wantBytes) {
+		t.Error("resumed output differs from the uninterrupted run")
+	}
+
+	// The repaired-and-extended journal now covers the whole sweep.
+	rs2, err := ResumeFile(path)
+	if err != nil || rs2.Len() != len(full) {
+		t.Fatalf("final journal holds %d points (err %v), want %d", rs2.Len(), err, len(full))
 	}
 }

@@ -110,6 +110,24 @@ func pointFromPersisted(pp persistedPoint) (Point, error) {
 	return p, nil
 }
 
+// MarshalPointJSON renders one point in the stable persisted shape used
+// inside twolevel-sweep/1 documents and checkpoint journals. The durable
+// result store (internal/service) frames these bytes with a per-record
+// checksum.
+func MarshalPointJSON(p Point) ([]byte, error) {
+	return json.Marshal(pointToPersisted(p))
+}
+
+// UnmarshalPointJSON parses one persisted point, applying the same
+// validation LoadJSON applies (no NaN/Inf/negative metrics).
+func UnmarshalPointJSON(b []byte) (Point, error) {
+	var pp persistedPoint
+	if err := json.Unmarshal(b, &pp); err != nil {
+		return Point{}, fmt.Errorf("sweep: decoding point: %w", err)
+	}
+	return pointFromPersisted(pp)
+}
+
 // SaveJSON writes points as a versioned JSON document. Points from
 // different workloads may share a document; each carries its workload
 // name.

@@ -54,6 +54,12 @@ type ProgressEvent struct {
 // evaluation attempt. Tests use it to inject panics and count retries.
 var evalTestHook func(core.Config)
 
+// ChaosSiteEvaluate is the chaos-injection site fired at the start of
+// every evaluation attempt (inside the panic guard and the
+// per-configuration timeout), so injected panics, delays, and errors
+// flow through exactly the recovery machinery a real failure would.
+const ChaosSiteEvaluate = "sweep.evaluate"
+
 // panicError marks a failure that was a recovered panic, so retry
 // accounting can distinguish panics from timeouts while the rendered
 // message stays "panic: <value>".
@@ -323,6 +329,9 @@ func evaluateGuarded(ctx context.Context, refs []trace.Ref, cfg core.Config, opt
 	}
 	if evalTestHook != nil {
 		evalTestHook(cfg)
+	}
+	if err := opt.Chaos.Hit(ChaosSiteEvaluate); err != nil {
+		return Point{}, err
 	}
 	return evaluateStream(ctx, trace.NewSliceStream(refs), cfg, opt)
 }

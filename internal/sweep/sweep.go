@@ -16,6 +16,7 @@ import (
 
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
+	"twolevel/internal/chaos"
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
@@ -103,6 +104,11 @@ type Options struct {
 	// service hangs evaluations below the job's span). Fingerprint
 	// ignores it.
 	TraceParent *span.Span
+	// Chaos, when non-nil, fires the injector at ChaosSiteEvaluate on
+	// every evaluation attempt, so tests can prove the retry, timeout,
+	// and panic-isolation paths against injected faults. Nil (the
+	// default) costs nothing. Fingerprint ignores it.
+	Chaos *chaos.Injector
 }
 
 func (o Options) withDefaults() Options {

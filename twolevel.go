@@ -37,6 +37,7 @@ import (
 	"twolevel/internal/analyze"
 	"twolevel/internal/area"
 	"twolevel/internal/cache"
+	"twolevel/internal/chaos"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
 	"twolevel/internal/obs"
@@ -434,17 +435,51 @@ type Job = service.Job
 type JobStatus = service.Status
 
 // ResultStore memoizes completed evaluation points by PointKey.
+// MemResultStore is the in-memory implementation; DiskResultStore the
+// crash-safe durable one.
 type ResultStore = service.Store
+
+// MemResultStore is the in-memory result store.
+type MemResultStore = service.MemStore
+
+// DiskResultStore is the durable, crash-safe result store.
+type DiskResultStore = service.DiskStore
+
+// DiskResultStoreOptions tunes a DiskResultStore.
+type DiskResultStoreOptions = service.DiskStoreOptions
 
 // NewJobService builds a job service and starts its worker pool.
 func NewJobService(cfg JobServiceConfig) *JobService { return service.New(cfg) }
 
-// NewResultStore builds a result store holding at most cap points
-// (cap <= 0 means unbounded).
-func NewResultStore(cap int) *ResultStore { return service.NewStore(cap) }
+// NewResultStore builds an in-memory result store holding at most cap
+// points (cap <= 0 means unbounded).
+func NewResultStore(cap int) *MemResultStore { return service.NewStore(cap) }
+
+// OpenResultStore opens (creating if needed) a durable result store in
+// dir, replaying its journal into memory.
+func OpenResultStore(dir string, opt DiskResultStoreOptions) (*DiskResultStore, error) {
+	return service.OpenDiskStore(dir, opt)
+}
 
 // NewJobServiceHandler builds the /v1 HTTP JSON API over a job service.
 func NewJobServiceHandler(m *JobService) http.Handler { return service.NewHandler(m) }
+
+// ErrServiceOverloaded reports a job refused by admission control
+// (JobServiceConfig.MaxActiveJobs / MaxQueue); back off and resubmit.
+var ErrServiceOverloaded = service.ErrOverloaded
+
+// ChaosInjector is the deterministic fault injector of internal/chaos:
+// seed-driven panics, delays, errors, and short/corrupted I/O fired at
+// named sites (SweepOptions.Chaos, JobServiceConfig.Chaos,
+// DiskResultStoreOptions.Chaos). A nil injector is inert.
+type ChaosInjector = chaos.Injector
+
+// ChaosRule describes one injected fault bound to a site.
+type ChaosRule = chaos.Rule
+
+// NewChaosInjector builds a fault injector whose decisions all derive
+// from seed.
+func NewChaosInjector(seed int64) *ChaosInjector { return chaos.New(seed) }
 
 // EvaluatePoint simulates and prices a single configuration.
 func EvaluatePoint(w Workload, cfg Hierarchy, opt SweepOptions) Point {
