@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke cluster-smoke ci clean
 
 all: build
 
@@ -43,6 +43,14 @@ serve-smoke:
 # nonzero exit on an expired drain deadline. Requires curl and jq.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# cluster-smoke proves the distributed sweep cluster from outside the
+# processes: a coordinator plus two worker processes run a sweep, one
+# worker is killed -9 mid-job, and the final result document must be
+# byte-identical to a standalone run with zero lost and zero
+# double-counted evaluations. Requires curl and jq.
+cluster-smoke:
+	bash scripts/cluster_smoke.sh
 
 # explain-smoke drives the cache-explainability pipeline: cachesim
 # -explain-json 3C sum contract plus cmd/explain's conflict-share

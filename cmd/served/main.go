@@ -16,12 +16,28 @@
 //	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
 //	GET    /metrics, /progress, /debug/pprof/  observability
 //	GET    /healthz              liveness
-//	GET    /readyz               readiness (503 once the drain begins)
+//	GET    /readyz               readiness (503 once the drain begins or
+//	                             the durable store is poisoned)
 //
 // With -store-dir the result store is durable: completed points are
 // journaled to crash-safe segment files and replayed at boot, so a
 // kill -9 and restart serves previously computed results byte-for-byte
 // without re-simulating them.
+//
+// -role selects the node's place in a cluster (see internal/cluster):
+//
+//	standalone   (default) today's single-node service: the local
+//	             worker pool evaluates everything. No cluster endpoints
+//	             are mounted; behavior is exactly the single-node serve.
+//	coordinator  the same job API, but evaluations are leased to remote
+//	             workers over POST /cluster/v1/{register,heartbeat,
+//	             lease,complete}. Leases are renewed by heartbeats; a
+//	             silent worker's points are stolen and re-leased, and
+//	             duplicate completions land as content-addressed no-ops,
+//	             so results match standalone byte-for-byte.
+//	worker       no job API: registers with -coordinator, heartbeats,
+//	             pulls leases, evaluates, pushes results. Serves only
+//	             the observability mux locally.
 //
 // SIGINT/SIGTERM drains gracefully: /readyz flips to 503, new jobs are
 // refused, running jobs get -drain-timeout to finish, the final metrics
@@ -33,6 +49,8 @@
 //
 //	served -listen :8080 -store-dir /var/lib/twolevel
 //	served -listen 127.0.0.1:0 -workers 8 -events served.jsonl
+//	served -role coordinator -listen :8080 -lease-ttl 15s
+//	served -role worker -coordinator http://head:8080 -workers 4
 package main
 
 import (
@@ -45,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"twolevel/internal/cluster"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
 	"twolevel/internal/service"
@@ -54,8 +73,9 @@ func main() { os.Exit(run()) }
 
 func run() int {
 	var (
+		role       = flag.String("role", "standalone", "node role: standalone, coordinator, or worker")
 		listen     = flag.String("listen", ":8080", "HTTP listen address (host:0 picks a free port)")
-		workers    = flag.Int("workers", 0, "evaluation worker-pool size (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "evaluation worker-pool size, or lease-loop concurrency for -role worker (0 = GOMAXPROCS)")
 		storeCap   = flag.Int("store-cap", 0, "maximum memoized points for the in-memory store (0 = unbounded)")
 		storeDir   = flag.String("store-dir", "", "durable result-store directory (replayed at boot; empty = in-memory only)")
 		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; expiry cancels jobs and exits nonzero")
@@ -66,8 +86,27 @@ func run() int {
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		eventsOut  = flag.String("events", "", "append the job/run event journal (JSONL) to this file")
 		traceOut   = flag.String("trace", "", "write the service span trace (Chrome trace_event JSON) to this file at shutdown")
+
+		coordURL    = flag.String("coordinator", "", "coordinator base URL, e.g. http://head:8080 (-role worker)")
+		workerID    = flag.String("worker-id", "", "stable worker identity (-role worker; default host-pid)")
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "no-contact deadline before a worker is declared dead and its leases stolen (-role coordinator)")
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat interval assigned to workers (-role coordinator; 0 = lease-ttl/4)")
+		leasePoints = flag.Int("lease-points", 0, "maximum evaluation points per lease (-role coordinator: cap, default 8; -role worker: points requested per lease)")
 	)
 	flag.Parse()
+
+	switch *role {
+	case "standalone", "coordinator":
+		// fall through to the serving path below
+	case "worker":
+		return runWorker(workerOpts{
+			listen: *listen, coordinator: *coordURL, id: *workerID,
+			concurrency: *workers, leasePoints: *leasePoints,
+			metricsOut: *metricsOut, eventsOut: *eventsOut,
+		})
+	default:
+		return fail(fmt.Errorf("unknown -role %q (standalone, coordinator, or worker)", *role))
+	}
 
 	reg := obs.NewRegistry()
 	var elog *obs.EventLog
@@ -103,15 +142,16 @@ func run() int {
 	// whole accumulated tree at shutdown.
 	tr := span.NewTracer()
 	mgr := service.New(service.Config{
-		Workers:       *workers,
-		Store:         store,
-		Metrics:       reg,
-		Events:        elog,
-		Trace:         tr,
-		MaxActiveJobs: *maxActive,
-		MaxQueue:      *maxQueue,
-		MaxTimeout:    *maxTimeout,
-		MaxBodyBytes:  *maxBody,
+		Workers:           *workers,
+		ExternalExecution: *role == "coordinator",
+		Store:             store,
+		Metrics:           reg,
+		Events:            elog,
+		Trace:             tr,
+		MaxActiveJobs:     *maxActive,
+		MaxQueue:          *maxQueue,
+		MaxTimeout:        *maxTimeout,
+		MaxBodyBytes:      *maxBody,
 	})
 
 	// One mux serves the job API and the observability endpoints; the
@@ -124,11 +164,31 @@ func run() int {
 	root.Handle("/healthz", api)
 	root.Handle("/readyz", api)
 
+	// The coordinator role mounts the worker protocol next to the job
+	// API; standalone does not, so its HTTP surface is unchanged.
+	var coord *cluster.Coordinator
+	if *role == "coordinator" {
+		coord = cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Manager:        mgr,
+			LeaseTTL:       *leaseTTL,
+			Heartbeat:      *heartbeat,
+			MaxLeasePoints: *leasePoints,
+			Metrics:        reg,
+			Events:         elog,
+		})
+		root.Handle("/cluster/v1/", coord.Handler())
+	}
+
 	srv, err := obs.ServeHandler(*listen, root)
 	if err != nil {
 		return fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "served: listening on http://%s (POST /v1/jobs, GET /v1/envelope, /metrics)\n", srv.Addr())
+	switch *role {
+	case "coordinator":
+		fmt.Fprintf(os.Stderr, "served: coordinator listening on http://%s (POST /v1/jobs; workers join via /cluster/v1/register)\n", srv.Addr())
+	default:
+		fmt.Fprintf(os.Stderr, "served: listening on http://%s (POST /v1/jobs, GET /v1/envelope, /metrics)\n", srv.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -142,6 +202,9 @@ func run() int {
 	if err := mgr.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: drain cut short, running jobs cancelled: %v\n", err)
 		code = 1
+	}
+	if coord != nil {
+		coord.Close()
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
@@ -170,6 +233,71 @@ func run() int {
 		}
 	}
 	fmt.Fprintln(os.Stderr, "served: bye")
+	return code
+}
+
+type workerOpts struct {
+	listen, coordinator, id string
+	concurrency             int
+	leasePoints             int
+	metricsOut, eventsOut   string
+}
+
+// runWorker is the -role worker body: no job API, just the cluster
+// worker loop plus a local observability mux.
+func runWorker(o workerOpts) int {
+	if o.coordinator == "" {
+		return fail(fmt.Errorf("-role worker requires -coordinator URL"))
+	}
+	reg := obs.NewRegistry()
+	var elog *obs.EventLog
+	if o.eventsOut != "" {
+		var err error
+		if elog, err = obs.OpenEventLogFile(o.eventsOut); err != nil {
+			return fail(err)
+		}
+	}
+
+	srv, err := obs.ServeHandler(o.listen, obs.NewMux(reg, nil))
+	if err != nil {
+		return fail(err)
+	}
+
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator:    o.coordinator,
+		ID:             o.id,
+		Concurrency:    o.concurrency,
+		MaxLeasePoints: o.leasePoints,
+		Metrics:        reg,
+		Events:         elog,
+	})
+	fmt.Fprintf(os.Stderr, "served: worker %s joining %s (metrics on http://%s)\n", w.ID(), o.coordinator, srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code := 0
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "served: worker: %v\n", err)
+		code = 1
+	}
+	stop()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
+	}
+	if err := elog.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "served: closing event journal: %v\n", err)
+	}
+	if o.metricsOut != "" {
+		if err := obs.WriteSnapshotFile(o.metricsOut, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "served: writing metrics snapshot: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "served: metrics snapshot saved to %s\n", o.metricsOut)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "served: worker bye")
 	return code
 }
 

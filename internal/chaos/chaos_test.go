@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -180,5 +181,108 @@ func TestDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("two seeded runs fired differently: %v vs %v", a, b)
 		}
+	}
+}
+
+// TestConcurrentHitsKeepExactOrdinals: many goroutines hammering one
+// site concurrently must still observe race-free ordinal accounting —
+// exactly Hits = G×H total hits, exactly Times firings for an
+// After/Times rule, and never more. This is the contract the cluster
+// relies on when parallel lease loops share an injector; run under
+// -race it also proves the locking.
+func TestConcurrentHitsKeepExactOrdinals(t *testing.T) {
+	const (
+		goroutines = 8
+		hitsEach   = 200
+		after      = 37
+		times      = 53
+	)
+	in := New(3)
+	in.Install(Rule{Site: "c", After: after, Times: times})
+
+	var wg sync.WaitGroup
+	errs := make(chan int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < hitsEach; i++ {
+				if in.Hit("c") != nil {
+					n++
+				}
+			}
+			errs <- n
+		}()
+	}
+	wg.Wait()
+	close(errs)
+
+	total := 0
+	for n := range errs {
+		total += n
+	}
+	if got := in.Hits("c"); got != goroutines*hitsEach {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*hitsEach)
+	}
+	if got := in.Fired("c"); got != times {
+		t.Fatalf("Fired = %d, want exactly %d", got, times)
+	}
+	if total != times {
+		t.Fatalf("goroutines saw %d injected errors, want exactly %d", total, times)
+	}
+}
+
+// TestConcurrentRulesSequenceWithoutOverlap: two rules on the same site
+// with adjacent After windows must partition the hit sequence exactly —
+// rule one fires its Times, then rule two — even when the hits arrive
+// from concurrent goroutines.
+func TestConcurrentRulesSequenceWithoutOverlap(t *testing.T) {
+	const (
+		goroutines = 6
+		hitsEach   = 100
+	)
+	errA := errors.New("phase-a")
+	errB := errors.New("phase-b")
+	in := New(5)
+	in.Install(Rule{Site: "s", After: 0, Times: 10, Err: errA})
+	in.Install(Rule{Site: "s", After: 10, Times: 10, Err: errB})
+
+	var wg sync.WaitGroup
+	counts := make(chan [2]int, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var c [2]int
+			for i := 0; i < hitsEach; i++ {
+				switch err := in.Hit("s"); {
+				case errors.Is(err, errA):
+					c[0]++
+				case errors.Is(err, errB):
+					c[1]++
+				case err != nil:
+					t.Errorf("unexpected error: %v", err)
+				}
+			}
+			counts <- c
+		}()
+	}
+	wg.Wait()
+	close(counts)
+
+	var a, b int
+	for c := range counts {
+		a += c[0]
+		b += c[1]
+	}
+	if a != 10 || b != 10 {
+		t.Fatalf("phase firings = %d/%d, want exactly 10/10", a, b)
+	}
+	if got := in.Fired("s"); got != 20 {
+		t.Fatalf("Fired = %d, want 20", got)
+	}
+	if got := in.Hits("s"); got != goroutines*hitsEach {
+		t.Fatalf("Hits = %d, want %d", got, goroutines*hitsEach)
 	}
 }

@@ -1,0 +1,643 @@
+// Package cluster shards the sweep/evaluation plane across nodes: a
+// Coordinator draws queued (workload, configuration) evaluations from a
+// service.Manager running in external-execution mode and leases them to
+// Workers that register over HTTP, heartbeat, evaluate via the hardened
+// sweep.Evaluator, and push results back.
+//
+// Robustness is the design center, not an afterthought:
+//
+//   - Leases are renewed by heartbeats. A worker that stops beating for
+//     the lease TTL is declared dead and its in-flight points return to
+//     the queue (work stealing) — nothing a dying worker held is lost.
+//   - Completion is idempotent and content-addressed by sweep.Key: a
+//     zombie worker pushing results after its lease was stolen lands as
+//     a store no-op, never a double-delivery to a job.
+//   - Evaluations are deterministic and work units carry their own key,
+//     recomputed and verified on both sides, so a point evaluated on
+//     any node is byte-identical to one evaluated locally and becomes a
+//     store hit everywhere through the coordinator's memoizing store.
+//   - Every distributed failure site (register, heartbeat, lease-grant,
+//     result-push, worker-crash) is a named internal/chaos site, so
+//     recovery is proven deterministically in tests rather than hoped
+//     for.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
+	"twolevel/internal/service"
+	"twolevel/internal/sweep"
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Manager is the job service whose evaluation plane the coordinator
+	// distributes. It must run with Config.ExternalExecution set (no
+	// local pool); the coordinator is its only executor.
+	Manager *service.Manager
+
+	// LeaseTTL is the no-contact deadline: a lease not refreshed by a
+	// worker heartbeat within it expires and its points are stolen, and
+	// a worker silent for it is declared dead (default 10s).
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to beat at (default
+	// LeaseTTL/4).
+	Heartbeat time.Duration
+	// MaxLeasePoints caps the points in one lease (default 8). Workers
+	// may ask for fewer.
+	MaxLeasePoints int
+	// GrantWait is how long a lease grant blocks waiting for work
+	// before answering 204 (default 500ms) — a cheap long-poll so idle
+	// workers don't hammer the queue.
+	GrantWait time.Duration
+
+	// Metrics, Events, Trace, and Chaos follow the obs nil-safety
+	// contract: nil costs nothing. Chaos fires at the ChaosSite* sites
+	// of the coordinator's handlers.
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Chaos   *chaos.Injector
+}
+
+func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.LeaseTTL / 4
+	}
+	if c.MaxLeasePoints <= 0 {
+		c.MaxLeasePoints = 8
+	}
+	if c.GrantWait <= 0 {
+		c.GrantWait = 500 * time.Millisecond
+	}
+	return c
+}
+
+// unit is one evaluation the coordinator has drawn from the manager and
+// not yet completed. It is either out under a lease or queued in
+// c.ready for (re-)lease.
+type unit struct {
+	key  string
+	task *service.ExternalTask
+	wire workUnit
+	// sp is the open remote-evaluate span of the current lease, nested
+	// under the owning job's evaluate span; nil while queued.
+	sp *span.Span
+	// leased counts how many times the unit has been handed out; >1
+	// means it was stolen at least once.
+	leased int
+}
+
+// lease is one grant of units to one worker, alive until completed or
+// until its deadline passes without a heartbeat.
+type lease struct {
+	id       string
+	worker   string
+	units    map[string]*unit
+	deadline time.Time
+}
+
+// workerState tracks one registered worker.
+type workerState struct {
+	id       string
+	lastBeat time.Time
+	leases   map[string]*lease
+}
+
+// Coordinator owns the cluster scheduling state. NewCoordinator builds
+// one; Handler exposes the worker protocol; Close stops the reaper.
+type Coordinator struct {
+	mgr    *service.Manager
+	cfg    CoordinatorConfig
+	met    *coordMetrics
+	events *obs.EventLog
+	inj    *chaos.Injector
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+	leases  map[string]*lease
+	pending map[string]*unit // key → unit, everything drawn and unfinished
+	ready   []*unit          // stolen/returned units awaiting re-lease
+	seq     int
+	closed  bool
+
+	reapStop chan struct{}
+	reapDone chan struct{}
+}
+
+// NewCoordinator builds a coordinator over mgr and starts its lease
+// reaper.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		mgr:      cfg.Manager,
+		cfg:      cfg,
+		met:      newCoordMetrics(cfg.Metrics),
+		events:   cfg.Events,
+		inj:      cfg.Chaos,
+		workers:  make(map[string]*workerState),
+		leases:   make(map[string]*lease),
+		pending:  make(map[string]*unit),
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	go c.reaper()
+	return c
+}
+
+// Close stops the lease reaper. Outstanding leases stay in the maps;
+// the manager's own shutdown cancels the jobs that wanted them.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.reapStop)
+	<-c.reapDone
+}
+
+// reaper periodically expires leases and workers that missed their
+// heartbeat window, returning their in-flight points to the queue.
+func (c *Coordinator) reaper() {
+	defer close(c.reapDone)
+	tick := c.cfg.LeaseTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case <-t.C:
+			c.reap(time.Now())
+		}
+	}
+}
+
+// reap is one expiry pass: leases past deadline lose their points to
+// the ready queue; workers silent past the TTL are declared dead.
+func (c *Coordinator) reap(now time.Time) {
+	c.mu.Lock()
+	// Dead workers first: expiring a worker expires all its leases.
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) <= c.cfg.LeaseTTL {
+			continue
+		}
+		for _, l := range w.leases {
+			c.expireLeaseLocked(l, "worker-dead")
+		}
+		delete(c.workers, id)
+		c.met.workersDead.Inc()
+		c.met.workersLive.Set(int64(len(c.workers)))
+		c.events.Emit(obs.Event{Type: EventWorkerDead, Worker: id})
+	}
+	for _, l := range c.leases {
+		if now.After(l.deadline) {
+			c.expireLeaseLocked(l, "lease-expired")
+		}
+	}
+	// Drop queued units nobody wants anymore (their jobs were cancelled);
+	// completing them with the cancellation keeps the manager's
+	// in-flight table clean.
+	var abandoned []*unit
+	kept := c.ready[:0]
+	for _, u := range c.ready {
+		if u.task.Context().Err() != nil {
+			delete(c.pending, u.key)
+			abandoned = append(abandoned, u)
+			continue
+		}
+		kept = append(kept, u)
+	}
+	c.ready = kept
+	c.met.pointsInflight.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+	for _, u := range abandoned {
+		c.mgr.Complete(u.task, sweep.Point{}, u.task.Context().Err())
+	}
+}
+
+// expireLeaseLocked steals a lease's remaining points back to the ready
+// queue. Caller holds c.mu.
+func (c *Coordinator) expireLeaseLocked(l *lease, why string) {
+	if _, live := c.leases[l.id]; !live {
+		return
+	}
+	delete(c.leases, l.id)
+	if w := c.workers[l.worker]; w != nil {
+		delete(w.leases, l.id)
+	}
+	stolen := 0
+	for _, u := range l.units {
+		u.sp.Annotate("outcome", why)
+		u.sp.End()
+		u.sp = nil
+		c.ready = append(c.ready, u)
+		stolen++
+	}
+	c.met.leasesExpired.Inc()
+	c.met.leasesActive.Set(int64(len(c.leases)))
+	c.met.pointsStolen.Add(uint64(stolen))
+	c.events.Emit(obs.Event{
+		Type: EventLeaseExpired, Worker: l.worker, Lease: l.id,
+		Total: stolen, Err: why,
+	})
+}
+
+// Handler returns the worker-protocol handler, meant to be mounted at
+// /cluster/v1/ next to the job API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /cluster/v1/complete", c.handleComplete)
+	return mux
+}
+
+// errUnknownWorker tells a worker to re-register (coordinator restart,
+// or it was declared dead and its state reaped).
+var errUnknownWorker = errors.New("cluster: unknown worker")
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if err := c.inj.Hit(ChaosSiteRegister); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	var req registerRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: register without worker id"))
+		return
+	}
+	c.mu.Lock()
+	ws := c.workers[req.ID]
+	if ws == nil {
+		ws = &workerState{id: req.ID, leases: make(map[string]*lease)}
+		c.workers[req.ID] = ws
+		c.met.workersRegistered.Inc()
+		c.met.workersLive.Set(int64(len(c.workers)))
+	}
+	ws.lastBeat = time.Now()
+	c.mu.Unlock()
+	c.events.Emit(obs.Event{Type: EventWorkerRegistered, Worker: req.ID})
+	writeJSON(w, http.StatusOK, registerResponse{
+		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
+		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := c.inj.Hit(ChaosSiteHeartbeat); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	var req heartbeatRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	ws := c.workers[req.ID]
+	if ws == nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	ws.lastBeat = now
+	// A heartbeat renews every lease the worker holds: lease expiry
+	// means loss of contact, not slow evaluation.
+	for _, l := range ws.leases {
+		l.deadline = now.Add(c.cfg.LeaseTTL)
+	}
+	c.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	if err := c.inj.Hit(ChaosSiteLease); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	var req leaseRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	max := req.MaxPoints
+	if max <= 0 || max > c.cfg.MaxLeasePoints {
+		max = c.cfg.MaxLeasePoints
+	}
+
+	c.mu.Lock()
+	if c.workers[req.ID] == nil {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	// Stolen work first: re-leasing it beats pulling fresh points, both
+	// for latency (its jobs are older) and so stolen points re-run at
+	// most once before new work is started.
+	units := c.takeReadyLocked(max)
+	c.mu.Unlock()
+
+	// Top up from the manager's queue. Only the first pull may block
+	// (the long-poll); the rest are immediate grabs.
+	if len(units) < max {
+		units = append(units, c.pullFromManager(r, max-len(units), len(units) == 0)...)
+	}
+	if len(units) == 0 {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+
+	now := time.Now()
+	c.mu.Lock()
+	ws := c.workers[req.ID]
+	if ws == nil {
+		// The reaper declared the worker dead while we were pulling;
+		// everything goes back on the queue for someone alive.
+		c.ready = append(c.ready, units...)
+		for _, u := range units {
+			c.pending[u.key] = u
+		}
+		c.met.pointsInflight.Set(int64(len(c.pending)))
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, errUnknownWorker)
+		return
+	}
+	c.seq++
+	l := &lease{
+		id:       fmt.Sprintf("l%d", c.seq),
+		worker:   req.ID,
+		units:    make(map[string]*unit, len(units)),
+		deadline: now.Add(c.cfg.LeaseTTL),
+	}
+	wire := make([]workUnit, 0, len(units))
+	for _, u := range units {
+		u.leased++
+		u.sp = u.task.Span("remote-evaluate",
+			span.Attr{Key: "worker", Value: req.ID},
+			span.Attr{Key: "lease", Value: l.id},
+			span.Attr{Key: "attempt", Value: fmt.Sprint(u.leased)})
+		l.units[u.key] = u
+		c.pending[u.key] = u
+		wire = append(wire, u.wire)
+	}
+	c.leases[l.id] = l
+	ws.leases[l.id] = l
+	c.met.leasesGranted.Inc()
+	c.met.leasesActive.Set(int64(len(c.leases)))
+	c.met.pointsLeased.Add(uint64(len(units)))
+	c.met.pointsInflight.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+	c.events.Emit(obs.Event{
+		Type: EventLeaseGranted, Worker: req.ID, Lease: l.id, Total: len(wire),
+	})
+	writeJSON(w, http.StatusOK, leaseResponse{LeaseID: l.id, Units: wire})
+}
+
+// takeReadyLocked pops up to max units from the ready queue, skipping
+// (and abandoning) units whose jobs were all cancelled. Caller holds
+// c.mu.
+func (c *Coordinator) takeReadyLocked(max int) []*unit {
+	var units []*unit
+	for len(units) < max && len(c.ready) > 0 {
+		u := c.ready[0]
+		c.ready = c.ready[1:]
+		if u.task.Context().Err() != nil {
+			delete(c.pending, u.key)
+			// Completing with the cancellation cleans the manager's
+			// in-flight table; with no waiters left nothing is delivered.
+			go c.mgr.Complete(u.task, sweep.Point{}, u.task.Context().Err())
+			continue
+		}
+		units = append(units, u)
+	}
+	return units
+}
+
+// pullFromManager draws up to n fresh tasks from the manager's queue,
+// building their wire units. When wait is set the first pull long-polls
+// for GrantWait; every other pull takes only work that is already
+// queued.
+func (c *Coordinator) pullFromManager(r *http.Request, n int, wait bool) []*unit {
+	var units []*unit
+	for len(units) < n {
+		ctx := expiredContext
+		if wait && len(units) == 0 {
+			var cancel func()
+			ctx, cancel = contextWithTimeout(r, c.cfg.GrantWait)
+			defer cancel()
+		}
+		t, ok := c.mgr.NextTask(ctx)
+		if !ok {
+			break
+		}
+		wu := workUnit{
+			Key:      t.Key(),
+			Workload: t.Workload(),
+			Options:  optionsToWire(t.Options()),
+			Config:   t.Config(),
+		}
+		units = append(units, &unit{key: t.Key(), task: t, wire: wu})
+	}
+	return units
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	if err := c.inj.Hit(ChaosSiteComplete); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	var req completeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	type done struct {
+		u   *unit
+		p   sweep.Point
+		err error
+	}
+	var resp completeResponse
+	var deliveries []done
+
+	c.mu.Lock()
+	for _, res := range req.Results {
+		u := c.pending[res.Key]
+		if u == nil {
+			// Already completed elsewhere — a zombie push after the lease
+			// was stolen and re-run. The result is byte-identical by
+			// determinism, so dropping it loses nothing: the store
+			// already holds these bytes (a content-addressed no-op).
+			resp.Duplicates++
+			c.met.duplicateResults.Inc()
+			c.events.Emit(obs.Event{
+				Type: EventResultDuplicate, Worker: req.ID, Lease: req.LeaseID,
+			})
+			continue
+		}
+		var d done
+		d.u = u
+		if res.Error != "" {
+			d.err = fmt.Errorf("cluster: worker %s: %s", req.ID, res.Error)
+		} else {
+			p, err := sweep.UnmarshalPointJSON(res.Point)
+			if err != nil {
+				// A push we cannot decode is a transport/bug fault, not
+				// an evaluation failure: return the point to the queue
+				// so it re-runs instead of failing the job.
+				resp.Requeued++
+				c.met.badResults.Inc()
+				if u.sp != nil {
+					u.sp.Annotate("outcome", "bad-result")
+					u.sp.End()
+					u.sp = nil
+				}
+				c.detachLocked(u)
+				c.ready = append(c.ready, u)
+				continue
+			}
+			d.p = p
+		}
+		if u.sp != nil {
+			if d.err != nil {
+				u.sp.Annotate("outcome", "failed")
+				u.sp.Annotate("error", d.err.Error())
+			} else {
+				u.sp.Annotate("outcome", "ok")
+			}
+			u.sp.End()
+			u.sp = nil
+		}
+		c.detachLocked(u)
+		delete(c.pending, u.key)
+		resp.Accepted++
+		if d.err != nil {
+			c.met.pointsFailed.Inc()
+		} else {
+			c.met.pointsCompleted.Inc()
+		}
+		deliveries = append(deliveries, d)
+	}
+	// A lease whose units are all gone is complete.
+	if l := c.leases[req.LeaseID]; l != nil && len(l.units) == 0 {
+		delete(c.leases, req.LeaseID)
+		if ws := c.workers[l.worker]; ws != nil {
+			delete(ws.leases, l.id)
+		}
+		c.met.leasesCompleted.Inc()
+		c.met.leasesActive.Set(int64(len(c.leases)))
+		c.events.Emit(obs.Event{
+			Type: EventLeaseCompleted, Worker: l.worker, Lease: l.id,
+			Done: resp.Accepted,
+		})
+	}
+	c.met.pointsInflight.Set(int64(len(c.pending)))
+	c.mu.Unlock()
+
+	// Deliveries run outside c.mu: Manager.Complete takes the manager
+	// and job locks and may finalize jobs.
+	for _, d := range deliveries {
+		c.mgr.Complete(d.u.task, d.p, d.err)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// detachLocked removes a unit from whatever lease currently holds it
+// and from the ready queue (a zombie can complete a unit that was
+// stolen but not yet re-leased). Caller holds c.mu.
+func (c *Coordinator) detachLocked(u *unit) {
+	for _, l := range c.leases {
+		delete(l.units, u.key)
+	}
+	for i, r := range c.ready {
+		if r == u {
+			c.ready = append(c.ready[:i], c.ready[i+1:]...)
+			break
+		}
+	}
+}
+
+// expiredContext gives NextTask non-blocking semantics: work already
+// queued is still handed out, but nothing waits.
+var expiredContext = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// contextWithTimeout bounds the lease long-poll by GrantWait and by the
+// client connection.
+func contextWithTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d)
+}
+
+// Stats is a point-in-time snapshot of the cluster scheduling state.
+type Stats struct {
+	WorkersLive   int `json:"workers_live"`
+	LeasesActive  int `json:"leases_active"`
+	PointsPending int `json:"points_pending"`
+	PointsReady   int `json:"points_ready"`
+}
+
+// Stats snapshots the coordinator.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		WorkersLive:   len(c.workers),
+		LeasesActive:  len(c.leases),
+		PointsPending: len(c.pending),
+		PointsReady:   len(c.ready),
+	}
+}
+
+// --- small HTTP helpers -------------------------------------------------
+
+func decodeBody(r *http.Request, v any) error {
+	defer r.Body.Close() //nolint:errcheck // read side
+	if err := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20)).Decode(v); err != nil {
+		return fmt.Errorf("cluster: decoding request: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n')) //nolint:errcheck // best-effort response body
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()}) //nolint:errcheck
+}

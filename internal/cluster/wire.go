@@ -1,0 +1,156 @@
+package cluster
+
+// This file is the coordinator↔worker wire protocol. The exactness
+// contract lives here: a work unit carries the workload name, the full
+// hierarchy geometry (core.Config, whose fields are all
+// JSON-round-trip-exact), and the result-determining subset of
+// sweep.Options, so a worker rebuilds an evaluator that produces the
+// byte-identical point a local evaluation would — and both sides can
+// recompute sweep.Key from the unit to prove it. Completed points
+// travel back as persisted twolevel-sweep/1 point documents
+// (sweep.MarshalPointJSON), the same representation the durable store
+// journals, which round-trips through JSON without changing the bytes
+// sweep.SaveJSON later renders.
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"twolevel/internal/core"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+	"twolevel/internal/timing"
+)
+
+// wireOptions is the result-determining + hardening subset of
+// sweep.Options a work unit ships. Enumeration-only fields (size lists)
+// and runtime plumbing (metrics, events, chaos, trace) stay on each
+// side; the configuration geometry rides separately in workUnit.Config.
+type wireOptions struct {
+	TechScale    float64 `json:"tech_scale"`
+	TechAddrBits int     `json:"tech_addr_bits"`
+	OffChipNS    float64 `json:"offchip_ns"`
+	DualPorted   bool    `json:"dual_ported,omitempty"`
+	Refs         uint64  `json:"refs"`
+	// TimeoutNS and Retries reproduce the per-configuration hardening,
+	// so a remote evaluation retries and times out exactly as a local
+	// one would.
+	TimeoutNS int64 `json:"timeout_ns,omitempty"`
+	Retries   int   `json:"retries,omitempty"`
+}
+
+// optionsToWire extracts the wire subset from a defaulted option set.
+func optionsToWire(o sweep.Options) wireOptions {
+	return wireOptions{
+		TechScale:    o.Tech.Scale,
+		TechAddrBits: o.Tech.AddrBits,
+		OffChipNS:    o.OffChipNS,
+		DualPorted:   o.DualPorted,
+		Refs:         o.Refs,
+		TimeoutNS:    int64(o.Timeout),
+		Retries:      o.Retries,
+	}
+}
+
+// toOptions rebuilds the evaluator option set on the worker.
+func (w wireOptions) toOptions() sweep.Options {
+	return sweep.Options{
+		Tech:       timing.Tech{Scale: w.TechScale, AddrBits: w.TechAddrBits},
+		OffChipNS:  w.OffChipNS,
+		DualPorted: w.DualPorted,
+		Refs:       w.Refs,
+		Timeout:    time.Duration(w.TimeoutNS),
+		Retries:    w.Retries,
+	}
+}
+
+// workUnit is one leased (workload, configuration) evaluation.
+type workUnit struct {
+	// Key is the point's content address (sweep.Key). The worker
+	// recomputes it from the unit and refuses to evaluate on a mismatch,
+	// so protocol drift can never alias two different evaluations.
+	Key      string      `json:"key"`
+	Workload string      `json:"workload"`
+	Options  wireOptions `json:"options"`
+	Config   core.Config `json:"config"`
+}
+
+// unitKey recomputes the unit's content address from its own fields.
+func unitKey(u workUnit) string {
+	return sweep.Key(u.Workload, u.Config, u.Options.toOptions())
+}
+
+// validateUnit checks a received unit: known workload, simulatable
+// configuration, key integrity.
+func validateUnit(u workUnit) error {
+	if _, err := spec.ByName(u.Workload); err != nil {
+		return err
+	}
+	if err := u.Config.Validate(); err != nil {
+		return err
+	}
+	if got := unitKey(u); got != u.Key {
+		return errKeyMismatch(u.Key, got)
+	}
+	return nil
+}
+
+type registerRequest struct {
+	ID string `json:"id"`
+}
+
+type registerResponse struct {
+	// HeartbeatMS is the interval the worker must beat at; LeaseTTLMS is
+	// how long the coordinator waits past the last contact before
+	// declaring the worker dead and stealing its leases.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	LeaseTTLMS  int64 `json:"lease_ttl_ms"`
+}
+
+type heartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+type leaseRequest struct {
+	ID        string `json:"id"`
+	MaxPoints int    `json:"max_points"`
+}
+
+type leaseResponse struct {
+	LeaseID string     `json:"lease_id"`
+	Units   []workUnit `json:"units"`
+}
+
+// resultWire is one completed evaluation travelling back. Exactly one
+// of Point (a persisted twolevel-sweep/1 point) or Error is set.
+type resultWire struct {
+	Key   string          `json:"key"`
+	Point json.RawMessage `json:"point,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+type completeRequest struct {
+	ID      string       `json:"id"`
+	LeaseID string       `json:"lease_id"`
+	Results []resultWire `json:"results"`
+}
+
+type completeResponse struct {
+	// Accepted counts results delivered to the job service; Duplicates
+	// counts pushes for points already completed elsewhere (idempotent
+	// no-ops); Requeued counts undecodable results returned to the
+	// queue.
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	Requeued   int `json:"requeued"`
+}
+
+// errorResponse is the JSON error body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func errKeyMismatch(want, got string) error {
+	return fmt.Errorf("cluster: unit key %q does not match recomputed key %q", want, got)
+}

@@ -1,0 +1,377 @@
+package cluster
+
+// This file is the cluster worker: it registers with a coordinator over
+// HTTP, heartbeats, pulls leases of (workload, configuration) points,
+// evaluates them through the hardened sweep.Evaluator (panic isolation,
+// per-configuration timeout/retry — the identical code path a local
+// evaluation takes), and pushes results back. Every RPC retries with
+// backoff; a worker that cannot push its results abandons the lease and
+// lets the coordinator steal it, because correctness never depends on a
+// worker surviving. Workload traces are generated once per (workload,
+// options) and replayed across leases, exactly as the in-process pool
+// replays them.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+// WorkerConfig parameterizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL, e.g. "http://host:8080".
+	Coordinator string
+	// ID names the worker (default "host-pid"). IDs must be unique per
+	// coordinator; reusing one resumes that identity.
+	ID string
+	// Concurrency is the number of parallel lease loops — independent
+	// evaluation pipelines sharing one registration and heartbeat
+	// (default GOMAXPROCS).
+	Concurrency int
+	// MaxLeasePoints caps how many points each lease requests (default:
+	// the coordinator's limit).
+	MaxLeasePoints int
+	// PollInterval is the idle wait after an empty lease response
+	// (default 200ms; the coordinator long-polls on top of it).
+	PollInterval time.Duration
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+
+	// Metrics, Events, and Chaos follow the obs nil-safety contract.
+	// Chaos fires at the ChaosSiteWorker* sites and is also handed to
+	// every evaluation (sweep.ChaosSiteEvaluate).
+	Metrics *obs.Registry
+	Events  *obs.EventLog
+	Chaos   *chaos.Injector
+}
+
+func (c WorkerConfig) withDefaults() WorkerConfig {
+	if c.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		c.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 200 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// Worker is one cluster evaluation node. NewWorker builds one; Run
+// drives it until the context is cancelled.
+type Worker struct {
+	cfg WorkerConfig
+	met *workerMetrics
+	inj *chaos.Injector
+
+	heartbeat time.Duration // from registration
+
+	mu    sync.Mutex
+	evals map[string]*sweep.Evaluator // (workload|options) → evaluator
+}
+
+// NewWorker builds a worker.
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	return &Worker{
+		cfg:   cfg,
+		met:   newWorkerMetrics(cfg.Metrics),
+		inj:   cfg.Chaos,
+		evals: make(map[string]*sweep.Evaluator),
+	}
+}
+
+// ID reports the worker's identity.
+func (w *Worker) ID() string { return w.cfg.ID }
+
+// Run registers, heartbeats, and evaluates leases until ctx is
+// cancelled, returning nil on a clean stop. A chaos Panic rule at
+// ChaosSiteWorkerCrash propagates out of Run (after internal goroutines
+// are stopped), modelling the process dying mid-lease.
+func (w *Worker) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // stops heartbeats even when a lease loop panics
+
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.met.connected.Set(1)
+	defer w.met.connected.Set(0)
+
+	go w.heartbeatLoop(ctx)
+
+	// Lease loops run as goroutines so Concurrency scales the node; a
+	// panic in any loop (evaluation bugs are isolated by the evaluator,
+	// so in practice: an injected crash) is re-raised from Run itself
+	// after the others are cancelled — one loop dying kills the worker,
+	// exactly like a process crash.
+	panics := make(chan any, w.cfg.Concurrency)
+	var loops sync.WaitGroup
+	for i := 0; i < w.cfg.Concurrency; i++ {
+		loops.Add(1)
+		go func() {
+			defer loops.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					select {
+					case panics <- r:
+					default:
+					}
+					cancel()
+				}
+			}()
+			w.leaseLoop(ctx)
+		}()
+	}
+	loops.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+	return nil
+}
+
+// register announces the worker, retrying with backoff until ctx is
+// done, and learns the heartbeat interval.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 50 * time.Millisecond
+	for {
+		err := w.inj.Hit(ChaosSiteWorkerRegister)
+		if err == nil {
+			var resp registerResponse
+			_, err = w.post(ctx, "/cluster/v1/register", registerRequest{ID: w.cfg.ID}, &resp)
+			if err == nil {
+				w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
+				if w.heartbeat <= 0 {
+					w.heartbeat = 2 * time.Second
+				}
+				return nil
+			}
+		}
+		w.met.rpcRetries.Inc()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: registering with %s: %w (last: %v)", w.cfg.Coordinator, ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// heartbeatLoop beats at the coordinator-assigned interval. A 404 means
+// the coordinator no longer knows us (restart, or we were declared
+// dead): re-register and carry on.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	t := time.NewTicker(w.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if err := w.inj.Hit(ChaosSiteWorkerHeartbeat); err != nil {
+			continue // beat dropped on the floor
+		}
+		code, err := w.post(ctx, "/cluster/v1/heartbeat", heartbeatRequest{ID: w.cfg.ID}, nil)
+		if code == http.StatusNotFound {
+			w.register(ctx) //nolint:errcheck // retried forever; ctx exit caught above
+		} else if err != nil {
+			w.met.rpcRetries.Inc()
+		}
+	}
+}
+
+// leaseLoop pulls, evaluates, and completes leases until ctx is done.
+func (w *Worker) leaseLoop(ctx context.Context) {
+	for ctx.Err() == nil {
+		lease, ok := w.pullLease(ctx)
+		if !ok {
+			select {
+			case <-ctx.Done():
+			case <-time.After(w.cfg.PollInterval):
+			}
+			continue
+		}
+		w.met.leases.Inc()
+		results := make([]resultWire, 0, len(lease.Units))
+		for _, u := range lease.Units {
+			results = append(results, w.evaluate(ctx, u))
+			// The deterministic stand-in for kill -9: a Panic rule here
+			// kills the worker with this lease's results unpushed.
+			if err := w.inj.Hit(ChaosSiteWorkerCrash); err != nil {
+				panic(fmt.Sprintf("cluster: injected crash: %v", err))
+			}
+		}
+		if ctx.Err() != nil {
+			return // shutdown mid-lease: the coordinator will steal it
+		}
+		w.pushResults(ctx, lease.LeaseID, results)
+	}
+}
+
+// pullLease requests one lease; ok is false when there is no work (or
+// the RPC failed and should be retried after the poll interval).
+func (w *Worker) pullLease(ctx context.Context) (leaseResponse, bool) {
+	var lease leaseResponse
+	if err := w.inj.Hit(ChaosSiteWorkerLease); err != nil {
+		w.met.rpcRetries.Inc()
+		return lease, false
+	}
+	code, err := w.post(ctx, "/cluster/v1/lease",
+		leaseRequest{ID: w.cfg.ID, MaxPoints: w.cfg.MaxLeasePoints}, &lease)
+	switch {
+	case code == http.StatusNotFound:
+		w.register(ctx) //nolint:errcheck // retried forever
+		return lease, false
+	case code == http.StatusNoContent || err != nil:
+		if err != nil {
+			w.met.rpcRetries.Inc()
+		}
+		return lease, false
+	}
+	return lease, len(lease.Units) > 0
+}
+
+// evaluate runs one unit through the shared evaluator for its
+// (workload, options), verifying the unit's content address first.
+func (w *Worker) evaluate(ctx context.Context, u workUnit) resultWire {
+	res := resultWire{Key: u.Key}
+	if err := validateUnit(u); err != nil {
+		w.met.pointFailures.Inc()
+		res.Error = err.Error()
+		return res
+	}
+	eval, err := w.evaluator(u)
+	if err != nil {
+		w.met.pointFailures.Inc()
+		res.Error = err.Error()
+		return res
+	}
+	p, err := eval.Evaluate(ctx, u.Config)
+	if err != nil {
+		w.met.pointFailures.Inc()
+		res.Error = err.Error()
+		return res
+	}
+	b, err := sweep.MarshalPointJSON(p)
+	if err != nil {
+		w.met.pointFailures.Inc()
+		res.Error = err.Error()
+		return res
+	}
+	w.met.points.Inc()
+	res.Point = b
+	return res
+}
+
+// evaluator returns the cached evaluator for the unit's (workload,
+// options), so the workload trace is generated once and replayed.
+func (w *Worker) evaluator(u workUnit) (*sweep.Evaluator, error) {
+	ob, err := json.Marshal(u.Options)
+	if err != nil {
+		return nil, err
+	}
+	key := u.Workload + "|" + string(ob)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e, ok := w.evals[key]; ok {
+		return e, nil
+	}
+	wl, err := spec.ByName(u.Workload)
+	if err != nil {
+		return nil, err
+	}
+	opt := u.Options.toOptions()
+	opt.Metrics = w.cfg.Metrics
+	opt.Events = w.cfg.Events
+	opt.Chaos = w.cfg.Chaos
+	e := sweep.NewEvaluator(wl, opt)
+	w.evals[key] = e
+	return e, nil
+}
+
+// pushResults posts a lease's results, retrying transient failures. If
+// every attempt fails the push is abandoned — the lease expires and the
+// points are stolen, so the job still completes (the work just runs
+// again elsewhere).
+func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resultWire) {
+	req := completeRequest{ID: w.cfg.ID, LeaseID: leaseID, Results: results}
+	backoff := 50 * time.Millisecond
+	for attempt := 0; attempt < 5; attempt++ {
+		err := w.inj.Hit(ChaosSiteWorkerComplete)
+		if err == nil {
+			var resp completeResponse
+			if _, err = w.post(ctx, "/cluster/v1/complete", req, &resp); err == nil {
+				return
+			}
+		}
+		w.met.rpcRetries.Inc()
+		select {
+		case <-ctx.Done():
+			w.met.pushFailures.Inc()
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	w.met.pushFailures.Inc()
+}
+
+// post sends one JSON RPC and decodes the response into out (when
+// non-nil and the answer is 200). It returns the status code; non-2xx
+// answers become errors carrying the server's message.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	if resp.StatusCode >= 300 {
+		var e errorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return resp.StatusCode, fmt.Errorf("cluster: %s: %s", path, msg)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("cluster: decoding %s response: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,177 @@
+package service
+
+// This file is the external-execution surface of the Manager: the hooks
+// internal/cluster's coordinator uses to run the evaluation plane on
+// remote workers instead of the in-process pool. With
+// Config.ExternalExecution set the manager starts no local workers;
+// queued tasks are drawn with NextTask, returned to the queue with
+// Requeue (work stealing from a dead worker), and finished with
+// Complete — which performs exactly the store/deliver bookkeeping the
+// local pool performs, so jobs cannot tell where their evaluations ran.
+//
+// Completion is idempotent by construction: a task leaves the in-flight
+// table exactly once, the store Put is content-addressed by sweep.Key
+// (re-putting a deterministic result is a no-op overwrite), and a
+// second Complete for the same task delivers to nobody because the
+// first took the waiter list.
+
+import (
+	"context"
+
+	"twolevel/internal/core"
+	"twolevel/internal/obs/span"
+	"twolevel/internal/sweep"
+)
+
+// ExternalTask is one queued evaluation handed to an external executor.
+// It exposes everything a remote worker needs to reproduce the
+// evaluation exactly: the workload name, the full configuration
+// geometry, and the defaulted result-determining options.
+type ExternalTask struct {
+	m *Manager
+	t *task
+}
+
+// Key is the task's content address (sweep.Key): equal keys denote
+// evaluations with byte-identical results.
+func (e *ExternalTask) Key() string { return e.t.key }
+
+// Workload names the spec workload to replay.
+func (e *ExternalTask) Workload() string { return e.t.eval.Workload().Name }
+
+// Config is the hierarchy configuration to evaluate.
+func (e *ExternalTask) Config() core.Config { return e.t.cfg }
+
+// Options returns the evaluator's defaulted option set (the
+// result-determining fields plus per-configuration hardening).
+func (e *ExternalTask) Options() sweep.Options { return e.t.eval.Options() }
+
+// Context is cancelled once no job wants the result anymore (every
+// waiter was cancelled or expired). Executors may drop such tasks.
+func (e *ExternalTask) Context() context.Context { return e.t.ctx }
+
+// Span starts a child span under the job trace — nested inside the
+// first waiting job's "evaluate" span — so cluster lease and remote
+// evaluation spans appear in the same tree as local ones. With no
+// waiter left the span is parented at the tracer root.
+func (e *ExternalTask) Span(name string, attrs ...span.Attr) *span.Span {
+	e.t.mu.Lock()
+	var j *Job
+	if len(e.t.waiters) > 0 {
+		j = e.t.waiters[0]
+	}
+	e.t.mu.Unlock()
+	if j != nil {
+		j.mu.Lock()
+		es := j.evalSpans[e.t]
+		j.mu.Unlock()
+		if es != nil {
+			return es.Child(name, attrs...)
+		}
+	}
+	return e.m.tracer.Start(nil, name, attrs...)
+}
+
+// NextTask blocks until a queued evaluation is available, the manager
+// drains, or ctx is done, and returns it with ok=true. Work already in
+// the queue is handed out even when ctx has expired (so an executor
+// polling with an expired context gets non-blocking semantics). Tasks
+// nobody wants anymore are skipped and cleaned up, exactly as the local
+// pool skips orphaned tasks.
+func (m *Manager) NextTask(ctx context.Context) (*ExternalTask, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	})
+	defer stop()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for len(m.queue) > 0 {
+			t := m.queue[0]
+			m.queue = m.queue[1:]
+			m.met.queueDepth.Add(-1)
+			t.mu.Lock()
+			orphaned := len(t.waiters) == 0
+			t.mu.Unlock()
+			if orphaned {
+				// Every interested job was cancelled while the task was
+				// queued; clean it up like runTask's orphan path.
+				if m.inflight[t.key] == t {
+					delete(m.inflight, t.key)
+				}
+				t.cancel()
+				continue
+			}
+			return &ExternalTask{m: m, t: t}, true
+		}
+		if m.draining || ctx.Err() != nil {
+			return nil, false
+		}
+		m.cond.Wait()
+	}
+}
+
+// Requeue returns a task drawn with NextTask to the front of the queue
+// — the work-stealing path when a worker holding the task is declared
+// dead. A task already completed (or superseded in the in-flight table)
+// is not requeued; Requeue reports whether the task re-entered the
+// queue.
+func (m *Manager) Requeue(e *ExternalTask) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inflight[e.t.key] != e.t {
+		return false
+	}
+	m.queue = append([]*task{e.t}, m.queue...)
+	m.met.queueDepth.Add(1)
+	m.cond.Broadcast()
+	return true
+}
+
+// Complete records the outcome of a task drawn with NextTask,
+// performing the identical bookkeeping to the local pool: a successful
+// point enters the content-addressed store before the task leaves the
+// in-flight table (so a concurrent Submit always finds the key in one
+// of the two), then the result is delivered to every waiting job. A
+// repeated Complete for the same task is a no-op beyond the idempotent
+// store Put: the first call took the waiter list.
+func (m *Manager) Complete(e *ExternalTask, p sweep.Point, err error) {
+	m.completeTask(e.t, p, err)
+}
+
+// completeTask is the shared completion tail of runTask and Complete.
+func (m *Manager) completeTask(t *task, p sweep.Point, err error) {
+	defer t.cancel()
+	m.mu.Lock()
+	if err == nil {
+		m.store.Put(t.key, p)
+		m.met.storeSize.Set(int64(m.store.Len()))
+	}
+	// A cancelled task may have been superseded in the in-flight table by
+	// a fresh one for the same key; only remove our own entry.
+	if m.inflight[t.key] == t {
+		delete(m.inflight, t.key)
+	}
+	m.mu.Unlock()
+	m.updateStoreHealth()
+
+	waiters := t.takeWaiters()
+	switch {
+	case err == nil:
+		m.met.tasksDone.Inc()
+	case t.ctx.Err() != nil && len(waiters) == 0:
+		// Aborted because the last waiter was cancelled mid-evaluation;
+		// nobody is owed a delivery.
+		return
+	default:
+		m.met.tasksFailed.Inc()
+	}
+	for _, j := range waiters {
+		j.deliver(t, p, err)
+	}
+}

@@ -193,7 +193,10 @@ func NewHandler(m *Manager) http.Handler {
 		j, err := m.Submit(JobRequest{Workloads: names, Options: opt, Timeout: timeout})
 		switch {
 		case errors.Is(err, ErrOverloaded):
-			w.Header().Set("Retry-After", "1")
+			// The hint scales with queue depth and carries a
+			// deterministic per-fingerprint jitter, so a burst of shed
+			// clients spreads out instead of retrying in lockstep.
+			w.Header().Set("Retry-After", strconv.Itoa(m.retryAfter(opt.Fingerprint())))
 			httpError(w, http.StatusTooManyRequests, err)
 			return
 		case errors.Is(err, ErrClosed):
@@ -318,6 +321,16 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if !m.Ready() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		if err := m.StoreErr(); err != nil {
+			// Completed work is no longer reaching stable storage:
+			// unready, so traffic routes to replicas that can still
+			// honor the durability contract.
+			m.updateStoreHealth()
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"status": "store-poisoned", "error": err.Error(),
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})

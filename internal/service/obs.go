@@ -52,6 +52,11 @@ const (
 	// MetricReady gauges readiness: 1 while the manager accepts jobs, 0
 	// once shutdown begins (mirrors GET /readyz).
 	MetricReady = "service_ready"
+	// MetricStorePoisoned gauges durable-store health: 1 once the disk
+	// store records a sticky persistence failure (segment poisoning), 0
+	// while appends reach disk. A poisoned store also flips /readyz to
+	// 503 so the degradation is routed around instead of silent.
+	MetricStorePoisoned = "service_store_poisoned"
 	// MetricJobSeconds is the per-job wall-time histogram (submission to
 	// completion).
 	MetricJobSeconds = "service_job_seconds"
@@ -93,6 +98,7 @@ type svcMetrics struct {
 	workers       *obs.Gauge
 	storeSize     *obs.Gauge
 	ready         *obs.Gauge
+	storePoisoned *obs.Gauge
 	jobSeconds    *obs.Histogram
 }
 
@@ -116,6 +122,7 @@ func newSvcMetrics(r *obs.Registry) *svcMetrics {
 		workers:       r.Gauge(MetricWorkers),
 		storeSize:     r.Gauge(MetricStoreSize),
 		ready:         r.Gauge(MetricReady),
+		storePoisoned: r.Gauge(MetricStorePoisoned),
 		// Jobs run from milliseconds (fully cached) to hours.
 		jobSeconds: r.Histogram(MetricJobSeconds, obs.ExpBuckets(0.001, 2, 24)),
 	}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"runtime"
 	"sort"
@@ -90,6 +91,14 @@ type Config struct {
 	// exercise the service's retry, failure, and deadline paths with real
 	// injected faults. Nil costs nothing.
 	Chaos *chaos.Injector
+
+	// ExternalExecution, when true, starts no local worker pool: queued
+	// evaluations are executed by an external scheduler —
+	// internal/cluster's coordinator leasing them to remote workers —
+	// via NextTask / Requeue / Complete (external.go). Everything else
+	// (memoization, coalescing, admission, job lifecycle) is unchanged,
+	// so jobs cannot tell where their evaluations ran.
+	ExternalExecution bool
 }
 
 // JobRequest names the work of one job: every configuration of the
@@ -136,6 +145,9 @@ type Manager struct {
 	maxQueue   int
 	maxTimeout time.Duration
 	maxBody    int64
+	// workersN is the local pool size (0 under external execution);
+	// retryAfter scales its backoff hint by it.
+	workersN int
 	// active counts non-terminal jobs for admission. It is atomic, not
 	// m.mu-guarded, because the terminal transition (closeLocked) runs
 	// under j.mu — sometimes while Submit already holds m.mu — and the
@@ -212,6 +224,9 @@ func New(cfg Config) *Manager {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.ExternalExecution {
+		cfg.Workers = 0
+	}
 	if cfg.Store == nil {
 		cfg.Store = NewStore(0)
 	}
@@ -235,6 +250,7 @@ func New(cfg Config) *Manager {
 		maxQueue:   cfg.MaxQueue,
 		maxTimeout: cfg.MaxTimeout,
 		maxBody:    cfg.MaxBodyBytes,
+		workersN:   cfg.Workers,
 		inflight:   make(map[string]*task),
 		jobs:       make(map[string]*Job),
 	}
@@ -251,6 +267,52 @@ func New(cfg Config) *Manager {
 // Store exposes the manager's result store (read-mostly: the envelope
 // endpoint queries it).
 func (m *Manager) Store() Store { return m.store }
+
+// StoreErr reports the result store's sticky persistence failure, if
+// the store tracks one (DiskStore's segment poisoning). A non-nil value
+// means completed points may not survive a restart: /readyz serves 503
+// and the service_store_poisoned gauge reads 1 so operators see the
+// degradation instead of discovering it at the next crash.
+func (m *Manager) StoreErr() error {
+	if e, ok := m.store.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// updateStoreHealth mirrors the store's sticky error into the
+// service_store_poisoned gauge; called after every store write.
+func (m *Manager) updateStoreHealth() {
+	if m.StoreErr() != nil {
+		m.met.storePoisoned.Set(1)
+	} else {
+		m.met.storePoisoned.Set(0)
+	}
+}
+
+// retryAfter derives the 429 Retry-After hint from the current queue
+// depth: the deeper the backlog per worker, the longer shed clients are
+// told to stay away. A deterministic per-caller jitter (hashed from
+// token, typically the job fingerprint) spreads retries across the
+// window so a burst of shed clients does not resynchronize into a
+// retry storm — yet any given client always gets the same hint for the
+// same request, keeping shed behavior reproducible.
+func (m *Manager) retryAfter(token string) int {
+	m.mu.Lock()
+	depth := len(m.queue)
+	m.mu.Unlock()
+	per := m.workersN
+	if per <= 0 {
+		per = 1
+	}
+	base := 1 + depth/(4*per)
+	if base > 30 {
+		base = 30
+	}
+	spread := base/2 + 1
+	jitter := int(crc32.ChecksumIEEE([]byte(token)) % uint32(spread))
+	return base + jitter
+}
 
 // Ready reports whether the manager still accepts jobs: true from New
 // until Shutdown or Close begins. GET /readyz serves this.
@@ -461,32 +523,7 @@ func (m *Manager) runTask(t *task) {
 		return
 	}
 	p, err := t.eval.Evaluate(t.ctx, t.cfg)
-	m.mu.Lock()
-	if err == nil {
-		m.store.Put(t.key, p)
-		m.met.storeSize.Set(int64(m.store.Len()))
-	}
-	// A cancelled task may have been superseded in the in-flight table by
-	// a fresh one for the same key; only remove our own entry.
-	if m.inflight[t.key] == t {
-		delete(m.inflight, t.key)
-	}
-	m.mu.Unlock()
-
-	waiters := t.takeWaiters()
-	switch {
-	case err == nil:
-		m.met.tasksDone.Inc()
-	case t.ctx.Err() != nil && len(waiters) == 0:
-		// Aborted because the last waiter was cancelled mid-evaluation;
-		// nobody is owed a delivery.
-		return
-	default:
-		m.met.tasksFailed.Inc()
-	}
-	for _, j := range waiters {
-		j.deliver(t, p, err)
-	}
+	m.completeTask(t, p, err)
 }
 
 // Shutdown drains the manager gracefully: new submissions are refused
@@ -720,16 +757,16 @@ func (j *Job) Points() []sweep.Point {
 
 // Status is a point-in-time JSON-ready snapshot of a job.
 type Status struct {
-	ID          string    `json:"id"`
-	State       State     `json:"state"`
-	Workloads   []string  `json:"workloads"`
-	Fingerprint string    `json:"fingerprint"`
-	Total       int       `json:"total"`
-	Done        int       `json:"done"`
-	Cached      int       `json:"cached"`
-	Coalesced   int       `json:"coalesced,omitempty"`
-	Failed      int       `json:"failed,omitempty"`
-	Pending     int       `json:"pending"`
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Workloads   []string   `json:"workloads"`
+	Fingerprint string     `json:"fingerprint"`
+	Total       int        `json:"total"`
+	Done        int        `json:"done"`
+	Cached      int        `json:"cached"`
+	Coalesced   int        `json:"coalesced,omitempty"`
+	Failed      int        `json:"failed,omitempty"`
+	Pending     int        `json:"pending"`
 	Created     time.Time  `json:"created"`
 	Finished    *time.Time `json:"finished,omitempty"`
 	Errors      []string   `json:"errors,omitempty"`

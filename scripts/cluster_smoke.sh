@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh proves the distributed sweep cluster's fault
+# tolerance end to end, with real processes and a real kill -9:
+#
+#   1. Standalone reference: boot cmd/served -role standalone, run the
+#      sweep, save the result document.
+#   2. Cluster under fire: boot a coordinator (external execution, no
+#      local pool) plus two worker processes, submit the same job, and
+#      kill -9 one worker mid-sweep. The survivors must absorb the
+#      stolen leases and the job must finish with a result document
+#      byte-identical to the standalone run — zero lost and zero
+#      double-counted evaluations, proven from the coordinator metrics.
+#
+# Requires: go, curl, jq. Run via `make cluster-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+TMP="$(mktemp -d)"
+go build -o "$TMP/served" ./cmd/served
+
+PIDS=()
+cleanup() {
+	for pid in "${PIDS[@]:-}"; do
+		kill -9 "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# start LOGFILE ARGS... boots served, waits for its address in BASE, and
+# appends the pid to PIDS (also exported as PID).
+start() {
+	local log="$1"
+	shift
+	"$TMP/served" -listen 127.0.0.1:0 "$@" 2>"$log" &
+	PID=$!
+	PIDS+=("$PID")
+	local addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's#^served: .*listening on http://\([^ ]*\).*#\1#p' "$log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	[ -n "$addr" ] || { cat "$log" >&2; fail "server never announced its address"; }
+	BASE="http://$addr"
+}
+
+# start_worker LOGFILE ID COORDINATOR boots a worker process.
+start_worker() {
+	local log="$1" id="$2" coord="$3"
+	"$TMP/served" -role worker -listen 127.0.0.1:0 -coordinator "$coord" \
+		-worker-id "$id" -workers 1 2>"$log" &
+	PID=$!
+	PIDS+=("$PID")
+	for _ in $(seq 1 100); do
+		grep -q "worker $id joining" "$log" && return
+		sleep 0.1
+	done
+	cat "$log" >&2
+	fail "worker $id never started"
+}
+
+# wait_done BASE JOB_ID polls until the job leaves "running".
+wait_done() {
+	local state=running
+	for _ in $(seq 1 600); do
+		state="$(curl -fsS "$1/v1/jobs/$2" | jq -r .state)"
+		[ "$state" = running ] || break
+		sleep 0.2
+	done
+	echo "$state"
+}
+
+# Enough points that the sweep is still mid-flight when the kill lands.
+JOB_BODY='{
+  "workloads": ["gcc1"],
+  "options": {"refs": 2000000, "l1_kb": [1, 2, 4], "l2_kb": [0, 16, 32]}
+}'
+EVALS=9
+
+# ---- Phase 1: standalone reference run ----
+
+start "$TMP/solo.log" -role standalone -workers 2
+SOLO="$BASE"
+echo "cluster-smoke: standalone up at $SOLO"
+
+JOB="$(curl -fsS -X POST "$SOLO/v1/jobs" -d "$JOB_BODY" | jq -r .id)"
+[ -n "$JOB" ] && [ "$JOB" != null ] || fail "standalone submission returned no id"
+STATE="$(wait_done "$SOLO" "$JOB")"
+[ "$STATE" = done ] || fail "standalone job state $STATE, want done"
+curl -fsS "$SOLO/v1/jobs/$JOB/result" >"$TMP/solo.json"
+SOLO_PID="$PID"
+kill -INT "$SOLO_PID"
+wait "$SOLO_PID" || fail "standalone clean shutdown exited nonzero"
+echo "cluster-smoke: standalone reference doc saved"
+
+# ---- Phase 2: coordinator + 2 workers, kill -9 one mid-sweep ----
+
+# An aggressive lease TTL keeps the theft inside smoke-test time.
+start "$TMP/coord.log" -role coordinator -lease-ttl 2s -lease-points 2
+COORD="$BASE"
+COORD_PID="$PID"
+echo "cluster-smoke: coordinator up at $COORD"
+
+start_worker "$TMP/w1.log" smoke-w1 "$COORD"
+W1_PID="$PID"
+start_worker "$TMP/w2.log" smoke-w2 "$COORD"
+echo "cluster-smoke: 2 workers joined"
+
+JOB="$(curl -fsS -X POST "$COORD/v1/jobs" -d "$JOB_BODY" | jq -r .id)"
+[ -n "$JOB" ] && [ "$JOB" != null ] || fail "cluster submission returned no id"
+
+# Wait for the sweep to be genuinely mid-flight (some points done, not
+# all), then kill -9 a worker holding leases.
+for _ in $(seq 1 300); do
+	DONE="$(curl -fsS "$COORD/v1/jobs/$JOB" | jq -r '.done // 0')"
+	[ "$DONE" -ge 1 ] && break
+	sleep 0.1
+done
+[ "$DONE" -ge 1 ] || fail "no evaluation completed before the kill window"
+[ "$DONE" -lt "$EVALS" ] || echo "cluster-smoke: warning: sweep finished before the kill (still checking identity)"
+kill -9 "$W1_PID"
+echo "cluster-smoke: killed -9 worker smoke-w1 mid-sweep ($DONE/$EVALS done)"
+
+STATE="$(wait_done "$COORD" "$JOB")"
+[ "$STATE" = done ] || { cat "$TMP/coord.log" >&2; fail "cluster job state $STATE, want done"; }
+
+curl -fsS "$COORD/v1/jobs/$JOB/result" >"$TMP/cluster.json"
+cmp -s "$TMP/solo.json" "$TMP/cluster.json" \
+	|| { diff "$TMP/solo.json" "$TMP/cluster.json" >&2 || true; fail "cluster result differs from standalone"; }
+echo "cluster-smoke: cluster result byte-identical to standalone"
+
+# Zero lost, zero double-counted, and the crash was really absorbed.
+METRICS="$(curl -fsS "$COORD/metrics")"
+COMPLETED="$(jq '.counters.cluster_points_completed_total // 0' <<<"$METRICS")"
+FAILED="$(jq '.counters.cluster_points_failed_total // 0' <<<"$METRICS")"
+DEAD="$(jq '.counters.cluster_workers_dead_total // 0' <<<"$METRICS")"
+[ "$COMPLETED" -eq "$EVALS" ] || fail "points completed = $COMPLETED, want exactly $EVALS (no loss, no double count)"
+[ "$FAILED" -eq 0 ] || fail "points failed = $FAILED, want 0"
+[ "$DEAD" -ge 1 ] || fail "coordinator never declared the killed worker dead"
+STOLEN="$(jq '.counters.cluster_points_stolen_total // 0' <<<"$METRICS")"
+echo "cluster-smoke: $COMPLETED/$EVALS completed, $STOLEN stolen, $DEAD worker declared dead"
+
+kill -INT "$COORD_PID"
+wait "$COORD_PID" || fail "coordinator clean shutdown exited nonzero"
+
+echo "cluster-smoke: PASS"
