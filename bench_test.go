@@ -441,6 +441,68 @@ func BenchmarkObsAnalyzeShadowAccess(b *testing.B) {
 	}
 }
 
+// benchScrapeRegistry fills a registry with roughly a worker's worth of
+// series: the shape /metrics renders on every federation scrape.
+func benchScrapeRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Counter("bench_counter_" + strconv.Itoa(i) + "_total").Add(uint64(i * 7))
+	}
+	for i := 0; i < 5; i++ {
+		r.Gauge("bench_gauge_" + strconv.Itoa(i)).Set(int64(i))
+	}
+	for i := 0; i < 5; i++ {
+		h := r.Histogram("bench_hist_"+strconv.Itoa(i)+"_seconds", obs.ExpBuckets(0.0001, 2, 24))
+		for j := 0; j < 64; j++ {
+			h.Observe(float64(j) * 0.001)
+		}
+	}
+	return r
+}
+
+// BenchmarkObsPromExposition prices one Prometheus text render of a
+// worker-sized registry — the marginal cost a scrape adds over the JSON
+// path, paid per scrape interval, never per access.
+func BenchmarkObsPromExposition(b *testing.B) {
+	r := benchScrapeRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := obs.WritePrometheus(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsSLOEval prices evaluating three latency objectives against
+// a snapshot: snapshot + interpolated quantile per objective.
+func BenchmarkObsSLOEval(b *testing.B) {
+	r := benchScrapeRegistry()
+	slos, err := obs.ParseSLOs("p99:bench_hist_0_seconds:500ms,p50:bench_hist_1_seconds:2s,p99.9:bench_hist_2_seconds:1s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := obs.EvalSLOs(slos, r.Snapshot(), nil); len(vs) != 3 {
+			b.Fatal("bad verdict count")
+		}
+	}
+}
+
+// BenchmarkObsQuantile prices one interpolated quantile over a 24-bucket
+// histogram snapshot (binary-free linear scan + interpolation).
+func BenchmarkObsQuantile(b *testing.B) {
+	r := benchScrapeRegistry()
+	snap := r.Snapshot()
+	h := snap.Histograms["bench_hist_0_seconds"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if h.Quantile(0.99) <= 0 {
+			b.Fatal("bad quantile")
+		}
+	}
+}
+
 func BenchmarkGenerator(b *testing.B) {
 	w, err := spec.ByName("gcc1")
 	if err != nil {

@@ -15,6 +15,10 @@
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
 //	GET    /metrics, /progress, /debug/pprof/  observability
+//	                             (/metrics serves JSON by default and the
+//	                             Prometheus text format under content
+//	                             negotiation or ?format=prometheus; a
+//	                             coordinator scrape federates the fleet)
 //	GET    /healthz              liveness
 //	GET    /readyz               readiness (503 once the drain begins or
 //	                             the durable store is poisoned)
@@ -34,10 +38,15 @@
 //	             lease,complete}. Leases are renewed by heartbeats; a
 //	             silent worker's points are stolen and re-leased, and
 //	             duplicate completions land as content-addressed no-ops,
-//	             so results match standalone byte-for-byte.
+//	             so results match standalone byte-for-byte. GET
+//	             /cluster/v1/status reports workers, leases, fleet
+//	             latency quantiles, and -slo verdicts; worker heartbeats
+//	             federate metrics and completion pushes carry worker
+//	             spans, stitched under each job's trace.
 //	worker       no job API: registers with -coordinator, heartbeats,
 //	             pulls leases, evaluates, pushes results. Serves only
-//	             the observability mux locally.
+//	             the observability mux locally, with /readyz answering
+//	             200 once registered with live lease loops.
 //
 // SIGINT/SIGTERM drains gracefully: /readyz flips to 503, new jobs are
 // refused, running jobs get -drain-timeout to finish, the final metrics
@@ -87,6 +96,8 @@ func run() int {
 		eventsOut  = flag.String("events", "", "append the job/run event journal (JSONL) to this file")
 		traceOut   = flag.String("trace", "", "write the service span trace (Chrome trace_event JSON) to this file at shutdown")
 
+		sloSpec = flag.String("slo", "", "latency objectives evaluated on Prometheus scrapes and GET /cluster/v1/status, e.g. p99:evaluate:500ms,p50:job:2s")
+
 		coordURL    = flag.String("coordinator", "", "coordinator base URL, e.g. http://head:8080 (-role worker)")
 		workerID    = flag.String("worker-id", "", "stable worker identity (-role worker; default host-pid)")
 		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "no-contact deadline before a worker is declared dead and its leases stolen (-role coordinator)")
@@ -94,6 +105,11 @@ func run() int {
 		leasePoints = flag.Int("lease-points", 0, "maximum evaluation points per lease (-role coordinator: cap, default 8; -role worker: points requested per lease)")
 	)
 	flag.Parse()
+
+	slos, err := obs.ParseSLOs(*sloSpec)
+	if err != nil {
+		return fail(err)
+	}
 
 	switch *role {
 	case "standalone", "coordinator":
@@ -156,10 +172,12 @@ func run() int {
 
 	// One mux serves the job API and the observability endpoints; the
 	// obs mux holds "/" so /metrics, /debug/pprof, and the index work
-	// exactly as they do under cmd/sweep -listen.
+	// exactly as they do under cmd/sweep -listen. The job API (and the
+	// cluster protocol below) run behind the latency middleware, feeding
+	// the per-endpoint http_request_seconds_* histograms the SLO layer
+	// summarizes.
 	root := http.NewServeMux()
-	api := service.NewHandler(mgr)
-	root.Handle("/", obs.NewMux(reg, nil))
+	api := obs.InstrumentHTTP(reg, service.NewHandler(mgr))
 	root.Handle("/v1/", api)
 	root.Handle("/healthz", api)
 	root.Handle("/readyz", api)
@@ -175,9 +193,22 @@ func run() int {
 			MaxLeasePoints: *leasePoints,
 			Metrics:        reg,
 			Events:         elog,
+			SLOs:           slos,
 		})
-		root.Handle("/cluster/v1/", coord.Handler())
+		root.Handle("/cluster/v1/", obs.InstrumentHTTP(reg, coord.Handler()))
 	}
+	// A coordinator's Prometheus scrape federates the fleet (per-worker
+	// series, cluster_agg_* rollups, SLO verdicts); a standalone node
+	// with -slo still gets verdicts, evaluated over its own registry.
+	root.Handle("/", obs.NewMuxOptions(reg, obs.MuxOptions{PromExtra: func(pw *obs.PromWriter) {
+		if coord != nil {
+			coord.WriteProm(pw)
+			return
+		}
+		if len(slos) > 0 {
+			obs.WriteSLOVerdicts(pw, obs.EvalSLOs(slos, reg.Snapshot(), cluster.SLOAliases))
+		}
+	}}))
 
 	srv, err := obs.ServeHandler(*listen, root)
 	if err != nil {
@@ -258,11 +289,6 @@ func runWorker(o workerOpts) int {
 		}
 	}
 
-	srv, err := obs.ServeHandler(o.listen, obs.NewMux(reg, nil))
-	if err != nil {
-		return fail(err)
-	}
-
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator:    o.coordinator,
 		ID:             o.id,
@@ -271,6 +297,14 @@ func runWorker(o workerOpts) int {
 		Metrics:        reg,
 		Events:         elog,
 	})
+
+	// The worker's mux exposes /readyz backed by Worker.Ready, so the
+	// smoke script (and any orchestrator) waits for registration and
+	// live lease loops instead of sleeping.
+	srv, err := obs.ServeHandler(o.listen, obs.NewMuxOptions(reg, obs.MuxOptions{Ready: w.Ready}))
+	if err != nil {
+		return fail(err)
+	}
 	fmt.Fprintf(os.Stderr, "served: worker %s joining %s (metrics on http://%s)\n", w.ID(), o.coordinator, srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -66,6 +66,12 @@ type CoordinatorConfig struct {
 	Metrics *obs.Registry
 	Events  *obs.EventLog
 	Chaos   *chaos.Injector
+
+	// SLOs are the latency objectives evaluated over the federated
+	// snapshot — surfaced as slo_burn/slo_pass series on the Prometheus
+	// scrape and as verdicts in GET /cluster/v1/status. Metric names may
+	// use the SLOAliases phase names ("evaluate", "job").
+	SLOs []obs.SLO
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -129,8 +135,12 @@ type Coordinator struct {
 	leases  map[string]*lease
 	pending map[string]*unit // key → unit, everything drawn and unfinished
 	ready   []*unit          // stolen/returned units awaiting re-lease
-	seq     int
-	closed  bool
+	// feeds holds each worker's last metrics snapshot (federation.go).
+	// Unlike workers, entries survive death — marked stale, not deleted —
+	// because a dead node's counters are still cluster history.
+	feeds  map[string]*workerFeed
+	seq    int
+	closed bool
 
 	reapStop chan struct{}
 	reapDone chan struct{}
@@ -149,6 +159,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		workers:  make(map[string]*workerState),
 		leases:   make(map[string]*lease),
 		pending:  make(map[string]*unit),
+		feeds:    make(map[string]*workerFeed),
 		reapStop: make(chan struct{}),
 		reapDone: make(chan struct{}),
 	}
@@ -203,6 +214,7 @@ func (c *Coordinator) reap(now time.Time) {
 			c.expireLeaseLocked(l, "worker-dead")
 		}
 		delete(c.workers, id)
+		c.markFeedStaleLocked(id)
 		c.met.workersDead.Inc()
 		c.met.workersLive.Set(int64(len(c.workers)))
 		c.events.Emit(obs.Event{Type: EventWorkerDead, Worker: id})
@@ -268,6 +280,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /cluster/v1/lease", c.handleLease)
 	mux.HandleFunc("POST /cluster/v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /cluster/v1/status", c.handleStatus)
 	return mux
 }
 
@@ -298,6 +311,10 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.met.workersLive.Set(int64(len(c.workers)))
 	}
 	ws.lastBeat = time.Now()
+	// (Re-)registration opens the worker's federation feed: it shows up
+	// in scrapes and status immediately, and a comeback after being
+	// declared dead clears the stale mark.
+	c.ingestFeedLocked(req.ID, nil, ws.lastBeat)
 	c.mu.Unlock()
 	c.events.Emit(obs.Event{Type: EventWorkerRegistered, Worker: req.ID})
 	writeJSON(w, http.StatusOK, registerResponse{
@@ -330,6 +347,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	for _, l := range ws.leases {
 		l.deadline = now.Add(c.cfg.LeaseTTL)
 	}
+	c.ingestFeedLocked(req.ID, req.Metrics, now)
 	c.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -397,6 +415,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	for _, u := range units {
 		u.leased++
 		u.sp = u.task.Span("remote-evaluate",
+			span.Attr{Key: "key", Value: u.key},
 			span.Attr{Key: "worker", Value: req.ID},
 			span.Attr{Key: "lease", Value: l.id},
 			span.Attr{Key: "attempt", Value: fmt.Sprint(u.leased)})
@@ -484,6 +503,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var resp completeResponse
 	var deliveries []done
 
+	// Worker-side span subtrees, keyed by the unit each belongs to. A
+	// subtree is grafted only into an accepted unit's remote-evaluate
+	// span; duplicate and requeued pushes drop theirs, so a stolen lease
+	// never leaves orphan spans in the job trace.
+	subtrees := groupSpansByKey(req.Spans)
+
 	c.mu.Lock()
 	for _, res := range req.Results {
 		u := c.pending[res.Key]
@@ -528,6 +553,12 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 				u.sp.Annotate("error", d.err.Error())
 			} else {
 				u.sp.Annotate("outcome", "ok")
+			}
+			// Graft the worker's spans for this unit under the
+			// remote-evaluate span before it closes, stitching the
+			// cross-node trace into one connected tree.
+			if sub := subtrees[res.Key]; len(sub) > 0 {
+				u.sp.Ingest(sub, req.EpochNS)
 			}
 			u.sp.End()
 			u.sp = nil

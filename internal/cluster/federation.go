@@ -1,0 +1,248 @@
+package cluster
+
+// This file is the coordinator's federation plane: per-worker metric
+// feeds piggybacked on heartbeats, their merge into fleet-wide
+// cluster_agg_* rollups, the Prometheus scrape hook that exposes both,
+// and the /cluster/v1/status document with latency quantiles and SLO
+// verdicts. A worker's feed outlives the worker — a dead node's
+// counters are history, not noise — but its series are marked stale
+// (cluster_worker_stale{worker=...} 1) so dashboards can tell a quiet
+// fleet from a dying one.
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"twolevel/internal/obs"
+)
+
+// AggPrefix prefixes every fleet-wide rollup series on a coordinator
+// scrape: cluster_agg_<metric> is the merge of that metric across the
+// coordinator and every worker feed ever heard from.
+const AggPrefix = "cluster_agg_"
+
+// MetricWorkerStale is the per-worker staleness gauge on a coordinator
+// scrape: cluster_worker_stale{worker="w"} is 1 once the worker was
+// declared dead and its feed is no longer refreshing, 0 while fresh.
+const MetricWorkerStale = "cluster_worker_stale"
+
+// MetricFeedUpdates counts heartbeats that carried a metrics snapshot
+// (workers skip the payload when nothing changed, so this tracks real
+// feed refreshes, not heartbeats).
+const MetricFeedUpdates = "cluster_feed_updates_total"
+
+// SLOAliases maps the friendly phase names accepted in -slo specs onto
+// the histograms that measure them, so operators write p99:evaluate:…
+// without memorizing registry names.
+var SLOAliases = map[string]string{
+	"evaluate": "sweep_config_seconds",
+	"job":      "service_job_seconds",
+}
+
+// workerFeed is the coordinator's copy of one worker's registry
+// snapshot, as last piggybacked on a heartbeat.
+type workerFeed struct {
+	snap    obs.Snapshot
+	updated time.Time
+	stale   bool
+}
+
+// ingestFeedLocked files a snapshot carried by a register or heartbeat.
+// Caller holds c.mu; snap may be nil (a heartbeat with an unchanged
+// registry still refreshes staleness, not data).
+func (c *Coordinator) ingestFeedLocked(id string, snap *obs.Snapshot, now time.Time) {
+	f := c.feeds[id]
+	if f == nil {
+		f = &workerFeed{}
+		c.feeds[id] = f
+	}
+	f.stale = false
+	if snap != nil {
+		f.snap = *snap
+		f.updated = now
+		c.met.feedUpdates.Inc()
+	}
+}
+
+// markFeedStaleLocked flags a dead worker's feed. The data stays — its
+// counters happened — but scrapes label it stale. Caller holds c.mu.
+func (c *Coordinator) markFeedStaleLocked(id string) {
+	if f := c.feeds[id]; f != nil {
+		f.stale = true
+	}
+}
+
+// feedSnapshot copies the feed table out from under the lock.
+func (c *Coordinator) feedSnapshot() map[string]workerFeed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]workerFeed, len(c.feeds))
+	for id, f := range c.feeds {
+		out[id] = *f
+	}
+	return out
+}
+
+// FederatedSnapshot merges the coordinator's own registry with every
+// worker feed — the fleet-wide view SLOs and quantile rollups evaluate
+// against. Under external execution the evaluation histograms live on
+// the workers, so only this merged view sees cluster latency.
+func (c *Coordinator) FederatedSnapshot() obs.Snapshot {
+	var agg obs.Snapshot
+	obs.MergeInto(&agg, c.cfg.Metrics.Snapshot())
+	for _, f := range c.feedSnapshot() {
+		obs.MergeInto(&agg, f.snap)
+	}
+	return agg
+}
+
+// WriteProm appends the federation series to a Prometheus scrape: every
+// worker's feed as {worker="id"}-labeled series, each worker's
+// staleness gauge, the cluster_agg_* rollups, and — when the
+// coordinator carries SLOs — slo_burn/slo_pass verdicts evaluated over
+// the federated snapshot. Mount it as the obs mux's PromExtra so one
+// coordinator scrape carries the whole fleet.
+func (c *Coordinator) WriteProm(pw *obs.PromWriter) {
+	feeds := c.feedSnapshot()
+	ids := make([]string, 0, len(feeds))
+	for id := range feeds {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var agg obs.Snapshot
+	obs.MergeInto(&agg, c.cfg.Metrics.Snapshot())
+	for _, id := range ids {
+		f := feeds[id]
+		labels := []obs.PromLabel{{Key: "worker", Value: id}}
+		pw.Snapshot(f.snap, "", labels)
+		staleV := 0.0
+		if f.stale {
+			staleV = 1
+		}
+		pw.Gauge(MetricWorkerStale, labels, staleV)
+		obs.MergeInto(&agg, f.snap)
+	}
+	pw.Snapshot(agg, AggPrefix, nil)
+	if len(c.cfg.SLOs) > 0 {
+		obs.WriteSLOVerdicts(pw, obs.EvalSLOs(c.cfg.SLOs, agg, SLOAliases))
+	}
+}
+
+// WorkerStatus is one worker's row in the status document.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// LastBeatAgoS is seconds since the last heartbeat; absent for a
+	// worker known only through a stale feed.
+	LastBeatAgoS float64 `json:"last_beat_ago_s"`
+	Live         bool    `json:"live"`
+	Stale        bool    `json:"stale"`
+	Leases       int     `json:"leases"`
+}
+
+// ClusterStatus is the GET /cluster/v1/status document: scheduling
+// state, the worker roster (including dead-but-remembered feeds),
+// fleet-wide latency quantiles, and SLO verdicts.
+type ClusterStatus struct {
+	Stats      Stats                          `json:"stats"`
+	QueueDepth int64                          `json:"queue_depth"`
+	Workers    []WorkerStatus                 `json:"workers"`
+	Quantiles  map[string]obs.QuantileSummary `json:"quantiles"`
+	SLOs       []obs.SLOVerdict               `json:"slos,omitempty"`
+}
+
+// Status assembles the cluster status document.
+func (c *Coordinator) Status() ClusterStatus {
+	now := time.Now()
+	c.mu.Lock()
+	st := Stats{
+		WorkersLive:   len(c.workers),
+		LeasesActive:  len(c.leases),
+		PointsPending: len(c.pending),
+		PointsReady:   len(c.ready),
+	}
+	roster := make(map[string]*WorkerStatus)
+	for id, w := range c.workers {
+		roster[id] = &WorkerStatus{
+			ID:           id,
+			LastBeatAgoS: now.Sub(w.lastBeat).Seconds(),
+			Live:         true,
+			Leases:       len(w.leases),
+		}
+	}
+	for id, f := range c.feeds {
+		ws := roster[id]
+		if ws == nil {
+			ws = &WorkerStatus{ID: id}
+			roster[id] = ws
+		}
+		ws.Stale = f.stale
+	}
+	c.mu.Unlock()
+
+	workers := make([]WorkerStatus, 0, len(roster))
+	for _, ws := range roster {
+		workers = append(workers, *ws)
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+
+	fed := c.FederatedSnapshot()
+	doc := ClusterStatus{
+		Stats:      st,
+		QueueDepth: fed.Gauges["service_queue_depth"],
+		Workers:    workers,
+		// Latency histograms only — the *_seconds convention every duration
+		// instrument in the tree follows — so the status document stays a
+		// readable rollup rather than a full registry dump.
+		Quantiles: obs.Quantiles(fed, func(name string) bool {
+			return strings.HasSuffix(name, "_seconds")
+		}),
+	}
+	if len(c.cfg.SLOs) > 0 {
+		doc.SLOs = obs.EvalSLOs(c.cfg.SLOs, fed, SLOAliases)
+	}
+	return doc
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Status())
+}
+
+// groupSpansByKey splits a completion push's span batch into per-unit
+// subtrees, keyed by the root span's "key" attribute. Descendants
+// follow their root; spans whose root carries no key (or whose parent
+// chain is broken) are dropped rather than orphaned.
+func groupSpansByKey(spans []spanData) map[string][]spanData {
+	rootKey := make(map[uint64]string, len(spans)) // span id → owning unit key
+	out := make(map[string][]spanData)
+	// Roots first (Snapshot sorts by start time, but a child can start
+	// before its parent finishes recording on another goroutine — two
+	// passes are cheap and order-proof).
+	for changed := true; changed; {
+		changed = false
+		for _, d := range spans {
+			if _, done := rootKey[d.ID]; done {
+				continue
+			}
+			switch {
+			case d.Parent == 0:
+				if k := d.Attr("key"); k != "" {
+					rootKey[d.ID] = k
+					changed = true
+				}
+			default:
+				if k, ok := rootKey[d.Parent]; ok {
+					rootKey[d.ID] = k
+					changed = true
+				}
+			}
+		}
+	}
+	for _, d := range spans {
+		if k, ok := rootKey[d.ID]; ok {
+			out[k] = append(out[k], d)
+		}
+	}
+	return out
+}

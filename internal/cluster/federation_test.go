@@ -1,0 +1,363 @@
+package cluster
+
+// Federation-layer tests: metrics piggybacked on heartbeats surface as
+// per-worker labeled series and cluster_agg_* rollups on one
+// coordinator scrape (with dead workers marked stale, not erased), the
+// status document carries quantiles and SLO verdicts, and the spans a
+// worker ships inside its completion push stitch into a single
+// connected per-job trace even when another worker is killed mid-lease.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
+	"twolevel/internal/service"
+)
+
+func scrapeProm(t *testing.T, c *Coordinator) string {
+	t.Helper()
+	var b strings.Builder
+	pw := obs.NewPromWriter(&b)
+	c.WriteProm(pw)
+	if err := pw.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestMetricsFederationAndStaleness(t *testing.T) {
+	reg := obs.NewRegistry()
+	mgr := service.New(service.Config{ExternalExecution: true, Metrics: reg})
+	defer mgr.Close()
+	slos, err := obs.ParseSLOs("p99:evaluate:500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorConfig{
+		Manager:   mgr,
+		LeaseTTL:  150 * time.Millisecond,
+		Heartbeat: 30 * time.Millisecond,
+		Metrics:   reg,
+		SLOs:      slos,
+	})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// A worker registry as a real worker would fill it: points evaluated,
+	// an evaluation-latency histogram.
+	wreg := obs.NewRegistry()
+	wreg.Counter(MetricWorkerPoints).Add(5)
+	wreg.Histogram("sweep_config_seconds", nil).Observe(0.01)
+	snap := wreg.Snapshot()
+
+	if code := postJSON(t, srv.URL+"/cluster/v1/register", registerRequest{ID: "w1"}, nil); code != http.StatusOK {
+		t.Fatalf("register: %d", code)
+	}
+	if code := postJSON(t, srv.URL+"/cluster/v1/heartbeat", heartbeatRequest{ID: "w1", Metrics: &snap}, nil); code != http.StatusNoContent {
+		t.Fatalf("heartbeat: %d", code)
+	}
+	if n := reg.Counter(MetricFeedUpdates).Value(); n != 1 {
+		t.Fatalf("feed updates = %d, want 1", n)
+	}
+
+	// One scrape carries the fleet: the worker's series labeled, the
+	// rollup prefixed, the staleness gauge fresh, and the SLO verdict
+	// evaluated over the federated histogram.
+	out := scrapeProm(t, coord)
+	for _, want := range []string{
+		`cluster_worker_points_total{worker="w1"} 5`,
+		`cluster_worker_stale{worker="w1"} 0`,
+		"cluster_agg_cluster_worker_points_total 5",
+		`sweep_config_seconds_count{worker="w1"} 1`,
+		`slo_burn{metric="sweep_config_seconds",slo="p99:evaluate:500ms"}`,
+		`slo_pass{metric="sweep_config_seconds",slo="p99:evaluate:500ms"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	// The status document agrees: live worker, federated quantiles, a
+	// passing verdict backed by the worker's single observation.
+	var doc ClusterStatus
+	resp, err := http.Get(srv.URL + "/cluster/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Workers) != 1 || doc.Workers[0].ID != "w1" || !doc.Workers[0].Live || doc.Workers[0].Stale {
+		t.Fatalf("status workers = %+v", doc.Workers)
+	}
+	if q, ok := doc.Quantiles["sweep_config_seconds"]; !ok || q.Count != 1 {
+		t.Fatalf("status quantiles = %+v", doc.Quantiles)
+	}
+	if len(doc.SLOs) != 1 || !doc.SLOs[0].Pass || doc.SLOs[0].Count != 1 {
+		t.Fatalf("status SLOs = %+v", doc.SLOs)
+	}
+
+	// The worker goes silent; once reaped, its series survive but are
+	// marked stale, and the rollup still counts its history.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Counter(MetricWorkersDead).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never declared dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	out = scrapeProm(t, coord)
+	for _, want := range []string{
+		`cluster_worker_stale{worker="w1"} 1`,
+		`cluster_worker_points_total{worker="w1"} 5`,
+		"cluster_agg_cluster_worker_points_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-death scrape missing %q:\n%s", want, out)
+		}
+	}
+	var after ClusterStatus
+	resp2, err := http.Get(srv.URL + "/cluster/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close() //nolint:errcheck
+	if err := json.NewDecoder(resp2.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Workers) != 1 || after.Workers[0].Live || !after.Workers[0].Stale {
+		t.Fatalf("post-death status workers = %+v", after.Workers)
+	}
+
+	// A comeback clears the stale mark.
+	if code := postJSON(t, srv.URL+"/cluster/v1/register", registerRequest{ID: "w1"}, nil); code != http.StatusOK {
+		t.Fatalf("re-register: %d", code)
+	}
+	if out := scrapeProm(t, coord); !strings.Contains(out, `cluster_worker_stale{worker="w1"} 0`) {
+		t.Errorf("re-registered worker still stale:\n%s", out)
+	}
+}
+
+// TestWorkerFeedPayloadDelta proves the worker-side change detection:
+// an unchanged registry piggybacks nothing, a changed one sends a full
+// snapshot, and a nil registry never sends.
+func TestWorkerFeedPayloadDelta(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("c").Inc()
+	w := NewWorker(WorkerConfig{Coordinator: "http://unused", Metrics: reg})
+
+	fp1, snap1 := w.feedPayload()
+	if snap1 == nil || snap1.Counters["c"] != 1 {
+		t.Fatalf("first payload = %+v, want snapshot with c=1", snap1)
+	}
+	w.lastFeedFP = fp1 // as a successful beat would record
+
+	if _, snap := w.feedPayload(); snap != nil {
+		t.Errorf("unchanged registry still piggybacked %+v", snap)
+	}
+	reg.Counter("c").Inc()
+	fp2, snap2 := w.feedPayload()
+	if snap2 == nil || snap2.Counters["c"] != 2 {
+		t.Errorf("changed registry payload = %+v", snap2)
+	}
+	if fp2 == fp1 {
+		t.Errorf("fingerprint did not change with the registry")
+	}
+
+	none := NewWorker(WorkerConfig{Coordinator: "http://unused"})
+	if _, snap := none.feedPayload(); snap != nil {
+		t.Errorf("nil registry piggybacked %+v", snap)
+	}
+}
+
+// TestStitchedTraceSurvivesWorkerKill is the tracing acceptance test: a
+// worker dies mid-lease (its spans die with it), survivors complete the
+// sweep, and the job's trace is one connected tree — every span's
+// parent resolves, exactly one root, and every accepted evaluation
+// carries its worker-side subtree.
+func TestStitchedTraceSurvivesWorkerKill(t *testing.T) {
+	tr := span.NewTracer()
+	reg := obs.NewRegistry()
+	mgr := service.New(service.Config{ExternalExecution: true, Metrics: reg, Trace: tr})
+	defer mgr.Close()
+	coord := NewCoordinator(CoordinatorConfig{
+		Manager:        mgr,
+		LeaseTTL:       250 * time.Millisecond,
+		Heartbeat:      50 * time.Millisecond,
+		MaxLeasePoints: 3,
+		GrantWait:      100 * time.Millisecond,
+		Metrics:        reg,
+	})
+	defer coord.Close()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	j, err := mgr.Submit(service.JobRequest{Workloads: []string{"gcc1"}, Options: clusterOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The doomed worker owns the first lease and dies after one
+	// evaluation, unpushed.
+	crashInj := chaos.New(1)
+	crashInj.Install(chaos.Rule{Site: ChaosSiteWorkerCrash, Times: 1, Panic: "kill -9"})
+	doomed := NewWorker(WorkerConfig{
+		Coordinator:  srv.URL,
+		ID:           "w-doomed",
+		Concurrency:  1,
+		PollInterval: 20 * time.Millisecond,
+		Chaos:        crashInj,
+	})
+	crashed := startWorker(ctx, doomed)
+	select {
+	case p := <-crashed:
+		if p == nil {
+			t.Fatal("doomed worker exited cleanly before the injected crash")
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("doomed worker never crashed")
+	}
+
+	var survivors []<-chan any
+	for _, id := range []string{"w-a", "w-b"} {
+		w := NewWorker(WorkerConfig{
+			Coordinator:  srv.URL,
+			ID:           id,
+			Concurrency:  1,
+			PollInterval: 20 * time.Millisecond,
+		})
+		survivors = append(survivors, startWorker(ctx, w))
+	}
+	waitJob(t, j)
+	cancel()
+	for _, done := range survivors {
+		select {
+		case p := <-done:
+			if p != nil {
+				t.Fatalf("survivor panicked: %v", p)
+			}
+		case <-time.After(time.Minute):
+			t.Fatal("survivor did not stop")
+		}
+	}
+
+	spans := tr.Snapshot()
+	byID := make(map[uint64]span.Data, len(spans))
+	roots := 0
+	for _, d := range spans {
+		byID[d.ID] = d
+	}
+	for _, d := range spans {
+		if d.Parent == 0 {
+			roots++
+			continue
+		}
+		p, ok := byID[d.Parent]
+		if !ok {
+			t.Errorf("orphan span %q (id %d): parent %d not in trace", d.Name, d.ID, d.Parent)
+			continue
+		}
+		if d.StartNS < p.StartNS {
+			t.Errorf("span %q starts at %d before its parent %q at %d", d.Name, d.StartNS, p.Name, p.StartNS)
+		}
+	}
+	if roots != 1 {
+		t.Errorf("trace has %d roots, want exactly 1 (the job span)", roots)
+	}
+
+	// Every accepted evaluation (9 points, none duplicated: the doomed
+	// worker never pushed) contributed its worker-side subtree, each
+	// parented under a remote-evaluate span of the matching key with the
+	// simulate child below it.
+	const points = 9
+	workerSpans, simulates := 0, 0
+	for _, d := range spans {
+		switch d.Name {
+		case "worker-evaluate":
+			workerSpans++
+			parent := byID[d.Parent]
+			if parent.Name != "remote-evaluate" {
+				t.Errorf("worker-evaluate parented under %q, want remote-evaluate", parent.Name)
+			}
+			if k := d.Attr("key"); k == "" || k != parent.Attr("key") {
+				t.Errorf("worker-evaluate key %q does not match its parent's %q", k, parent.Attr("key"))
+			}
+			if d.Attr("worker") == "w-doomed" {
+				t.Errorf("a dead worker's span leaked into the stitched trace")
+			}
+		case "simulate":
+			simulates++
+			if byID[d.Parent].Name != "worker-evaluate" {
+				t.Errorf("simulate parented under %q", byID[d.Parent].Name)
+			}
+		}
+	}
+	if workerSpans != points {
+		t.Errorf("stitched trace has %d worker-evaluate spans, want %d", workerSpans, points)
+	}
+	if simulates != points {
+		t.Errorf("stitched trace has %d simulate spans, want %d", simulates, points)
+	}
+}
+
+// BenchmarkFeedPayloadDisabled prices the heartbeat's federation hook
+// when no registry is attached: the acceptance bar is "federation off
+// costs nothing" — one nil check per beat.
+func BenchmarkFeedPayloadDisabled(b *testing.B) {
+	w := NewWorker(WorkerConfig{Coordinator: "http://unused"})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, snap := w.feedPayload(); snap != nil {
+			b.Fatal("nil registry produced a payload")
+		}
+	}
+}
+
+// BenchmarkFeedPayloadUnchanged prices the steady-state beat with a live
+// registry whose contents have not moved: snapshot + marshal + crc32,
+// then nothing on the wire.
+func BenchmarkFeedPayloadUnchanged(b *testing.B) {
+	reg := obs.NewRegistry()
+	reg.Counter(MetricWorkerPoints).Add(100)
+	reg.Histogram("sweep_config_seconds", nil).Observe(0.01)
+	w := NewWorker(WorkerConfig{Coordinator: "http://unused", Metrics: reg})
+	fp, _ := w.feedPayload()
+	w.lastFeedFP = fp
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, snap := w.feedPayload(); snap != nil {
+			b.Fatal("unchanged registry produced a payload")
+		}
+	}
+}
+
+// BenchmarkFeedPayloadChanged prices a beat that does ship: the registry
+// moves every iteration, so each call snapshots and fingerprints fresh.
+func BenchmarkFeedPayloadChanged(b *testing.B) {
+	reg := obs.NewRegistry()
+	c := reg.Counter(MetricWorkerPoints)
+	reg.Histogram("sweep_config_seconds", nil).Observe(0.01)
+	w := NewWorker(WorkerConfig{Coordinator: "http://unused", Metrics: reg})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		fp, snap := w.feedPayload()
+		if snap == nil {
+			b.Fatal("changed registry produced no payload")
+		}
+		w.lastFeedFP = fp
+	}
+}

@@ -136,6 +136,7 @@ type coordMetrics struct {
 	pointsInflight    *obs.Gauge
 	duplicateResults  *obs.Counter
 	badResults        *obs.Counter
+	feedUpdates       *obs.Counter
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -154,6 +155,7 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		pointsInflight:    r.Gauge(MetricPointsInflight),
 		duplicateResults:  r.Counter(MetricDuplicateResults),
 		badResults:        r.Counter(MetricBadResults),
+		feedUpdates:       r.Counter(MetricFeedUpdates),
 	}
 }
 

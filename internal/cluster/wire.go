@@ -18,10 +18,16 @@ import (
 	"time"
 
 	"twolevel/internal/core"
+	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
 )
+
+// spanData is the wire form of one finished worker span — span.Data is
+// already a flat JSON record, so the trace protocol reuses it verbatim.
+type spanData = span.Data
 
 // wireOptions is the result-determining + hardening subset of
 // sweep.Options a work unit ships. Enumeration-only fields (size lists)
@@ -110,6 +116,11 @@ type registerResponse struct {
 
 type heartbeatRequest struct {
 	ID string `json:"id"`
+	// Metrics piggybacks the worker's registry snapshot for federation.
+	// Workers send it only when the registry changed since the last
+	// successful beat (a crc32 fingerprint decides), so an idle fleet
+	// heartbeats at pre-federation payload sizes.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 type leaseRequest struct {
@@ -134,6 +145,14 @@ type completeRequest struct {
 	ID      string       `json:"id"`
 	LeaseID string       `json:"lease_id"`
 	Results []resultWire `json:"results"`
+	// Spans are the worker-side spans of this lease's evaluations, each
+	// subtree rooted at a span carrying a "key" attribute naming its
+	// unit. EpochNS is the worker tracer's wall-clock epoch
+	// (span.Tracer.EpochWallNS); the coordinator uses it to shift the
+	// subtree onto its own timeline before grafting it under the owning
+	// job's remote-evaluate span.
+	Spans   []spanData `json:"spans,omitempty"`
+	EpochNS int64      `json:"epoch_ns,omitempty"`
 }
 
 type completeResponse struct {

@@ -15,16 +15,20 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"twolevel/internal/chaos"
 	"twolevel/internal/obs"
+	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 )
@@ -86,6 +90,14 @@ type Worker struct {
 
 	heartbeat time.Duration // from registration
 
+	// registered and liveLoops back Ready: the /readyz probe answers
+	// ready once registration succeeded and every lease loop is running.
+	registered atomic.Bool
+	liveLoops  atomic.Int64
+	// lastFeedFP fingerprints the last metrics snapshot successfully
+	// piggybacked on a heartbeat; only the heartbeat loop touches it.
+	lastFeedFP uint32
+
 	mu    sync.Mutex
 	evals map[string]*sweep.Evaluator // (workload|options) → evaluator
 }
@@ -104,6 +116,20 @@ func NewWorker(cfg WorkerConfig) *Worker {
 // ID reports the worker's identity.
 func (w *Worker) ID() string { return w.cfg.ID }
 
+// Ready reports whether the worker is serving: registered with its
+// coordinator and with every lease loop running. It is the /readyz
+// probe behind obs.MuxOptions.Ready, so orchestration (and the smoke
+// script) can wait on worker readiness instead of sleeping.
+func (w *Worker) Ready() error {
+	if !w.registered.Load() {
+		return errors.New("cluster: not registered with coordinator")
+	}
+	if n := w.liveLoops.Load(); int(n) < w.cfg.Concurrency {
+		return fmt.Errorf("cluster: %d/%d lease loops live", n, w.cfg.Concurrency)
+	}
+	return nil
+}
+
 // Run registers, heartbeats, and evaluates leases until ctx is
 // cancelled, returning nil on a clean stop. A chaos Panic rule at
 // ChaosSiteWorkerCrash propagates out of Run (after internal goroutines
@@ -115,6 +141,8 @@ func (w *Worker) Run(ctx context.Context) error {
 	if err := w.register(ctx); err != nil {
 		return err
 	}
+	w.registered.Store(true)
+	defer w.registered.Store(false)
 	w.met.connected.Set(1)
 	defer w.met.connected.Set(0)
 
@@ -131,6 +159,8 @@ func (w *Worker) Run(ctx context.Context) error {
 		loops.Add(1)
 		go func() {
 			defer loops.Done()
+			w.liveLoops.Add(1)
+			defer w.liveLoops.Add(-1)
 			defer func() {
 				if r := recover(); r != nil {
 					select {
@@ -196,13 +226,41 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		if err := w.inj.Hit(ChaosSiteWorkerHeartbeat); err != nil {
 			continue // beat dropped on the floor
 		}
-		code, err := w.post(ctx, "/cluster/v1/heartbeat", heartbeatRequest{ID: w.cfg.ID}, nil)
-		if code == http.StatusNotFound {
+		req := heartbeatRequest{ID: w.cfg.ID}
+		fp, snap := w.feedPayload()
+		req.Metrics = snap
+		code, err := w.post(ctx, "/cluster/v1/heartbeat", req, nil)
+		switch {
+		case code == http.StatusNotFound:
 			w.register(ctx) //nolint:errcheck // retried forever; ctx exit caught above
-		} else if err != nil {
+		case err != nil:
 			w.met.rpcRetries.Inc()
+		case snap != nil:
+			// Only a delivered snapshot advances the fingerprint, so a
+			// dropped beat re-sends rather than silently skipping a state.
+			w.lastFeedFP = fp
 		}
 	}
+}
+
+// feedPayload decides the heartbeat's federation piggyback: the
+// registry snapshot when it changed since the last delivered one (a
+// crc32 over its JSON decides), nil otherwise — so steady-state beats
+// stay as small as before federation existed.
+func (w *Worker) feedPayload() (uint32, *obs.Snapshot) {
+	if w.cfg.Metrics == nil {
+		return 0, nil
+	}
+	snap := w.cfg.Metrics.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		return 0, nil
+	}
+	fp := crc32.ChecksumIEEE(b)
+	if fp == w.lastFeedFP {
+		return fp, nil
+	}
+	return fp, &snap
 }
 
 // leaseLoop pulls, evaluates, and completes leases until ctx is done.
@@ -217,9 +275,27 @@ func (w *Worker) leaseLoop(ctx context.Context) {
 			continue
 		}
 		w.met.leases.Inc()
+		// Each lease gets its own tracer; its spans travel back inside the
+		// completion push (with the tracer's wall-clock epoch) and are
+		// grafted under the owning jobs' remote-evaluate spans on the
+		// coordinator. A crashed worker never pushes, so its spans die
+		// with it and the stitched trace stays orphan-free.
+		tr := span.NewTracer()
 		results := make([]resultWire, 0, len(lease.Units))
 		for _, u := range lease.Units {
-			results = append(results, w.evaluate(ctx, u))
+			sp := tr.Start(nil, "worker-evaluate",
+				span.Attr{Key: "key", Value: u.Key},
+				span.Attr{Key: "workload", Value: u.Workload},
+				span.Attr{Key: "worker", Value: w.cfg.ID})
+			res := w.evaluate(ctx, u, sp)
+			if res.Error != "" {
+				sp.Annotate("outcome", "failed")
+				sp.Annotate("error", res.Error)
+			} else {
+				sp.Annotate("outcome", "ok")
+			}
+			sp.End()
+			results = append(results, res)
 			// The deterministic stand-in for kill -9: a Panic rule here
 			// kills the worker with this lease's results unpushed.
 			if err := w.inj.Hit(ChaosSiteWorkerCrash); err != nil {
@@ -229,7 +305,7 @@ func (w *Worker) leaseLoop(ctx context.Context) {
 		if ctx.Err() != nil {
 			return // shutdown mid-lease: the coordinator will steal it
 		}
-		w.pushResults(ctx, lease.LeaseID, results)
+		w.pushResults(ctx, lease.LeaseID, results, tr)
 	}
 }
 
@@ -257,8 +333,11 @@ func (w *Worker) pullLease(ctx context.Context) (leaseResponse, bool) {
 }
 
 // evaluate runs one unit through the shared evaluator for its
-// (workload, options), verifying the unit's content address first.
-func (w *Worker) evaluate(ctx context.Context, u workUnit) resultWire {
+// (workload, options), verifying the unit's content address first. sp
+// is the unit's worker-evaluate span; the simulation proper gets a
+// child span so the stitched trace separates queueing/validation from
+// compute.
+func (w *Worker) evaluate(ctx context.Context, u workUnit, sp *span.Span) resultWire {
 	res := resultWire{Key: u.Key}
 	if err := validateUnit(u); err != nil {
 		w.met.pointFailures.Inc()
@@ -271,7 +350,9 @@ func (w *Worker) evaluate(ctx context.Context, u workUnit) resultWire {
 		res.Error = err.Error()
 		return res
 	}
+	sim := sp.Child("simulate")
 	p, err := eval.Evaluate(ctx, u.Config)
+	sim.End()
 	if err != nil {
 		w.met.pointFailures.Inc()
 		res.Error = err.Error()
@@ -314,12 +395,15 @@ func (w *Worker) evaluator(u workUnit) (*sweep.Evaluator, error) {
 	return e, nil
 }
 
-// pushResults posts a lease's results, retrying transient failures. If
-// every attempt fails the push is abandoned — the lease expires and the
-// points are stolen, so the job still completes (the work just runs
-// again elsewhere).
-func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resultWire) {
-	req := completeRequest{ID: w.cfg.ID, LeaseID: leaseID, Results: results}
+// pushResults posts a lease's results and the lease tracer's spans,
+// retrying transient failures. If every attempt fails the push is
+// abandoned — the lease expires and the points are stolen, so the job
+// still completes (the work just runs again elsewhere).
+func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resultWire, tr *span.Tracer) {
+	req := completeRequest{
+		ID: w.cfg.ID, LeaseID: leaseID, Results: results,
+		Spans: tr.Snapshot(), EpochNS: tr.EpochWallNS(),
+	}
 	backoff := 50 * time.Millisecond
 	for attempt := 0; attempt < 5; attempt++ {
 		err := w.inj.Hit(ChaosSiteWorkerComplete)

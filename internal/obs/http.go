@@ -12,22 +12,72 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// MuxOptions extends the observability mux beyond the plain registry
+// snapshot. The zero value is NewMux's classic behavior.
+type MuxOptions struct {
+	// Summary, when non-nil, is served as JSON on /progress.
+	Summary func() any
+	// PromExtra, when non-nil, appends extra series to a Prometheus
+	// /metrics scrape after the registry's own — the federation hook
+	// (per-worker labeled series, cluster_agg_* rollups, SLO verdicts).
+	PromExtra func(*PromWriter)
+	// Ready, when non-nil, mounts /readyz (and /healthz): nil means
+	// ready (200), an error means not ready (503 with the reason).
+	// Worker nodes use this so orchestration waits on readiness instead
+	// of sleeping.
+	Ready func() error
+}
 
 // NewMux builds the observability mux:
 //
-//	/metrics        JSON Snapshot of reg
+//	/metrics        metric snapshot; JSON by default, Prometheus text
+//	                exposition under content negotiation (an Accept
+//	                header naming text/plain or openmetrics, or
+//	                ?format=prometheus)
 //	/progress       JSON of summary() (404 when summary is nil)
 //	/debug/pprof/*  net/http/pprof handlers
 //	/               a plain-text index of the above
 func NewMux(reg *Registry, summary func() any) *http.ServeMux {
+	return NewMuxOptions(reg, MuxOptions{Summary: summary})
+}
+
+// NewMuxOptions builds the observability mux with extensions: the
+// federated Prometheus scrape hook and a readiness probe.
+func NewMuxOptions(reg *Registry, o MuxOptions) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, reg.Snapshot())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if !wantsProm(r) {
+			writeJSON(w, reg.Snapshot())
+			return
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		pw := NewPromWriter(w)
+		pw.Snapshot(reg.Snapshot(), "", nil)
+		if o.PromExtra != nil {
+			o.PromExtra(pw)
+		}
 	})
-	if summary != nil {
+	if o.Summary != nil {
 		mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
-			writeJSON(w, summary())
+			writeJSON(w, o.Summary())
+		})
+	}
+	if o.Ready != nil {
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, map[string]string{"status": "ok"})
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if err := o.Ready(); err != nil {
+				b, _ := json.MarshalIndent(map[string]string{"status": "unready", "error": err.Error()}, "", "  ")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				w.Write(append(b, '\n')) //nolint:errcheck // best-effort body
+				return
+			}
+			writeJSON(w, map[string]string{"status": "ready"})
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -42,13 +92,32 @@ func NewMux(reg *Registry, summary func() any) *http.ServeMux {
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "twolevel observability endpoints:")
-		fmt.Fprintln(w, "  /metrics       metric snapshot (JSON)")
-		if summary != nil {
+		fmt.Fprintln(w, "  /metrics       metric snapshot (JSON; Prometheus text via Accept or ?format=prometheus)")
+		if o.Summary != nil {
 			fmt.Fprintln(w, "  /progress      run progress and ETA (JSON)")
+		}
+		if o.Ready != nil {
+			fmt.Fprintln(w, "  /readyz        readiness probe")
 		}
 		fmt.Fprintln(w, "  /debug/pprof/  profiling")
 	})
 	return mux
+}
+
+// wantsProm decides the /metrics representation: Prometheus text when
+// the scrape asks for it (?format=prometheus, or an Accept header
+// naming text/plain or openmetrics — what prometheus scrapers send),
+// JSON otherwise (?format=json forces it; a bare curl keeps today's
+// JSON snapshot).
+func wantsProm(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

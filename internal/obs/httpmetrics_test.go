@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestNormalizeRoute(t *testing.T) {
+	cases := []struct{ method, path, want string }{
+		{"GET", "/", "get_root"},
+		{"GET", "/v1/jobs", "get_v1_jobs"},
+		{"GET", "/v1/jobs/j42", "get_v1_jobs_id"},
+		{"GET", "/v1/jobs/j42/trace", "get_v1_jobs_id_trace"},
+		{"DELETE", "/v1/jobs/17", "delete_v1_jobs_id"},
+		{"POST", "/cluster/v1/lease", "post_cluster_v1_lease"},
+		{"GET", "/v1/envelope", "get_v1_envelope"},
+		{"GET", "/weird.path/x", "get_weird_path_x"},
+	}
+	for _, c := range cases {
+		if got := NormalizeRoute(c.method, c.path); got != c.want {
+			t.Errorf("NormalizeRoute(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHTTP(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok")) //nolint:errcheck
+	}))
+	for _, p := range []string{"/v1/jobs/j1", "/v1/jobs/j2", "/boom"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", p, nil))
+	}
+	s := reg.Snapshot()
+	if got := s.Counters["http_requests_total_get_v1_jobs_id"]; got != 2 {
+		t.Errorf("job route counter = %d, want 2", got)
+	}
+	if got := s.Counters["http_errors_total_get_boom"]; got != 1 {
+		t.Errorf("error counter = %d, want 1", got)
+	}
+	if h := s.Histograms[HTTPMetricPrefix+"get_v1_jobs_id"]; h.Count != 2 {
+		t.Errorf("latency histogram count = %d, want 2", h.Count)
+	}
+}
+
+func TestInstrumentHTTPNilRegistry(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := InstrumentHTTP(nil, inner); fmt.Sprintf("%p", got) != fmt.Sprintf("%p", inner) {
+		t.Errorf("nil registry should return the handler unchanged")
+	}
+}
+
+func TestInstrumentHTTPRouteCap(t *testing.T) {
+	reg := NewRegistry()
+	h := InstrumentHTTP(reg, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for i := 0; i < httpRouteCap+10; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", fmt.Sprintf("/scan/path%da", i), nil))
+	}
+	s := reg.Snapshot()
+	over := s.Histograms[HTTPMetricPrefix+"other"]
+	if over.Count != 10 {
+		t.Errorf("overflow route count = %d, want 10", over.Count)
+	}
+	var total int
+	for name := range s.Histograms {
+		if len(name) > len(HTTPMetricPrefix) && name[:len(HTTPMetricPrefix)] == HTTPMetricPrefix {
+			total++
+		}
+	}
+	if total != httpRouteCap+1 {
+		t.Errorf("distinct route histograms = %d, want cap %d + overflow", total, httpRouteCap)
+	}
+}

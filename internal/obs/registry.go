@@ -253,26 +253,46 @@ func (h HistogramSnapshot) Mean() float64 {
 	return h.Sum / float64(h.Count)
 }
 
-// Quantile estimates the q-th quantile (0..1) assuming observations sit
-// at their bucket's upper bound (the overflow bucket reports the largest
-// bound). A coarse but monotone estimate, good enough for ETA summaries.
+// Quantile estimates the q-th quantile (0..1) by linear interpolation
+// within the bucket holding the target rank, assuming observations are
+// uniformly spread across each bucket — the estimator Prometheus's
+// histogram_quantile uses. The first bucket interpolates from 0 (its
+// observations have no recorded lower edge); the overflow bucket
+// reports the largest finite bound, the only honest monotone answer
+// there. Out-of-range q clamps to [0, 1]; an empty histogram reports 0.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Bounds) == 0 {
 		return 0
 	}
-	target := uint64(math.Ceil(q * float64(h.Count)))
-	if target == 0 {
-		target = 1
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	if target < 1 {
+		target = 1 // the estimate is never below the first observation's bucket
 	}
 	var cum uint64
 	for i, c := range h.Counts {
+		prev := float64(cum)
 		cum += c
-		if cum >= target {
-			if i >= len(h.Bounds) {
-				return h.Bounds[len(h.Bounds)-1]
-			}
-			return h.Bounds[i]
+		if float64(cum) < target || c == 0 {
+			continue
 		}
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.Bounds[i-1]
+		}
+		upper := h.Bounds[i]
+		if upper <= lower {
+			return upper
+		}
+		return lower + (upper-lower)*(target-prev)/float64(c)
 	}
 	return h.Bounds[len(h.Bounds)-1]
 }
@@ -320,6 +340,63 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = hs
 	}
 	return s
+}
+
+// MergeInto adds src's instruments into dst: counters and gauges sum,
+// histograms merge bucket-wise when their bounds agree (Count and Sum
+// always accumulate; mismatched bounds keep dst's buckets, so a rollup
+// over heterogeneous nodes degrades to count/sum rather than inventing
+// boundaries). Instruments only in src are copied. This is the
+// aggregation primitive behind the cluster's federated cluster_agg_*
+// rollups.
+func MergeInto(dst *Snapshot, src Snapshot) {
+	if dst.Counters == nil {
+		dst.Counters = map[string]uint64{}
+	}
+	if dst.Gauges == nil {
+		dst.Gauges = map[string]int64{}
+	}
+	if dst.Histograms == nil {
+		dst.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range src.Counters {
+		dst.Counters[name] += v
+	}
+	for name, v := range src.Gauges {
+		dst.Gauges[name] += v
+	}
+	for name, sh := range src.Histograms {
+		dh, ok := dst.Histograms[name]
+		if !ok {
+			cp := HistogramSnapshot{
+				Bounds: append([]float64(nil), sh.Bounds...),
+				Counts: append([]uint64(nil), sh.Counts...),
+				Count:  sh.Count,
+				Sum:    sh.Sum,
+			}
+			cp.bucketize()
+			dst.Histograms[name] = cp
+			continue
+		}
+		dh.Count += sh.Count
+		dh.Sum += sh.Sum
+		if len(dh.Bounds) == len(sh.Bounds) && len(dh.Counts) == len(sh.Counts) {
+			same := true
+			for i := range dh.Bounds {
+				if dh.Bounds[i] != sh.Bounds[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				for i := range dh.Counts {
+					dh.Counts[i] += sh.Counts[i]
+				}
+			}
+		}
+		dh.bucketize()
+		dst.Histograms[name] = dh
+	}
 }
 
 // WriteSnapshot serializes the registry's snapshot as indented JSON.

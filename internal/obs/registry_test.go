@@ -79,9 +79,10 @@ func TestHistogramBuckets(t *testing.T) {
 			break
 		}
 	}
-	// The 3rd-smallest of 5 observations (1.5) sits in the <=2 bucket.
-	if q := hs.Quantile(0.5); q != 2 {
-		t.Errorf("p50 = %g, want 2", q)
+	// The p50 rank (2.5 of 5) falls halfway through the (1, 2] bucket;
+	// interpolation puts the estimate at 1.5.
+	if q := hs.Quantile(0.5); q != 1.5 {
+		t.Errorf("p50 = %g, want 1.5", q)
 	}
 	if q := hs.Quantile(1); q != 4 {
 		t.Errorf("p100 = %g, want 4 (overflow clamps to largest bound)", q)

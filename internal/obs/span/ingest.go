@@ -1,0 +1,67 @@
+package span
+
+// This file is the cross-node half of tracing: a worker ships the
+// finished spans of its tracer (plus that tracer's wall-clock epoch)
+// inside the completion push, and the coordinator grafts them into its
+// own trace with Ingest — re-parenting the subtree under the owning
+// job's span and shifting timestamps from the remote tracer's epoch to
+// the local one, so one exported trace spans the whole cluster.
+
+// EpochWallNS reports the tracer's epoch as wall-clock unix
+// nanoseconds — the reference a remote consumer needs to translate this
+// tracer's relative span times into its own. 0 on a nil tracer.
+func (t *Tracer) EpochWallNS() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
+}
+
+// Ingest grafts finished spans recorded by another tracer into this
+// span's trace as its descendants. epochWallNS is the remote tracer's
+// EpochWallNS; timestamps shift by the epoch difference so both sides
+// land on this tracer's timeline. Wall clocks skew, so the subtree is
+// additionally clamped to start no earlier than this span — a remote
+// child can never appear to precede the request that caused it. Spans
+// get fresh local IDs (remote IDs collide across workers); a span whose
+// parent is not in the batch — the remote roots — re-parents to s, so
+// the ingested forest stays connected to the local tree. Returns the
+// number of spans ingested; 0 on a nil span.
+func (s *Span) Ingest(spans []Data, epochWallNS int64) int {
+	if s == nil || len(spans) == 0 {
+		return 0
+	}
+	t := s.t
+	offset := epochWallNS - t.epoch.UnixNano()
+	minStart := spans[0].StartNS
+	for _, d := range spans[1:] {
+		if d.StartNS < minStart {
+			minStart = d.StartNS
+		}
+	}
+	if minStart+offset < s.start {
+		offset = s.start - minStart
+	}
+	ids := make(map[uint64]uint64, len(spans))
+	for _, d := range spans {
+		ids[d.ID] = t.nextID.Add(1)
+	}
+	out := make([]Data, 0, len(spans))
+	for _, d := range spans {
+		nd := d
+		nd.ID = ids[d.ID]
+		if p, ok := ids[d.Parent]; ok && d.Parent != 0 {
+			nd.Parent = p
+		} else {
+			nd.Parent = s.id
+		}
+		nd.StartNS += offset
+		nd.EndNS += offset
+		nd.Attrs = append([]Attr(nil), d.Attrs...)
+		out = append(out, nd)
+	}
+	t.mu.Lock()
+	t.done = append(t.done, out...)
+	t.mu.Unlock()
+	return len(out)
+}

@@ -1,0 +1,116 @@
+package span
+
+import (
+	"testing"
+	"time"
+)
+
+// findByName returns the first snapshot span with the given name.
+func findByName(t *testing.T, spans []Data, name string) Data {
+	t.Helper()
+	for _, d := range spans {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no span named %q in %v", name, spans)
+	return Data{}
+}
+
+func TestIngestStitchesRemoteSubtree(t *testing.T) {
+	remote := NewTracer()
+	rRoot := remote.Start(nil, "worker-evaluate", Attr{Key: "key", Value: "k1"})
+	rChild := rRoot.Child("simulate")
+	time.Sleep(time.Millisecond)
+	rChild.End()
+	rRoot.End()
+
+	local := NewTracer()
+	parent := local.Start(nil, "remote-evaluate")
+	if n := parent.Ingest(remote.Snapshot(), remote.EpochWallNS()); n != 2 {
+		t.Fatalf("Ingest = %d, want 2", n)
+	}
+	parent.End()
+
+	spans := local.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("local tracer has %d spans, want 3", len(spans))
+	}
+	p := findByName(t, spans, "remote-evaluate")
+	root := findByName(t, spans, "worker-evaluate")
+	child := findByName(t, spans, "simulate")
+	if root.Parent != p.ID {
+		t.Errorf("remote root parent = %d, want local span %d", root.Parent, p.ID)
+	}
+	if child.Parent != root.ID {
+		t.Errorf("remote child parent = %d, want remapped root %d", child.Parent, root.ID)
+	}
+	ids := map[uint64]bool{}
+	for _, d := range spans {
+		if ids[d.ID] {
+			t.Errorf("duplicate span id %d after ingest", d.ID)
+		}
+		ids[d.ID] = true
+	}
+	if root.Attr("key") != "k1" {
+		t.Errorf("attributes lost in ingest: %v", root.Attrs)
+	}
+	if root.StartNS < p.StartNS {
+		t.Errorf("ingested root starts at %d, before its parent %d", root.StartNS, p.StartNS)
+	}
+	if child.EndNS < child.StartNS || child.Duration() < time.Millisecond/2 {
+		t.Errorf("ingested child timing mangled: %+v", child)
+	}
+}
+
+// TestIngestClampsSkewedClocks feeds an epoch far in the past (a badly
+// skewed remote wall clock); the subtree must clamp to the parent's
+// start rather than appear to precede the request that caused it.
+func TestIngestClampsSkewedClocks(t *testing.T) {
+	remote := NewTracer()
+	rs := remote.Start(nil, "worker-evaluate")
+	rs.End()
+
+	local := NewTracer()
+	parent := local.Start(nil, "remote-evaluate")
+	if n := parent.Ingest(remote.Snapshot(), remote.EpochWallNS()-int64(24*time.Hour)); n != 1 {
+		t.Fatalf("Ingest = %d, want 1", n)
+	}
+	parent.End()
+
+	spans := local.Snapshot()
+	p := findByName(t, spans, "remote-evaluate")
+	got := findByName(t, spans, "worker-evaluate")
+	if got.StartNS != p.StartNS {
+		t.Errorf("skewed subtree starts at %d, want clamped to parent start %d", got.StartNS, p.StartNS)
+	}
+}
+
+func TestIngestNilAndEmpty(t *testing.T) {
+	var nilSpan *Span
+	if n := nilSpan.Ingest([]Data{{ID: 1, Name: "x"}}, 0); n != 0 {
+		t.Errorf("nil span Ingest = %d, want 0", n)
+	}
+	tr := NewTracer()
+	s := tr.Start(nil, "s")
+	if n := s.Ingest(nil, 0); n != 0 {
+		t.Errorf("empty Ingest = %d, want 0", n)
+	}
+	s.End()
+	if tr.Len() != 1 {
+		t.Errorf("tracer polluted by empty ingest: %d spans", tr.Len())
+	}
+}
+
+func TestEpochWallNS(t *testing.T) {
+	var nilT *Tracer
+	if nilT.EpochWallNS() != 0 {
+		t.Errorf("nil tracer epoch = %d, want 0", nilT.EpochWallNS())
+	}
+	before := time.Now().UnixNano()
+	tr := NewTracer()
+	after := time.Now().UnixNano()
+	if e := tr.EpochWallNS(); e < before || e > after {
+		t.Errorf("epoch %d outside [%d, %d]", e, before, after)
+	}
+}

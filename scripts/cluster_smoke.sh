@@ -52,19 +52,29 @@ start() {
 	BASE="http://$addr"
 }
 
-# start_worker LOGFILE ID COORDINATOR boots a worker process.
+# start_worker LOGFILE ID COORDINATOR boots a worker process and waits
+# on its /readyz gate (registered with every lease loop live) rather
+# than sleeping on log lines.
 start_worker() {
 	local log="$1" id="$2" coord="$3"
 	"$TMP/served" -role worker -listen 127.0.0.1:0 -coordinator "$coord" \
 		-worker-id "$id" -workers 1 2>"$log" &
 	PID=$!
 	PIDS+=("$PID")
+	local addr=""
 	for _ in $(seq 1 100); do
-		grep -q "worker $id joining" "$log" && return
+		addr="$(sed -n 's#^served: worker .*metrics on http://\([^)]*\).*#\1#p' "$log")"
+		[ -n "$addr" ] && break
 		sleep 0.1
 	done
+	[ -n "$addr" ] || { cat "$log" >&2; fail "worker $id never announced its address"; }
+	for _ in $(seq 1 100); do
+		curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && return
+		sleep 0.1
+	done
+	curl -sS "http://$addr/readyz" >&2 || true
 	cat "$log" >&2
-	fail "worker $id never started"
+	fail "worker $id never became ready"
 }
 
 # wait_done BASE JOB_ID polls until the job leaves "running".
@@ -103,8 +113,11 @@ echo "cluster-smoke: standalone reference doc saved"
 
 # ---- Phase 2: coordinator + 2 workers, kill -9 one mid-sweep ----
 
-# An aggressive lease TTL keeps the theft inside smoke-test time.
-start "$TMP/coord.log" -role coordinator -lease-ttl 2s -lease-points 2
+# An aggressive lease TTL keeps the theft inside smoke-test time. The
+# SLO threshold is generous on purpose: the assertion is that verdicts
+# render and pass, not that CI machines are fast.
+start "$TMP/coord.log" -role coordinator -lease-ttl 2s -lease-points 2 \
+	-slo p99:evaluate:30s
 COORD="$BASE"
 COORD_PID="$PID"
 echo "cluster-smoke: coordinator up at $COORD"
@@ -126,6 +139,17 @@ for _ in $(seq 1 300); do
 done
 [ "$DONE" -ge 1 ] || fail "no evaluation completed before the kill window"
 [ "$DONE" -lt "$EVALS" ] || echo "cluster-smoke: warning: sweep finished before the kill (still checking identity)"
+
+# Mid-job, /metrics speaks both dialects: bare curl stays JSON (the jq
+# pipelines below depend on it), Accept/format negotiation gets
+# Prometheus text exposition.
+curl -fsS "$COORD/metrics" | jq -e .counters >/dev/null \
+	|| fail "bare /metrics no longer serves the JSON snapshot"
+grep -q '^# TYPE ' <<<"$(curl -fsS -H 'Accept: text/plain' "$COORD/metrics")" \
+	|| fail "Accept: text/plain did not negotiate Prometheus exposition"
+curl -fsS "$COORD/cluster/v1/status" | jq -e .workers >/dev/null \
+	|| fail "mid-job /cluster/v1/status unavailable"
+
 kill -9 "$W1_PID"
 echo "cluster-smoke: killed -9 worker smoke-w1 mid-sweep ($DONE/$EVALS done)"
 
@@ -138,15 +162,69 @@ cmp -s "$TMP/solo.json" "$TMP/cluster.json" \
 echo "cluster-smoke: cluster result byte-identical to standalone"
 
 # Zero lost, zero double-counted, and the crash was really absorbed.
-METRICS="$(curl -fsS "$COORD/metrics")"
+# The job can finish (via lease theft) before the reaper declares the
+# killed worker dead, so poll for the death rather than racing it.
+DEAD=0
+for _ in $(seq 1 100); do
+	METRICS="$(curl -fsS "$COORD/metrics")"
+	DEAD="$(jq '.counters.cluster_workers_dead_total // 0' <<<"$METRICS")"
+	[ "$DEAD" -ge 1 ] && break
+	sleep 0.2
+done
 COMPLETED="$(jq '.counters.cluster_points_completed_total // 0' <<<"$METRICS")"
 FAILED="$(jq '.counters.cluster_points_failed_total // 0' <<<"$METRICS")"
-DEAD="$(jq '.counters.cluster_workers_dead_total // 0' <<<"$METRICS")"
 [ "$COMPLETED" -eq "$EVALS" ] || fail "points completed = $COMPLETED, want exactly $EVALS (no loss, no double count)"
 [ "$FAILED" -eq 0 ] || fail "points failed = $FAILED, want 0"
 [ "$DEAD" -ge 1 ] || fail "coordinator never declared the killed worker dead"
 STOLEN="$(jq '.counters.cluster_points_stolen_total // 0' <<<"$METRICS")"
 echo "cluster-smoke: $COMPLETED/$EVALS completed, $STOLEN stolen, $DEAD worker declared dead"
+
+# ---- Phase 3: federated observability over the same run ----
+
+# One Prometheus scrape must carry the fleet: the surviving worker's
+# series labeled, the rollup aggregated, the killed worker's feed
+# marked stale (its history retained), and the SLO verdict rendered.
+# The survivor's feed rides its heartbeats, so allow a few beats.
+PROM=""
+for _ in $(seq 1 100); do
+	PROM="$(curl -fsS "$COORD/metrics?format=prometheus")"
+	grep -q 'cluster_worker_points_total{worker="smoke-w2"}' <<<"$PROM" &&
+		grep -q 'cluster_worker_stale{worker="smoke-w1"} 1' <<<"$PROM" && break
+	sleep 0.2
+done
+grep -q 'cluster_worker_points_total{worker="smoke-w2"}' <<<"$PROM" \
+	|| fail "scrape missing the surviving worker's labeled series"
+grep -q 'cluster_worker_stale{worker="smoke-w1"} 1' <<<"$PROM" \
+	|| fail "killed worker not marked stale on the scrape"
+grep -q '^cluster_agg_cluster_worker_points_total ' <<<"$PROM" \
+	|| fail "scrape missing the cluster_agg_ rollup"
+grep -q 'slo_pass{metric="sweep_config_seconds",slo="p99:evaluate:30s"} 1' <<<"$PROM" \
+	|| fail "scrape missing a passing SLO verdict"
+echo "cluster-smoke: federated scrape carries survivor, stale dead worker, rollup, SLO verdict"
+
+STATUS="$(curl -fsS "$COORD/cluster/v1/status")"
+jq -e '.workers[] | select(.id=="smoke-w1" and .stale==true)' <<<"$STATUS" >/dev/null \
+	|| fail "status document does not mark the killed worker stale"
+jq -e '.slos[] | select(.pass==true)' <<<"$STATUS" >/dev/null \
+	|| fail "status document carries no passing SLO verdict"
+echo "cluster-smoke: status document agrees"
+
+# The stitched job trace is one connected tree: exactly one grafted
+# worker-side subtree per accepted evaluation — the killed worker's
+# pushed points keep their spans (delivered history), its unpushed ones
+# died with it and the survivor's re-runs filled the gap. Saved as an
+# artifact for CI.
+ARTIFACTS="${CLUSTER_SMOKE_ARTIFACTS:-$TMP}"
+mkdir -p "$ARTIFACTS"
+curl -fsS "$COORD/v1/jobs/$JOB/trace" >"$ARTIFACTS/cluster-trace.json"
+WE="$(jq '[.traceEvents[] | select(.ph=="X" and .name=="worker-evaluate")] | length' "$ARTIFACTS/cluster-trace.json")"
+[ "$WE" -eq "$EVALS" ] || fail "stitched trace has $WE worker-evaluate spans, want exactly $EVALS"
+SIM="$(jq '[.traceEvents[] | select(.ph=="X" and .name=="simulate")] | length' "$ARTIFACTS/cluster-trace.json")"
+[ "$SIM" -eq "$EVALS" ] || fail "stitched trace has $SIM simulate spans, want exactly $EVALS"
+jq -e '[.traceEvents[] | select(.name=="worker-evaluate" and .args.worker=="smoke-w2")] | length > 0' \
+	"$ARTIFACTS/cluster-trace.json" >/dev/null \
+	|| fail "no surviving-worker subtree in the stitched trace"
+echo "cluster-smoke: stitched trace has $WE/$EVALS remote subtrees (artifact: $ARTIFACTS/cluster-trace.json)"
 
 kill -INT "$COORD_PID"
 wait "$COORD_PID" || fail "coordinator clean shutdown exited nonzero"

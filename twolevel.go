@@ -348,6 +348,30 @@ func ServeObservability(addr string, reg *MetricsRegistry, summary func() any) (
 // registry's sweep metrics.
 func SweepProgressSummary(reg *MetricsRegistry) func() any { return sweep.ProgressSummary(reg) }
 
+// WritePrometheusMetrics renders the registry in the Prometheus text
+// exposition format (text/plain; version=0.0.4) — the representation
+// the observability server's /metrics serves under content negotiation.
+func WritePrometheusMetrics(w io.Writer, reg *MetricsRegistry) error {
+	return obs.WritePrometheus(w, reg)
+}
+
+// LatencySLO is one latency objective: a histogram quantile that must
+// stay at or under a threshold.
+type LatencySLO = obs.SLO
+
+// SLOVerdict is one evaluated latency objective, with its measured
+// quantile, burn ratio, and pass/fail.
+type SLOVerdict = obs.SLOVerdict
+
+// ParseLatencySLOs parses a comma-separated objective list such as
+// "p99:sweep_config_seconds:500ms,p50:service_job_seconds:2s".
+func ParseLatencySLOs(s string) ([]LatencySLO, error) { return obs.ParseSLOs(s) }
+
+// EvalLatencySLOs evaluates objectives against a metrics snapshot.
+func EvalLatencySLOs(slos []LatencySLO, snap MetricsSnapshot) []SLOVerdict {
+	return obs.EvalSLOs(slos, snap, nil)
+}
+
 // SpanTracer collects a span tree of run execution (run → sweep →
 // config → attempt → simulate; job → evaluate → store-{hit,miss} in the
 // job service) and exports it as Chrome trace_event JSON loadable in
