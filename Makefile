@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke cluster-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke cluster-smoke fast-smoke ci clean
 
 all: build
 
@@ -51,6 +51,14 @@ chaos-smoke:
 # double-counted evaluations. Requires curl and jq.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# fast-smoke gates the analytical fast tier: cmd/sweep -accuracy runs
+# both tiers over all seven workloads at the default trace length and
+# the twolevel-model-accuracy/1 document must show mean |TPI error|
+# <= 5% and envelope winner agreement >= 90%, checked at full precision
+# from the JSON (the table rounds). Requires jq.
+fast-smoke:
+	bash scripts/fast_smoke.sh
 
 # explain-smoke drives the cache-explainability pipeline: cachesim
 # -explain-json 3C sum contract plus cmd/explain's conflict-share

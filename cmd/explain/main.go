@@ -15,9 +15,11 @@
 //	explain -workload gcc1
 //	explain -workload espresso -l1 4KB -refs 2000000
 //	explain -workload gcc1 -json            # machine-readable rows
+//	explain -workload gcc1 -rdh-json        # twolevel-rdh/1 reuse-distance profile
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,7 +31,9 @@ import (
 	"twolevel/internal/analyze"
 	"twolevel/internal/cache"
 	"twolevel/internal/core"
+	"twolevel/internal/model"
 	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
 	"twolevel/internal/trace"
 )
 
@@ -66,12 +70,27 @@ func main() {
 		refs     = flag.Uint64("refs", 1_000_000, "trace length per configuration")
 		l2List   = flag.String("l2kb", "16,32,64,128,256", "comma list of L2 sizes to sweep, KB")
 		jsonOut  = flag.Bool("json", false, "emit the rows as JSON instead of a table")
+		rdhJSON  = flag.Bool("rdh-json", false, "emit the workload's per-stream reuse-distance profile as a twolevel-rdh/1 document and exit")
 	)
 	flag.Parse()
 
 	w, err := spec.ByName(*workload)
 	if err != nil {
 		fatal(err)
+	}
+	if *rdhJSON {
+		// The same document the fast tier collects and caches: exact LRU
+		// stack-distance and reuse-time histograms for the instruction,
+		// data, and unified streams, in one pass over the trace.
+		prof, err := model.Collect(context.Background(), w,
+			sweep.Options{Refs: *refs, LineSize: *lineSize})
+		if err != nil {
+			fatal(err)
+		}
+		if err := prof.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	var l2kbs []int64
 	for _, s := range strings.Split(*l2List, ",") {

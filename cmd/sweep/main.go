@@ -18,9 +18,18 @@
 // (run → sweep → config → attempt → simulate) as Chrome trace_event
 // JSON, loadable in Perfetto or chrome://tracing.
 //
+// The analytical fast tier (-fast) predicts every point from one
+// reuse-distance profile pass instead of simulating each configuration
+// — approximate, about an order of magnitude faster, and marked
+// "approx": true in saved documents. -accuracy runs both tiers and
+// reports prediction error, best-under-budget agreement, and speedup
+// per workload (with -o, as a twolevel-model-accuracy/1 JSON document).
+//
 // Usage:
 //
 //	sweep -workload gcc1
+//	sweep -workload all -fast
+//	sweep -workload all -accuracy -o accuracy.json
 //	sweep -workload all -offchip 200 -l2assoc 4 -policy exclusive -csv
 //	sweep -workload all -checkpoint run.journal -o sweeps.json
 //	sweep -workload all -resume run.journal -checkpoint run.journal -o sweeps.json
@@ -39,6 +48,7 @@ import (
 	"time"
 
 	"twolevel/internal/core"
+	"twolevel/internal/model"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
@@ -65,6 +75,8 @@ func main() {
 		metricsOut = flag.String("metrics", "", "write the final metrics snapshot as JSON to this file")
 		eventsOut  = flag.String("events", "", "append the structured run-event journal (JSONL) to this file")
 		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON span tree to this file (open in Perfetto)")
+		fast       = flag.Bool("fast", false, "predict points from reuse-distance profiles instead of simulating (approximate, ~10x faster)")
+		accuracy   = flag.Bool("accuracy", false, "run both tiers and report fast-vs-exact accuracy (with -o, saves the twolevel-model-accuracy/1 document)")
 	)
 	flag.Parse()
 
@@ -174,6 +186,10 @@ func main() {
 	if *workload == "all" {
 		names = spec.Names()
 	}
+	if *accuracy {
+		runAccuracy(ctx, names, opt, reg, *jsonOut, flushObs)
+		return
+	}
 	var saved []sweep.Point
 	headerDone := false
 	degraded := false
@@ -186,7 +202,12 @@ func main() {
 			opt.Progress = newProgressPrinter(os.Stderr, w.Name, time.Second, time.Now)
 		}
 		start := time.Now()
-		points, err := sweep.RunContext(ctx, w, opt)
+		var points []sweep.Point
+		if *fast {
+			points, err = model.RunContext(ctx, w, opt)
+		} else {
+			points, err = sweep.RunContext(ctx, w, opt)
+		}
 		// A per-configuration timeout also wraps DeadlineExceeded, so
 		// run-level interruption (SIGINT, -timeout) is detected on the
 		// run context itself, not on the error chain.
@@ -206,6 +227,9 @@ func main() {
 		title := fmt.Sprintf("%s (offchip %.0fns, L2 %d-way, %s", w.Name, *offchip, *l2assoc, pol)
 		if *dual {
 			title += ", dual-ported L1"
+		}
+		if *fast {
+			title += ", analytical model"
 		}
 		title += ")"
 
@@ -238,6 +262,61 @@ func main() {
 	if degraded {
 		os.Exit(1)
 	}
+}
+
+// runAccuracy is the -accuracy mode: both tiers sweep every workload,
+// the comparison is printed as a table, and -o saves the
+// twolevel-model-accuracy/1 document. Wall times are measured around
+// each tier's whole sweep, so the reported speedup includes the fast
+// tier's one-time profile pass.
+func runAccuracy(ctx context.Context, names []string, opt sweep.Options, reg *obs.Registry, jsonOut string, flushObs func()) {
+	var errHist *obs.Histogram
+	if reg != nil {
+		errHist = reg.Histogram(model.MetricAbsTPIError, model.AbsTPIErrorBounds())
+	}
+	var was []model.WorkloadAccuracy
+	for _, name := range names {
+		w, err := spec.ByName(strings.TrimSpace(name))
+		if err != nil {
+			fatal(err)
+		}
+		exactStart := time.Now()
+		exact, err := sweep.RunContext(ctx, w, opt)
+		if err != nil {
+			fatal(err)
+		}
+		exactWall := time.Since(exactStart)
+		fastStart := time.Now()
+		fastPts, err := model.RunContext(ctx, w, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fastWall := time.Since(fastStart)
+		wa, err := model.Compare(w.Name, exact, fastPts, errHist)
+		if err != nil {
+			fatal(err)
+		}
+		wa.Wall(exactWall, fastWall)
+		was = append(was, wa)
+	}
+	rep := model.NewReport(was)
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved accuracy report (%d workloads) to %s\n", len(was), jsonOut)
+	}
+	flushObs()
 }
 
 // drain is the graceful-shutdown path: flush the checkpoint journal and

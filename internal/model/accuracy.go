@@ -1,0 +1,197 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"twolevel/internal/obs"
+	"twolevel/internal/sweep"
+)
+
+// AccuracyFormat identifies the predicted-vs-simulated report schema.
+const AccuracyFormat = "twolevel-model-accuracy/1"
+
+// ConfigAccuracy compares one configuration's fast prediction against
+// its exact simulation.
+type ConfigAccuracy struct {
+	// Label is the configuration in the paper's "x:y" notation.
+	Label string `json:"label"`
+	// AreaRbe is the (shared) cost-model area.
+	AreaRbe float64 `json:"area_rbe"`
+	// ExactTPI and FastTPI are the simulated and predicted ns/instr.
+	ExactTPI float64 `json:"exact_tpi_ns"`
+	FastTPI  float64 `json:"fast_tpi_ns"`
+	// AbsTPIErr is |FastTPI - ExactTPI| / ExactTPI.
+	AbsTPIErr float64 `json:"abs_tpi_err"`
+	// ExactMissRate and FastMissRate are the combined L1 miss rates.
+	ExactMissRate float64 `json:"exact_l1_miss_rate"`
+	FastMissRate  float64 `json:"fast_l1_miss_rate"`
+}
+
+// WorkloadAccuracy aggregates one workload's comparison.
+type WorkloadAccuracy struct {
+	Workload string           `json:"workload"`
+	Configs  []ConfigAccuracy `json:"configs"`
+	// MeanAbsTPIErr and MaxAbsTPIErr summarize the per-config relative
+	// TPI errors.
+	MeanAbsTPIErr float64 `json:"mean_abs_tpi_err"`
+	MaxAbsTPIErr  float64 `json:"max_abs_tpi_err"`
+	// WinnerAgreement is the fraction of area budgets (one per distinct
+	// exact-point area) at which the fast tier's best-under-budget
+	// configuration matches the exact tier's.
+	WinnerAgreement float64 `json:"winner_agreement"`
+	// ExactWallNS and FastWallNS are the measured sweep wall times.
+	ExactWallNS int64 `json:"exact_wall_ns,omitempty"`
+	FastWallNS  int64 `json:"fast_wall_ns,omitempty"`
+}
+
+// Report is the full "twolevel-model-accuracy/1" document.
+type Report struct {
+	Format    string             `json:"format"`
+	Workloads []WorkloadAccuracy `json:"workloads"`
+	// MeanAbsTPIErr averages the per-config errors over every workload.
+	MeanAbsTPIErr float64 `json:"mean_abs_tpi_err"`
+	// WinnerAgreement averages the per-workload agreements.
+	WinnerAgreement float64 `json:"winner_agreement"`
+	// Speedup is total exact wall time over total fast wall time (0
+	// when wall times were not measured).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// Compare evaluates the fast tier's points against exact simulation of
+// the same sweep. Points are matched by label; a fast point with no
+// exact partner (or vice versa) is an error, since both tiers
+// enumerate the same configurations. When errHist is non-nil every
+// per-config relative TPI error is observed into it
+// (MetricAbsTPIError).
+func Compare(workload string, exact, fast []sweep.Point, errHist *obs.Histogram) (WorkloadAccuracy, error) {
+	if len(exact) == 0 || len(exact) != len(fast) {
+		return WorkloadAccuracy{}, fmt.Errorf(
+			"model: %s: %d exact vs %d fast points", workload, len(exact), len(fast))
+	}
+	fastByLabel := make(map[string]sweep.Point, len(fast))
+	for _, p := range fast {
+		fastByLabel[p.Label] = p
+	}
+	wa := WorkloadAccuracy{Workload: workload}
+	var sum, maxE float64
+	for _, ep := range exact {
+		fp, ok := fastByLabel[ep.Label]
+		if !ok {
+			return WorkloadAccuracy{}, fmt.Errorf("model: %s: no fast point for %s", workload, ep.Label)
+		}
+		e := math.Abs(fp.TPINS-ep.TPINS) / ep.TPINS
+		errHist.Observe(e)
+		sum += e
+		maxE = math.Max(maxE, e)
+		wa.Configs = append(wa.Configs, ConfigAccuracy{
+			Label:         ep.Label,
+			AreaRbe:       ep.AreaRbe,
+			ExactTPI:      ep.TPINS,
+			FastTPI:       fp.TPINS,
+			AbsTPIErr:     e,
+			ExactMissRate: ep.Stats.L1MissRate(),
+			FastMissRate:  fp.Stats.L1MissRate(),
+		})
+	}
+	wa.MeanAbsTPIErr = sum / float64(len(exact))
+	wa.MaxAbsTPIErr = maxE
+	wa.WinnerAgreement = winnerAgreement(exact, fast)
+	return wa, nil
+}
+
+// winnerAgreement sweeps every distinct exact-point area as a budget
+// and reports the fraction at which both tiers pick the same
+// best-under-budget configuration.
+func winnerAgreement(exact, fast []sweep.Point) float64 {
+	budgets := make([]float64, 0, len(exact))
+	seen := make(map[float64]bool)
+	for _, p := range exact {
+		if !seen[p.AreaRbe] {
+			seen[p.AreaRbe] = true
+			budgets = append(budgets, p.AreaRbe)
+		}
+	}
+	sort.Float64s(budgets)
+	agree := 0
+	for _, b := range budgets {
+		we, okE := sweep.BestAtArea(exact, b)
+		wf, okF := sweep.BestAtArea(fast, b)
+		if okE && okF && we.Label == wf.Label {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(budgets))
+}
+
+// NewReport assembles the cross-workload document and its aggregate
+// gates.
+func NewReport(workloads []WorkloadAccuracy) Report {
+	r := Report{Format: AccuracyFormat, Workloads: workloads}
+	var errSum float64
+	var nCfg int
+	var agreeSum float64
+	var exactNS, fastNS int64
+	for _, wa := range workloads {
+		for _, c := range wa.Configs {
+			errSum += c.AbsTPIErr
+		}
+		nCfg += len(wa.Configs)
+		agreeSum += wa.WinnerAgreement
+		exactNS += wa.ExactWallNS
+		fastNS += wa.FastWallNS
+	}
+	if nCfg > 0 {
+		r.MeanAbsTPIErr = errSum / float64(nCfg)
+	}
+	if len(workloads) > 0 {
+		r.WinnerAgreement = agreeSum / float64(len(workloads))
+	}
+	if fastNS > 0 {
+		r.Speedup = float64(exactNS) / float64(fastNS)
+	}
+	return r
+}
+
+// WriteJSON renders the report as an indented document.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteTable renders the report as a human-readable summary table.
+func (r Report) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %8s %8s %8s %10s %10s\n",
+		"workload", "configs", "meanErr", "maxErr", "agreement", "speedup"); err != nil {
+		return err
+	}
+	for _, wa := range r.Workloads {
+		sp := "-"
+		if wa.FastWallNS > 0 {
+			sp = fmt.Sprintf("%.1fx", float64(wa.ExactWallNS)/float64(wa.FastWallNS))
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %8d %7.2f%% %7.2f%% %9.0f%% %10s\n",
+			wa.Workload, len(wa.Configs), 100*wa.MeanAbsTPIErr, 100*wa.MaxAbsTPIErr,
+			100*wa.WinnerAgreement, sp); err != nil {
+			return err
+		}
+	}
+	sp := "-"
+	if r.Speedup > 0 {
+		sp = fmt.Sprintf("%.1fx", r.Speedup)
+	}
+	_, err := fmt.Fprintf(w, "%-10s %8s %7.2f%% %8s %9.0f%% %10s\n",
+		"TOTAL", "", 100*r.MeanAbsTPIErr, "", 100*r.WinnerAgreement, sp)
+	return err
+}
+
+// Wall stamps measured sweep wall times onto a workload comparison.
+func (wa *WorkloadAccuracy) Wall(exact, fast time.Duration) {
+	wa.ExactWallNS = exact.Nanoseconds()
+	wa.FastWallNS = fast.Nanoseconds()
+}

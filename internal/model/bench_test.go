@@ -1,0 +1,57 @@
+package model
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"twolevel/internal/spec"
+	"twolevel/internal/sweep"
+)
+
+// BenchmarkProfilePass measures the one-pass histogram collection —
+// the fast tier's only per-workload cost, O(refs · log stack-depth).
+func BenchmarkProfilePass(b *testing.B) {
+	w, err := spec.ByName("gcc1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const refs = 200_000
+	opt := testOpt(refs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Collect(context.Background(), w, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(refs*b.N)/b.Elapsed().Seconds()/1e6, "Mrefs/s")
+}
+
+// BenchmarkModelPredict measures pricing one configuration from an
+// already-collected profile. This is the per-config cost of the fast
+// tier: bounded by the fixed bucket count, not trace length, so the
+// two sub-benchmarks should land within a small factor of each other
+// while the underlying traces differ by 8x.
+func BenchmarkModelPredict(b *testing.B) {
+	w, err := spec.ByName("gcc1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, refs := range []uint64{50_000, 400_000} {
+		opt := testOpt(refs)
+		prof, err := Collect(context.Background(), w, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgs := sweep.Configs(opt)
+		b.Run(fmt.Sprintf("refs%dk", refs/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := Predict(prof, cfgs[i%len(cfgs)], opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

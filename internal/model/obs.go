@@ -1,0 +1,23 @@
+package model
+
+// Instrument names the fast tier publishes. All instruments are
+// nil-safe: with no registry wired they degrade to no-ops.
+const (
+	// MetricPredictions counts analytical point predictions.
+	MetricPredictions = "model_predictions_total"
+	// MetricProfilePasses counts reuse-distance profile collections
+	// (cache hits do not count — only actual stream passes).
+	MetricProfilePasses = "model_profile_passes_total"
+	// MetricProfileRefs counts references folded into profiles.
+	MetricProfileRefs = "model_profile_refs_total"
+	// MetricAbsTPIError is a histogram of |predicted − exact| / exact
+	// TPI, observed wherever a fast point meets its exact refinement
+	// (the accuracy harness and the service's refine path).
+	MetricAbsTPIError = "model_abs_tpi_error"
+)
+
+// AbsTPIErrorBounds are the relative-error histogram bounds for
+// MetricAbsTPIError: 0.1% to 50%.
+func AbsTPIErrorBounds() []float64 {
+	return []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
+}

@@ -1,0 +1,316 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"twolevel/internal/cache"
+	"twolevel/internal/core"
+	"twolevel/internal/sweep"
+)
+
+// The associativity model. A fully-associative LRU cache of C lines
+// hits exactly the re-references with stack distance d ≤ C; a real
+// set-indexed cache misses some of those because lines that alias to
+// the same set evict each other. The classic probabilistic mapping
+// assumes intervening lines scatter over sets uniformly at random,
+// which badly overpredicts conflicts for the contiguous footprints
+// real address streams have: a contiguous region of F lines maps to S
+// sets round-robin, so each set holds about F/S lines of the footprint
+// and a line has a = max(0, F/S - 1) aliases — zero when the footprint
+// fits (F ≤ S·1 for a direct-mapped cache), which is why a 64KB DM
+// cache shows only cold misses for a 40KB workload where the uniform
+// model still predicts thousands of conflicts.
+//
+// missCurve therefore models, per stream, the probability that a
+// re-reference with stack distance d misses as a function of the
+// stream's measured footprint F (its distinct-line count):
+//
+//   - The d-1 distinct intervening lines are (approximately) a uniform
+//     draw from the footprint, so each of the line's a aliases was
+//     touched in the window with probability q = min(1, (d-1)/(F-1)).
+//   - Direct-mapped: any touched alias evicts the line (two same-set
+//     lines cannot coexist), so P_miss = 1 - (1-q)^a.
+//   - A-way LRU: the line is evicted once A distinct aliases are
+//     touched more recently, so P_miss = P[X ≥ A] with X ~ Poisson
+//     (λ = a·q), the scatter of the hypergeometric alias count.
+//   - A-way random/FIFO (the paper's policy): only a MISS to the set
+//     evicts, and it picks the line's way with probability 1/A, so the
+//     line survives each touched alias with (1 - μ/A), where μ — the
+//     probability a distinct intervening touch misses — is solved by
+//     fixed-point iteration over the stream's own histogram (misses
+//     depend on μ, μ is the miss rate the curve predicts).
+type geom struct {
+	lines, sets, assoc int
+	pol                cache.ReplacementPolicy
+}
+
+func cacheGeom(c cache.Config) geom {
+	return geom{lines: c.Lines(), sets: c.Sets(), assoc: c.Assoc, pol: c.Policy}
+}
+
+// aliasTouched returns q^: the expected fraction of the line's aliases
+// touched within a window of d-1 distinct intervening lines drawn from
+// a footprint of F lines.
+func aliasTouched(d float64, f uint64) float64 {
+	if f <= 1 {
+		return 0
+	}
+	q := (d - 1) / float64(f-1)
+	if q > 1 {
+		return 1
+	}
+	return q
+}
+
+// capacityFloor is a policy-independent lower bound on the miss
+// probability at stack distance d: at most `lines` of the d-1 distinct
+// intervening first-touches can hit (the cache cannot hold more), so
+// at least d-1-lines of them miss, and each miss evicts the referenced
+// line with probability ~1/lines.
+func capacityFloor(rep float64, lines int) float64 {
+	excess := rep - 1 - float64(lines)
+	if excess <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-excess/float64(lines))
+}
+
+// streamMisses returns the expected miss count of one stream on one
+// geometry: cold first-touches (which miss at every finite capacity)
+// plus the histograms folded through the policy's re-reference miss
+// model.
+func streamMisses(g geom, sp *StreamProfile) float64 {
+	miss := float64(sp.Cold)
+	f := sp.Cold // the stream's footprint in lines
+
+	if g.sets == 1 && g.pol == cache.LRU {
+		// Fully-associative LRU: exact step at the capacity.
+		for i, rep := range bucketReps {
+			if rep > float64(g.lines) {
+				miss += float64(sp.Counts[i])
+			}
+		}
+		return miss
+	}
+
+	a := float64(f)/float64(g.sets) - 1
+	switch {
+	case g.pol == cache.LRU && g.assoc > 1:
+		// Set-associative LRU: the line is evicted once A distinct
+		// aliases are touched more recently (alias hits promote too,
+		// so every touch counts). The touched-alias count over a
+		// window of d-1 distinct lines scatters around λ = a·q^.
+		if a <= 0 {
+			return miss
+		}
+		for i, rep := range bucketReps {
+			if rep <= 1 || sp.Counts[i] == 0 {
+				continue
+			}
+			lambda := a * aliasTouched(rep, f)
+			miss += float64(sp.Counts[i]) * (1 - poissonCDF(lambda, g.assoc-1))
+		}
+	case g.assoc == 1:
+		// Direct-mapped: two same-set lines cannot coexist, so ANY
+		// touch of an alias evicts the line — misses are exactly
+		// "some alias touched in the window". Contiguous footprints
+		// have a = F/S - 1 aliases per line (zero when the footprint
+		// fits: a 64KB cache holds a 40KB program conflict-free, which
+		// the uniform-scatter model misses badly). The capacity floor
+		// guards the a≈0 × huge-d corner.
+		for i, rep := range bucketReps {
+			if rep <= 1 || sp.Counts[i] == 0 {
+				continue
+			}
+			p := capacityFloor(rep, g.lines)
+			if a > 0 {
+				p = math.Max(p, 1-math.Pow(1-aliasTouched(rep, f), a))
+			}
+			miss += float64(sp.Counts[i]) * p
+		}
+	default:
+		// Random / FIFO replacement: an eviction happens only on a
+		// MISS (hits replace nothing), which picks the victim way
+		// uniformly. Eviction pressure therefore accumulates per
+		// intervening access that can miss — a TIME quantity, not a
+		// stack quantity — at rate μ·(1/lines) per distinct-line
+		// episode, where μ is the stream's per-episode miss rate on
+		// this very cache. Solve the StatCache-style fixed point over
+		// the reuse-time histogram:
+		//
+		//   P_miss(t) = 1 - exp(-μ·t/lines)
+		//   μ = [cold + Σ_t h(t)·P_miss(t)] / episodes
+		miss = statCacheMisses(g, sp)
+		// The stack histogram still bounds from below: re-references
+		// farther than the capacity mostly miss regardless of μ.
+		floor := float64(sp.Cold)
+		for i, rep := range bucketReps {
+			if sp.Counts[i] != 0 {
+				floor += float64(sp.Counts[i]) * capacityFloor(rep, g.lines)
+			}
+		}
+		miss = math.Max(miss, floor)
+		// Marginal-overload floor. When the footprint barely exceeds
+		// capacity the global eviction hazard predicts almost no churn,
+		// but the F - C excess lines necessarily evict on every arrival
+		// and simulation shows the induced re-misses track ~0.8 of the
+		// excess — concentrated in the overloaded sets the average
+		// hazard cannot see.
+		if f, reRefs := float64(sp.Cold), math.Max(float64(sp.Active)-float64(sp.Cold), 0); f > float64(g.lines) {
+			over := math.Min(0.8*(f-float64(g.lines)), reRefs)
+			miss = math.Max(miss, f+over)
+		}
+	}
+	return miss
+}
+
+// statCacheMisses solves the random-replacement fixed point over the
+// reuse-time histogram and returns the expected miss count.
+//
+// Not every miss evicts: a miss whose set still has an empty way fills
+// it. With the near-even set loads real footprints produce, the
+// footprint fills min(F, C) ways over the run, so only the misses
+// beyond that count exert eviction pressure. The credit is what makes
+// the model exact in the fits-comfortably regime (F ≤ C with every set
+// load below the associativity: misses collapse to the compulsory
+// ones, as simulation shows) and stops it overpredicting by the fill
+// transient when the footprint exceeds capacity.
+func statCacheMisses(g geom, sp *StreamProfile) float64 {
+	episodes := math.Max(float64(sp.Active), 1)
+	lines := float64(g.lines)
+	filled := math.Min(float64(sp.Cold), lines)
+	mu := math.Min(1, float64(sp.Cold)/episodes+0.1) // seed above the floor
+	var miss float64
+	for iter := 0; iter < 50; iter++ {
+		miss = float64(sp.Cold)
+		for i, rep := range bucketReps {
+			if sp.TimeCounts[i] == 0 || rep <= 1 {
+				continue
+			}
+			miss += float64(sp.TimeCounts[i]) * (1 - math.Exp(-mu*(rep-1)/lines))
+		}
+		next := math.Max(miss-filled, 0) / episodes // evicting misses only
+		if math.Abs(next-mu) < 1e-7 {
+			mu = next
+			break
+		}
+		mu = next
+	}
+	return miss
+}
+
+// poissonCDF returns P[X ≤ k] for X ~ Poisson(lambda).
+func poissonCDF(lambda float64, k int) float64 {
+	term := math.Exp(-lambda)
+	sum := term
+	for i := 1; i <= k; i++ {
+		term *= lambda / float64(i)
+		sum += term
+	}
+	return sum
+}
+
+// roundClamp rounds v to the nearest count in [0, limit].
+func roundClamp(v float64, limit uint64) uint64 {
+	if v <= 0 {
+		return 0
+	}
+	r := uint64(math.Round(v))
+	if r > limit {
+		return limit
+	}
+	return r
+}
+
+// PredictStats synthesizes the miss-count statistics of cfg from a
+// reuse-distance profile: split-stream histograms predict the L1I/L1D
+// miss counts, and the unified-stream histogram mapped through the L2
+// (or, for the exclusive policy, the combined on-chip capacity)
+// predicts on-chip hits, from which L2 hits are recovered by
+// subtracting the L1 hits. The returned Stats fills exactly the fields
+// the §2.5 TPI model reads (reference and miss counts per level);
+// traffic fields the model cannot see (write-backs, swaps) stay zero.
+func PredictStats(prof *Profile, cfg core.Config) core.Stats {
+	var st core.Stats
+	st.InstrRefs = prof.Instr.Refs
+	st.DataRefs = prof.Data.Refs
+	st.WriteRefs = prof.Data.Writes
+
+	l1iMiss := streamMisses(cacheGeom(cfg.L1I), &prof.Instr)
+	l1dMiss := streamMisses(cacheGeom(cfg.L1D), &prof.Data)
+
+	st.L1IMisses = roundClamp(l1iMiss, prof.Instr.Refs)
+	st.L1IHits = prof.Instr.Refs - st.L1IMisses
+	st.L1DMisses = roundClamp(l1dMiss, prof.Data.Refs)
+	st.L1DHits = prof.Data.Refs - st.L1DMisses
+
+	if !cfg.TwoLevel() {
+		st.OffChipFetches = st.L1Misses()
+		return st
+	}
+
+	// On-chip hit model over the unified stream. Conventional and
+	// inclusive hierarchies keep (approximately) the L2's content on
+	// chip, so the on-chip hit curve is the L2's own. The exclusive
+	// policy keeps L1 and L2 content disjoint: the chip behaves like a
+	// cache of the combined capacity at the L2's set count.
+	g := cacheGeom(cfg.L2)
+	switch cfg.Policy {
+	case core.Exclusive:
+		// L1 and L2 content are disjoint by construction: the chip
+		// holds the combined capacity.
+		g.lines += cfg.L1I.Lines() + cfg.L1D.Lines()
+		g.assoc = (g.lines + g.sets - 1) / g.sets
+	case core.Inclusive:
+		// L1 ⊆ L2 always: the L2 capacity IS the on-chip capacity.
+	default:
+		// Conventional: both levels allocate on fetch but evict
+		// independently, so an L1-resident line has often already been
+		// evicted from the L2 — about half the L1, empirically, holds
+		// lines the L2 no longer does.
+		g.lines += (cfg.L1I.Lines() + cfg.L1D.Lines()) / 2
+	}
+	onChipMiss := streamMisses(g, &prof.Unified)
+	onChipHits := float64(prof.Unified.Refs) - onChipMiss
+
+	probes := st.L1Misses()
+	l1Hits := st.L1IHits + st.L1DHits
+	l2Hits := onChipHits - float64(l1Hits)
+	st.L2Hits = roundClamp(l2Hits, probes)
+	st.L2Misses = probes - st.L2Hits
+	st.OffChipFetches = st.L2Misses
+	return st
+}
+
+// Predict prices one configuration analytically: predicted miss counts
+// from the profile, machine timing and area from sweep.PriceConfig (the
+// identical cost model the exact tier uses), TPI from the §2.5 model.
+// The returned point carries Evaluator == sweep.EvaluatorFast.
+func Predict(prof *Profile, cfg core.Config, opt sweep.Options) (sweep.Point, error) {
+	opt = opt.Defaulted()
+	if cfg.L1I.LineSize != prof.LineSize {
+		return sweep.Point{}, fmt.Errorf(
+			"model: profile line size %d != config line size %d",
+			prof.LineSize, cfg.L1I.LineSize)
+	}
+	m, totalArea, err := sweep.PriceConfig(cfg, opt)
+	if err != nil {
+		return sweep.Point{}, err
+	}
+	st := PredictStats(prof, cfg)
+	tpi, err := m.TimePerInstruction(st)
+	if err != nil {
+		return sweep.Point{}, fmt.Errorf("model: %w", err)
+	}
+	return sweep.Point{
+		Config:    cfg,
+		Label:     sweep.Label(cfg),
+		Workload:  prof.Workload,
+		Evaluator: sweep.EvaluatorFast,
+		AreaRbe:   totalArea,
+		TPINS:     tpi,
+		Machine:   m,
+		Stats:     st,
+	}, nil
+}

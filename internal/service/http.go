@@ -2,12 +2,17 @@ package service
 
 // This file is the HTTP JSON API over the Manager, served by cmd/served:
 //
-//	POST   /v1/jobs           submit a job (JSON body, see jobSpec)
+//	POST   /v1/jobs           submit a job (JSON body, see jobSpec;
+//	                          "mode":"fast" or ?mode=fast selects the
+//	                          two-tier fast serving path)
 //	GET    /v1/jobs           list job statuses
 //	GET    /v1/jobs/{id}      one job's status
 //	GET    /v1/jobs/{id}/result  completed points as a twolevel-sweep/1
 //	                          document (sweep.SaveJSON; 202 + status
-//	                          while the job is still running)
+//	                          while the job is still running — except
+//	                          fast jobs, which answer 200 immediately
+//	                          with exact points merged with approximate
+//	                          stand-ins flagged "approx": true)
 //	GET    /v1/jobs/{id}/trace   the job's span tree as Chrome
 //	                          trace_event JSON, loadable in Perfetto
 //	                          (202 + status while the job is running)
@@ -50,6 +55,10 @@ type jobSpec struct {
 	// expands to every workload.
 	Workloads []string    `json:"workloads"`
 	Options   optionsSpec `json:"options"`
+	// Mode selects the serving tier: "exact" (default) or "fast" for
+	// instant approximate points refined by background simulation. The
+	// ?mode= query overrides it.
+	Mode string `json:"mode,omitempty"`
 }
 
 // optionsSpec is the wire form of the sweep option fields a client may
@@ -190,7 +199,11 @@ func NewHandler(m *Manager) http.Handler {
 		if len(names) == 1 && names[0] == "all" {
 			names = workloadNames()
 		}
-		j, err := m.Submit(JobRequest{Workloads: names, Options: opt, Timeout: timeout})
+		mode := spec.Mode
+		if q := r.URL.Query().Get("mode"); q != "" {
+			mode = q
+		}
+		j, err := m.Submit(JobRequest{Workloads: names, Options: opt, Mode: mode, Timeout: timeout})
 		switch {
 		case errors.Is(err, ErrOverloaded):
 			// The hint scales with queue depth and carries a
@@ -233,6 +246,19 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		st := j.Status()
 		if !st.State.Terminal() {
+			if st.Mode == ModeFast {
+				// A running fast job already has an answer: the exact
+				// points so far merged with the model's approximate
+				// stand-ins (flagged "approx": true), served 200 so
+				// clients need not special-case the two-tier window. The
+				// document converges to the exact-only one as refinement
+				// proceeds.
+				w.Header().Set("Content-Type", "application/json")
+				if err := sweep.SaveJSON(w, j.PointsWithApprox()); err != nil {
+					httpError(w, http.StatusInternalServerError, err)
+				}
+				return
+			}
 			// Still running: answer with the status so clients can poll
 			// the same URL to completion.
 			writeJSON(w, http.StatusAccepted, st)
@@ -288,7 +314,10 @@ func NewHandler(m *Manager) http.Handler {
 				return
 			}
 			resp.Job = id
-			points = j.Points()
+			// Approximate stand-ins let a running fast job answer the
+			// budget question instantly; for exact jobs this is just the
+			// completed subset.
+			points = j.PointsWithApprox()
 			if workload != "" {
 				points = sweep.Filter(points, func(p sweep.Point) bool { return p.Workload == workload })
 			}

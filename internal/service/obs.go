@@ -7,7 +7,10 @@ package service
 // with Config.Metrics and Config.Events unset the instruments are nil
 // no-ops.
 
-import "twolevel/internal/obs"
+import (
+	"twolevel/internal/model"
+	"twolevel/internal/obs"
+)
 
 // Metric names the Manager maintains on Config.Metrics.
 const (
@@ -40,6 +43,12 @@ const (
 	MetricTasksDone = "service_tasks_done_total"
 	// MetricTasksFailed counts evaluations that failed permanently.
 	MetricTasksFailed = "service_tasks_failed_total"
+	// MetricTasksPredicted counts approximate points produced by the
+	// fast tier's analytical predictors (fast.go).
+	MetricTasksPredicted = "service_tasks_predicted_total"
+	// MetricTasksRefined counts approximate points replaced by their
+	// exact evaluation (the fast→exact handoff).
+	MetricTasksRefined = "service_tasks_refined_total"
 	// MetricQueueDepth gauges evaluations queued but not yet picked up by
 	// a worker.
 	MetricQueueDepth = "service_queue_depth"
@@ -76,23 +85,30 @@ const (
 	EventTaskCoalesced = "task_coalesced"
 	EventTaskDone      = "task_done"
 	EventTaskError     = "task_error"
+	EventTaskPredicted = "task_predicted"
+	EventTaskRefined   = "task_refined"
 )
 
 // svcMetrics is the instrument bundle the manager updates. Instruments
 // are resolved once at construction so the per-task path stays at plain
 // atomic updates.
 type svcMetrics struct {
-	jobsSubmitted *obs.Counter
-	jobsDone      *obs.Counter
-	jobsFailed    *obs.Counter
-	jobsCancelled *obs.Counter
-	jobsShed      *obs.Counter
-	jobsExpired   *obs.Counter
-	storeHits     *obs.Counter
-	storeMisses   *obs.Counter
-	coalesced     *obs.Counter
-	tasksDone     *obs.Counter
-	tasksFailed   *obs.Counter
+	jobsSubmitted  *obs.Counter
+	jobsDone       *obs.Counter
+	jobsFailed     *obs.Counter
+	jobsCancelled  *obs.Counter
+	jobsShed       *obs.Counter
+	jobsExpired    *obs.Counter
+	storeHits      *obs.Counter
+	storeMisses    *obs.Counter
+	coalesced      *obs.Counter
+	tasksDone      *obs.Counter
+	tasksFailed    *obs.Counter
+	tasksPredicted *obs.Counter
+	tasksRefined   *obs.Counter
+	// absTPIErr is the model-accuracy histogram (model.MetricAbsTPIError)
+	// observed at every fast→exact refinement.
+	absTPIErr     *obs.Histogram
 	queueDepth    *obs.Gauge
 	jobsActive    *obs.Gauge
 	workers       *obs.Gauge
@@ -106,23 +122,26 @@ type svcMetrics struct {
 // registry).
 func newSvcMetrics(r *obs.Registry) *svcMetrics {
 	return &svcMetrics{
-		jobsSubmitted: r.Counter(MetricJobsSubmitted),
-		jobsDone:      r.Counter(MetricJobsDone),
-		jobsFailed:    r.Counter(MetricJobsFailed),
-		jobsCancelled: r.Counter(MetricJobsCancelled),
-		jobsShed:      r.Counter(MetricJobsShed),
-		jobsExpired:   r.Counter(MetricJobsExpired),
-		storeHits:     r.Counter(MetricStoreHits),
-		storeMisses:   r.Counter(MetricStoreMisses),
-		coalesced:     r.Counter(MetricTasksCoalesced),
-		tasksDone:     r.Counter(MetricTasksDone),
-		tasksFailed:   r.Counter(MetricTasksFailed),
-		queueDepth:    r.Gauge(MetricQueueDepth),
-		jobsActive:    r.Gauge(MetricJobsActive),
-		workers:       r.Gauge(MetricWorkers),
-		storeSize:     r.Gauge(MetricStoreSize),
-		ready:         r.Gauge(MetricReady),
-		storePoisoned: r.Gauge(MetricStorePoisoned),
+		jobsSubmitted:  r.Counter(MetricJobsSubmitted),
+		jobsDone:       r.Counter(MetricJobsDone),
+		jobsFailed:     r.Counter(MetricJobsFailed),
+		jobsCancelled:  r.Counter(MetricJobsCancelled),
+		jobsShed:       r.Counter(MetricJobsShed),
+		jobsExpired:    r.Counter(MetricJobsExpired),
+		storeHits:      r.Counter(MetricStoreHits),
+		storeMisses:    r.Counter(MetricStoreMisses),
+		coalesced:      r.Counter(MetricTasksCoalesced),
+		tasksDone:      r.Counter(MetricTasksDone),
+		tasksFailed:    r.Counter(MetricTasksFailed),
+		tasksPredicted: r.Counter(MetricTasksPredicted),
+		tasksRefined:   r.Counter(MetricTasksRefined),
+		absTPIErr:      r.Histogram(model.MetricAbsTPIError, model.AbsTPIErrorBounds()),
+		queueDepth:     r.Gauge(MetricQueueDepth),
+		jobsActive:     r.Gauge(MetricJobsActive),
+		workers:        r.Gauge(MetricWorkers),
+		storeSize:      r.Gauge(MetricStoreSize),
+		ready:          r.Gauge(MetricReady),
+		storePoisoned:  r.Gauge(MetricStorePoisoned),
 		// Jobs run from milliseconds (fully cached) to hours.
 		jobSeconds: r.Histogram(MetricJobSeconds, obs.ExpBuckets(0.001, 2, 24)),
 	}

@@ -32,6 +32,7 @@ import (
 
 	"twolevel/internal/chaos"
 	"twolevel/internal/core"
+	"twolevel/internal/model"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
 	"twolevel/internal/spec"
@@ -110,6 +111,11 @@ type JobRequest struct {
 	// runtime plumbing fields (Progress, Checkpoint, Resume, Metrics,
 	// Events, Workers) are owned by the manager and ignored here.
 	Options sweep.Options
+	// Mode selects the serving tier: ModeExact (or "", the default)
+	// simulates only; ModeFast additionally serves instant approximate
+	// points from the analytical model, refined in the background by the
+	// exact evaluations (see fast.go).
+	Mode string
 	// Timeout, when positive, is the job's whole-lifetime deadline: a
 	// job still running when it expires moves to StateDeadlineExceeded
 	// with whatever points completed. Clamped by Config.MaxTimeout.
@@ -140,6 +146,10 @@ type Manager struct {
 	reg    *obs.Registry
 	tracer *span.Tracer
 	chaos  *chaos.Injector
+	// profiles is the shared reuse-distance profile cache of the fast
+	// tier: every fast job's predictor draws on it, so each workload is
+	// profiled at most once per option fingerprint across all jobs.
+	profiles *model.Cache
 
 	maxActive  int
 	maxQueue   int
@@ -166,6 +176,9 @@ type Manager struct {
 
 	workers    sync.WaitGroup
 	activeJobs sync.WaitGroup
+	// predictors tracks fast-tier predictor goroutines (one per fast
+	// job); Shutdown waits for them after the jobs drain.
+	predictors sync.WaitGroup
 }
 
 // task is one (workload, configuration) evaluation wanted by one or
@@ -251,6 +264,7 @@ func New(cfg Config) *Manager {
 		maxTimeout: cfg.MaxTimeout,
 		maxBody:    cfg.MaxBodyBytes,
 		workersN:   cfg.Workers,
+		profiles:   model.NewCache(),
 		inflight:   make(map[string]*task),
 		jobs:       make(map[string]*Job),
 	}
@@ -360,6 +374,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	if m.maxTimeout > 0 && (timeout <= 0 || timeout > m.maxTimeout) {
 		timeout = m.maxTimeout
 	}
+	mode := req.Mode
+	switch mode {
+	case "", ModeExact:
+		mode = ModeExact
+	case ModeFast:
+	default:
+		return nil, fmt.Errorf("service: unknown mode %q (want %q or %q)", req.Mode, ModeExact, ModeFast)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -378,16 +400,19 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		m:           m,
 		workloads:   append([]string(nil), req.Workloads...),
 		fingerprint: opt.Fingerprint(),
+		mode:        mode,
 		created:     time.Now(),
 		state:       StateRunning,
 		total:       len(ws) * len(cfgs),
 		doneCh:      make(chan struct{}),
 		evalSpans:   make(map[*task]*span.Span),
+		approx:      make(map[string]sweep.Point),
 	}
 	j.root = m.tracer.Start(nil, "job",
 		span.Attr{Key: "id", Value: j.id},
 		span.Attr{Key: "workloads", Value: strings.Join(j.workloads, ",")},
-		span.Attr{Key: "fingerprint", Value: j.fingerprint})
+		span.Attr{Key: "fingerprint", Value: j.fingerprint},
+		span.Attr{Key: "mode", Value: mode})
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.activeJobs.Add(1)
@@ -400,6 +425,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	})
 
 	var enqueued int
+	var fastWork []fastItem
 	for _, w := range ws {
 		eval := sweep.NewEvaluator(w, opt)
 		for _, cfg := range cfgs {
@@ -430,6 +456,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 				j.pending++
 				j.coalesced++
 				j.tasks = append(j.tasks, t)
+				if mode == ModeFast {
+					fastWork = append(fastWork, fastItem{t: t, w: w})
+				}
 				m.met.coalesced.Inc()
 				m.events.Emit(obs.Event{
 					Type: EventTaskCoalesced, Job: j.id,
@@ -444,6 +473,9 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 			m.queue = append(m.queue, t)
 			j.pending++
 			j.tasks = append(j.tasks, t)
+			if mode == ModeFast {
+				fastWork = append(fastWork, fastItem{t: t, w: w})
+			}
 			enqueued++
 		}
 	}
@@ -456,10 +488,26 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		j.mu.Lock()
 		j.finalizeLocked()
 		j.mu.Unlock()
-	} else if timeout > 0 {
+		return j, nil
+	}
+	if timeout > 0 {
 		j.mu.Lock()
 		j.expireTimer = time.AfterFunc(timeout, j.expire)
 		j.mu.Unlock()
+	}
+	if len(fastWork) > 0 {
+		// The predictor covers every evaluation not satisfied by the
+		// store; its context dies with the job (closeLocked).
+		pctx, cancel := context.WithCancel(context.Background())
+		j.mu.Lock()
+		if j.state.Terminal() {
+			cancel() // the deadline already fired; don't start dead work
+		} else {
+			j.predictCancel = cancel
+		}
+		j.mu.Unlock()
+		m.predictors.Add(1)
+		go j.predictFast(pctx, fastWork, opt)
 	}
 	return j, nil
 }
@@ -560,6 +608,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	m.workers.Wait()
+	// Every job is terminal, so every predictor context is cancelled;
+	// wait for the goroutines to notice and exit.
+	m.predictors.Wait()
 	return err
 }
 
@@ -577,6 +628,7 @@ type Job struct {
 	m           *Manager
 	workloads   []string
 	fingerprint string
+	mode        string
 	created     time.Time
 
 	// root is the job's trace span; evalSpans holds the open "evaluate"
@@ -596,8 +648,13 @@ type Job struct {
 	errs      []string
 	tasks     []*task
 	evalSpans map[*task]*span.Span
-	finished  time.Time
-	doneCh    chan struct{}
+	// approx holds the fast tier's approximate stand-ins, keyed by task
+	// key; each exact delivery refines (removes) its entry, and the
+	// terminal transition clears the rest (see fast.go).
+	approx        map[string]sweep.Point
+	predictCancel context.CancelFunc
+	finished      time.Time
+	doneCh        chan struct{}
 	// expireTimer enforces the job's deadline; stopped at any terminal
 	// transition so expired timers never outlive their job.
 	expireTimer *time.Timer
@@ -621,6 +678,7 @@ func (j *Job) deliver(t *task, p sweep.Point, err error) {
 		} else {
 			es.Annotate("outcome", "ok")
 		}
+		j.refineLocked(t, es, p, err)
 		es.End()
 		delete(j.evalSpans, t)
 	}
@@ -699,6 +757,13 @@ func (j *Job) closeLocked(event string) {
 	if j.expireTimer != nil {
 		j.expireTimer.Stop()
 	}
+	if j.predictCancel != nil {
+		j.predictCancel()
+		j.predictCancel = nil
+	}
+	// Approximations die with the job: terminal result documents are
+	// exact-only on every path (done, failed, cancelled, expired).
+	clear(j.approx)
 	// Evaluations still open (cancellation, shutdown) end with the job,
 	// marked with the state that cut them off.
 	for t, es := range j.evalSpans {
@@ -757,19 +822,25 @@ func (j *Job) Points() []sweep.Point {
 
 // Status is a point-in-time JSON-ready snapshot of a job.
 type Status struct {
-	ID          string     `json:"id"`
-	State       State      `json:"state"`
-	Workloads   []string   `json:"workloads"`
-	Fingerprint string     `json:"fingerprint"`
-	Total       int        `json:"total"`
-	Done        int        `json:"done"`
-	Cached      int        `json:"cached"`
-	Coalesced   int        `json:"coalesced,omitempty"`
-	Failed      int        `json:"failed,omitempty"`
-	Pending     int        `json:"pending"`
-	Created     time.Time  `json:"created"`
-	Finished    *time.Time `json:"finished,omitempty"`
-	Errors      []string   `json:"errors,omitempty"`
+	ID          string   `json:"id"`
+	State       State    `json:"state"`
+	Workloads   []string `json:"workloads"`
+	Fingerprint string   `json:"fingerprint"`
+	// Mode is the serving tier: "exact" or "fast".
+	Mode  string `json:"mode"`
+	Total int    `json:"total"`
+	Done  int    `json:"done"`
+	// Approx counts the fast tier's approximate points currently
+	// standing in for pending evaluations (always 0 for exact jobs and
+	// for terminal jobs).
+	Approx    int        `json:"approx,omitempty"`
+	Cached    int        `json:"cached"`
+	Coalesced int        `json:"coalesced,omitempty"`
+	Failed    int        `json:"failed,omitempty"`
+	Pending   int        `json:"pending"`
+	Created   time.Time  `json:"created"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Errors    []string   `json:"errors,omitempty"`
 }
 
 // Status snapshots the job.
@@ -781,8 +852,10 @@ func (j *Job) Status() Status {
 		State:       j.state,
 		Workloads:   append([]string(nil), j.workloads...),
 		Fingerprint: j.fingerprint,
+		Mode:        j.mode,
 		Total:       j.total,
 		Done:        j.done,
+		Approx:      len(j.approx),
 		Cached:      j.cached,
 		Coalesced:   j.coalesced,
 		Failed:      j.failed,

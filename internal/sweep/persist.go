@@ -15,6 +15,8 @@ import (
 type persistedPoint struct {
 	Label     string     `json:"label"`
 	Workload  string     `json:"workload,omitempty"`
+	Evaluator string     `json:"evaluator"`
+	Approx    bool       `json:"approx,omitempty"`
 	L1KB      int64      `json:"l1_kb"`
 	L2KB      int64      `json:"l2_kb"`
 	L2Assoc   int        `json:"l2_assoc,omitempty"`
@@ -36,14 +38,23 @@ type persistedSweep struct {
 
 // persistFormat identifies the JSON schema version. The optional
 // per-point "workload" field was added compatibly within version 1:
-// documents written before it load with empty workloads.
+// documents written before it load with empty workloads. The
+// "evaluator" field ("exact" | "fast", plus "approx": true on fast
+// points) was likewise added compatibly: documents written before it
+// load as exact, which is what they were.
 const persistFormat = "twolevel-sweep/1"
 
 // pointToPersisted flattens a Point into its stable JSON shape.
 func pointToPersisted(p Point) persistedPoint {
+	ev := p.Evaluator
+	if ev == "" {
+		ev = EvaluatorExact
+	}
 	pp := persistedPoint{
 		Label:     p.Label,
 		Workload:  p.Workload,
+		Evaluator: ev,
+		Approx:    ev == EvaluatorFast,
 		L1KB:      p.Config.L1I.Size >> 10,
 		AreaRbe:   p.AreaRbe,
 		TPINS:     p.TPINS,
@@ -83,12 +94,21 @@ func pointFromPersisted(pp persistedPoint) (Point, error) {
 	case pp.L2KB < 0:
 		return Point{}, fmt.Errorf("bad L2 size %d", pp.L2KB)
 	}
+	ev := pp.Evaluator
+	switch ev {
+	case "", EvaluatorExact:
+		ev = EvaluatorExact
+	case EvaluatorFast:
+	default:
+		return Point{}, fmt.Errorf("bad evaluator %q", pp.Evaluator)
+	}
 	p := Point{
-		Label:    pp.Label,
-		Workload: pp.Workload,
-		AreaRbe:  pp.AreaRbe,
-		TPINS:    pp.TPINS,
-		Stats:    pp.Stats,
+		Label:     pp.Label,
+		Workload:  pp.Workload,
+		Evaluator: ev,
+		AreaRbe:   pp.AreaRbe,
+		TPINS:     pp.TPINS,
+		Stats:     pp.Stats,
 	}
 	p.Machine.L1CycleNS = pp.L1Cycle
 	p.Machine.L2CycleNS = pp.L2Cycle

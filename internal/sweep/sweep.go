@@ -136,6 +136,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Defaulted returns the options with every unset field replaced by its
+// default (the paper's parameters), exactly as Run/RunContext/Evaluate
+// default them internally. Consumers that must agree with the sweep on
+// effective parameters — internal/model keys reuse-distance profiles by
+// the defaulted Refs and LineSize — normalize through it.
+func (o Options) Defaulted() Options { return o.withDefaults() }
+
 // Fingerprint renders the result-determining option fields as a stable
 // string. Two sweeps with equal fingerprints over the same workload
 // evaluate identical configurations to identical points, so the
@@ -168,6 +175,17 @@ func PaperL2Sizes(l1 int64) []int64 {
 	return s
 }
 
+// Evaluator-tier names carried by Point.Evaluator and the persisted
+// "evaluator" field. The empty string is equivalent to EvaluatorExact.
+const (
+	// EvaluatorExact marks a point produced by trace simulation.
+	EvaluatorExact = "exact"
+	// EvaluatorFast marks an approximate point produced by
+	// internal/model's analytical reuse-distance predictor. Fast points
+	// never enter checkpoint journals or memoized result stores.
+	EvaluatorFast = "fast"
+)
+
 // Point is one evaluated configuration.
 type Point struct {
 	// Config is the simulated hierarchy.
@@ -177,6 +195,10 @@ type Point struct {
 	// Workload names the workload the point was evaluated under (empty
 	// for points priced outside Run/RunContext/Evaluate).
 	Workload string
+	// Evaluator names the evaluation tier that produced the point:
+	// EvaluatorExact (or "", the zero value) for trace simulation,
+	// EvaluatorFast for the analytical model. Approx reports it.
+	Evaluator string
 	// AreaRbe is the total on-chip cache area in register-bit
 	// equivalents.
 	AreaRbe float64
@@ -190,6 +212,10 @@ type Point struct {
 
 // TwoLevel reports whether the point has a second-level cache.
 func (p Point) TwoLevel() bool { return p.Config.TwoLevel() }
+
+// Approx reports whether the point is an analytical approximation
+// (Evaluator == EvaluatorFast) rather than a simulated result.
+func (p Point) Approx() bool { return p.Evaluator == EvaluatorFast }
 
 // String renders a point like "8:64  area=812345  tpi=4.31".
 func (p Point) String() string {
@@ -250,11 +276,16 @@ func Evaluate(w spec.Workload, cfg core.Config, opt Options) Point {
 	return p
 }
 
-// evaluateStream simulates cfg over an explicit reference stream and
-// prices the configuration, honoring ctx cancellation mid-simulation.
-func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt Options) (Point, error) {
+// PriceConfig runs cfg through the timing and area models and returns
+// the §2.5 machine description plus the total on-chip cache area in
+// rbe — the cost-model half of an evaluation, without any simulation.
+// It is shared by the exact simulator path (Evaluate/RunContext) and
+// internal/model's analytical fast path, so the two evaluation tiers
+// can never disagree on what a configuration costs.
+func PriceConfig(cfg core.Config, opt Options) (perf.Machine, float64, error) {
+	opt = opt.withDefaults()
 	if err := cfg.Validate(); err != nil {
-		return Point{}, err
+		return perf.Machine{}, 0, err
 	}
 	ports := 1
 	issue := 1
@@ -268,7 +299,7 @@ func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt O
 	}
 	l1t, err := timing.TryOptimal(opt.Tech, l1p)
 	if err != nil {
-		return Point{}, err
+		return perf.Machine{}, 0, err
 	}
 	totalArea := 2 * area.Cache(l1p, l1t.Org) // split I and D caches
 
@@ -284,12 +315,22 @@ func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt O
 		}
 		l2t, err := timing.TryOptimal(opt.Tech, l2p)
 		if err != nil {
-			return Point{}, err
+			return perf.Machine{}, 0, err
 		}
 		m.L2CycleNS = l2t.CycleTime
 		totalArea += area.Cache(l2p, l2t.Org)
 	}
 	if err := m.Validate(); err != nil {
+		return perf.Machine{}, 0, err
+	}
+	return m, totalArea, nil
+}
+
+// evaluateStream simulates cfg over an explicit reference stream and
+// prices the configuration, honoring ctx cancellation mid-simulation.
+func evaluateStream(ctx context.Context, st trace.Stream, cfg core.Config, opt Options) (Point, error) {
+	m, totalArea, err := PriceConfig(cfg, opt)
+	if err != nil {
 		return Point{}, err
 	}
 

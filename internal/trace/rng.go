@@ -1,0 +1,35 @@
+package trace
+
+// xorshift64 is a small deterministic PRNG (Marsaglia xorshift*), used so
+// traces are reproducible across runs and platforms without pulling in
+// math/rand ordering guarantees.
+type xorshift64 struct{ state uint64 }
+
+// newXorshift seeds the generator; a zero seed is remapped to a fixed
+// non-zero constant since the xorshift state must never be zero.
+func newXorshift(seed uint64) *xorshift64 {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &xorshift64{state: seed}
+}
+
+// next returns the next 64-bit value.
+func (x *xorshift64) next() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// float64 returns a uniform value in [0, 1).
+func (x *xorshift64) float64() float64 {
+	return float64(x.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n).
+func (x *xorshift64) intn(n int) int {
+	return int(x.next() % uint64(n))
+}

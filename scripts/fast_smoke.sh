@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# fast_smoke.sh gates the analytical fast tier's accuracy end to end:
+# cmd/sweep -fast -accuracy runs BOTH tiers over every workload at the
+# full default trace length and must produce a twolevel-model-accuracy/1
+# document whose aggregate mean |TPI error| is <= 5% and whose envelope
+# winner agreement is >= 90%.
+#
+# The gates are computed from the JSON document at full precision —
+# never from the human table, which rounds agreement to whole percent
+# (89.5% prints as "90%" there and must still fail here).
+#
+# Requires: go, jq. Run via `make fast-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() {
+	echo "fast-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+DOC="$TMP/accuracy.json"
+go run ./cmd/sweep -workload all -accuracy -o "$DOC" \
+	|| fail "cmd/sweep -accuracy"
+
+jq -e '
+	(.format == "twolevel-model-accuracy/1")
+	and (.workloads | length == 7)
+	and ([.workloads[] | select(.configs <= 0)] | length == 0)
+' <"$DOC" >/dev/null || { cat "$DOC" >&2; fail "malformed accuracy document"; }
+
+ERR="$(jq -r '.mean_abs_tpi_err' <"$DOC")"
+AGREE="$(jq -r '.winner_agreement' <"$DOC")"
+SPEEDUP="$(jq -r '.speedup' <"$DOC")"
+echo "fast-smoke: mean |TPI error| $ERR, winner agreement $AGREE, speedup ${SPEEDUP}x"
+
+jq -e '.mean_abs_tpi_err <= 0.05' <"$DOC" >/dev/null \
+	|| fail "mean |TPI error| $ERR exceeds the 5% gate"
+jq -e '.winner_agreement >= 0.90' <"$DOC" >/dev/null \
+	|| fail "winner agreement $AGREE below the 90% gate"
+
+echo "fast-smoke: PASS"

@@ -41,6 +41,7 @@ import (
 	"twolevel/internal/cluster"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
+	"twolevel/internal/model"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
 	"twolevel/internal/perf"
@@ -436,6 +437,72 @@ type SweepEvaluator = sweep.Evaluator
 // NewSweepEvaluator prepares an evaluator for one workload.
 func NewSweepEvaluator(w Workload, opt SweepOptions) *SweepEvaluator {
 	return sweep.NewEvaluator(w, opt)
+}
+
+// ---- Analytical fast tier ----
+
+// ReuseProfile is a workload's serializable twolevel-rdh/1
+// reuse-distance profile: exact LRU stack-distance and reuse-time
+// histograms for the instruction, data, and unified streams, collected
+// in one pass and sufficient to predict miss ratios for any cache
+// geometry without re-touching the trace.
+type ReuseProfile = model.Profile
+
+// CollectReuseProfile runs the one-pass profile collection for a
+// workload (only the result-determining options matter: Refs,
+// LineSize).
+func CollectReuseProfile(ctx context.Context, w Workload, opt SweepOptions) (*ReuseProfile, error) {
+	return model.Collect(ctx, w, opt)
+}
+
+// LoadReuseProfile reads and validates a twolevel-rdh/1 document.
+func LoadReuseProfile(r io.Reader) (*ReuseProfile, error) { return model.LoadProfile(r) }
+
+// ReuseProfileCache memoizes collected profiles by workload/options
+// fingerprint; share one across FastEvaluators to profile each
+// workload at most once.
+type ReuseProfileCache = model.Cache
+
+// NewReuseProfileCache builds an empty profile cache.
+func NewReuseProfileCache() *ReuseProfileCache { return model.NewCache() }
+
+// FastEvaluator is the analytical fast tier behind the same contract
+// as SweepEvaluator: it predicts points from a ReuseProfile instead of
+// simulating, trading ~1-2% TPI error for an order-of-magnitude
+// speedup. Predicted points carry Evaluator "fast" and persist with
+// "approx": true.
+type FastEvaluator = model.Evaluator
+
+// NewFastEvaluator prepares a fast evaluator for one workload.
+func NewFastEvaluator(w Workload, opt SweepOptions) *FastEvaluator {
+	return model.NewEvaluator(w, opt)
+}
+
+// FastSweepContext is the analytical mirror of SweepContext: one
+// profile pass, then one O(buckets) prediction per configuration.
+func FastSweepContext(ctx context.Context, w Workload, opt SweepOptions) ([]Point, error) {
+	return model.RunContext(ctx, w, opt)
+}
+
+// ModelAccuracyReport is the twolevel-model-accuracy/1 document
+// comparing fast predictions against exact simulation (cmd/sweep
+// -accuracy).
+type ModelAccuracyReport = model.Report
+
+// ModelWorkloadAccuracy is one workload's fast-vs-exact comparison
+// inside a ModelAccuracyReport.
+type ModelWorkloadAccuracy = model.WorkloadAccuracy
+
+// CompareModelAccuracy evaluates one workload's fast points against
+// exact simulation of the same sweep (errHist may be nil).
+func CompareModelAccuracy(workload string, exact, fast []Point, errHist *obs.Histogram) (ModelWorkloadAccuracy, error) {
+	return model.Compare(workload, exact, fast, errHist)
+}
+
+// NewModelAccuracyReport assembles per-workload comparisons into the
+// cross-workload document with its aggregate accuracy gates.
+func NewModelAccuracyReport(workloads []ModelWorkloadAccuracy) ModelAccuracyReport {
+	return model.NewReport(workloads)
 }
 
 // ---- Job service ----
