@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke explain-smoke chaos-smoke cluster-smoke fast-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke loadgen-smoke explain-smoke chaos-smoke cluster-smoke fast-smoke ci clean
 
 all: build
 
@@ -36,6 +36,13 @@ staticcheck:
 # result-store hit on resubmission. Requires curl and jq.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# loadgen-smoke closes the serving-observatory loop: boots cmd/served
+# with the durable store and hot LRU tier, replays a deterministic
+# mixed workload with cmd/loadgen, and asserts the twolevel-loadgen/1
+# report passes its SLOs with hot-tier hits and SSE-derived timings.
+loadgen-smoke:
+	bash scripts/loadgen_smoke.sh
 
 # chaos-smoke proves crash safety and admission control from outside
 # the process: kill -9 + restart with byte-identical results served

@@ -11,6 +11,9 @@
 //	                             413 for oversized bodies)
 //	GET    /v1/jobs[/{id}]       job statuses
 //	GET    /v1/jobs/{id}/result  completed points (twolevel-sweep/1 JSON)
+//	GET    /v1/jobs/{id}/events  live progress over Server-Sent Events
+//	                             (snapshot, per-task events, terminal
+//	                             state; -sse-heartbeat sets the keepalive)
 //	GET    /v1/jobs/{id}/trace   span tree (Chrome trace_event JSON)
 //	DELETE /v1/jobs/{id}         cancel a job
 //	GET    /v1/envelope          ?area=<rbe>[&workload=][&job=] budget query
@@ -26,7 +29,10 @@
 // With -store-dir the result store is durable: completed points are
 // journaled to crash-safe segment files and replayed at boot, so a
 // kill -9 and restart serves previously computed results byte-for-byte
-// without re-simulating them.
+// without re-simulating them. -hot-cache N layers a bounded in-memory
+// LRU tier over the durable store (store_hot_* metrics report its hit
+// rate) — the repo's own two-level hierarchy, applied to its serving
+// plane.
 //
 // -role selects the node's place in a cluster (see internal/cluster):
 //
@@ -87,6 +93,8 @@ func run() int {
 		workers    = flag.Int("workers", 0, "evaluation worker-pool size, or lease-loop concurrency for -role worker (0 = GOMAXPROCS)")
 		storeCap   = flag.Int("store-cap", 0, "maximum memoized points for the in-memory store (0 = unbounded)")
 		storeDir   = flag.String("store-dir", "", "durable result-store directory (replayed at boot; empty = in-memory only)")
+		hotCache   = flag.Int("hot-cache", 0, "hot in-memory LRU tier over the durable store, in points (requires -store-dir; 0 = off)")
+		sseHB      = flag.Duration("sse-heartbeat", 0, "keepalive interval of GET /v1/jobs/{id}/events streams (0 = 15s)")
 		drainTime  = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM; expiry cancels jobs and exits nonzero")
 		maxActive  = flag.Int("max-active-jobs", 0, "refuse submissions (429) over this many unfinished jobs (0 = unlimited)")
 		maxQueue   = flag.Int("max-queue", 0, "refuse submissions (429) while this many evaluations are queued (0 = unlimited)")
@@ -125,6 +133,7 @@ func run() int {
 	}
 
 	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
 	var elog *obs.EventLog
 	if *eventsOut != "" {
 		var err error
@@ -152,6 +161,13 @@ func run() int {
 	} else {
 		store = service.NewStore(*storeCap)
 	}
+	if *hotCache > 0 {
+		if disk == nil {
+			return fail(fmt.Errorf("-hot-cache needs a durable store to sit over; set -store-dir (the in-memory store is already its own hot tier)"))
+		}
+		store = service.NewHotStore(store, *hotCache, reg)
+		fmt.Fprintf(os.Stderr, "served: hot tier enabled (%d points, LRU) over %s\n", *hotCache, *storeDir)
+	}
 
 	// The manager traces every job regardless (GET /v1/jobs/{id}/trace
 	// serves per-job subtrees live); -trace additionally persists the
@@ -168,6 +184,7 @@ func run() int {
 		MaxQueue:          *maxQueue,
 		MaxTimeout:        *maxTimeout,
 		MaxBodyBytes:      *maxBody,
+		StreamHeartbeat:   *sseHB,
 	})
 
 	// One mux serves the job API and the observability endpoints; the
@@ -281,6 +298,7 @@ func runWorker(o workerOpts) int {
 		return fail(fmt.Errorf("-role worker requires -coordinator URL"))
 	}
 	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
 	var elog *obs.EventLog
 	if o.eventsOut != "" {
 		var err error

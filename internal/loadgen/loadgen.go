@@ -1,0 +1,539 @@
+// Package loadgen is the client side of the serving observatory: a
+// deterministic, seed-driven, open-loop load generator that replays a
+// configurable mix of job classes against a live cmd/served and
+// measures the service the way a user would — client-perceived latency
+// per request class, time-to-first-result vs time-to-terminal over the
+// SSE progress stream, error and shed counts, and throughput — then
+// renders interpolated p50/p90/p99 and pass/fail SLO verdicts into a
+// twolevel-loadgen/1 report (report.go).
+//
+// Open loop means arrivals follow the configured rate regardless of
+// completions: a slow server accumulates in-flight requests instead of
+// silently throttling the offered load, so latency under pressure is
+// measured honestly (the coordinated-omission trap a closed loop falls
+// into). The schedule — every arrival time, every class draw, every
+// request body — is a pure function of the seed, so two runs against
+// equally-warm servers issue byte-identical request sequences.
+//
+// The four request classes mirror the ROADMAP's production mix:
+//
+//	cold      a small sweep job with a per-request-unique option
+//	          fingerprint, so every evaluation misses the memoized
+//	          store and exercises the simulation plane
+//	hot       the identical job body every time: after the first
+//	          completion it is answered entirely from the result store
+//	          (and, when cmd/served runs -hot-cache, from the hot
+//	          in-memory tier — watch store_hot_hits_total)
+//	envelope  GET /v1/envelope budget queries over memoized points
+//	fast      a "mode":"fast" job: approximate points served instantly
+//	          from the analytical model, refined in the background
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"twolevel/internal/obs"
+)
+
+// Request classes.
+const (
+	ClassCold     = "cold"
+	ClassHot      = "hot"
+	ClassEnvelope = "envelope"
+	ClassFast     = "fast"
+)
+
+// Classes lists every request class in canonical order.
+func Classes() []string {
+	return []string{ClassCold, ClassEnvelope, ClassFast, ClassHot}
+}
+
+// Config parameterizes a load-generation run. The zero value of every
+// field takes a sensible default (see normalize).
+type Config struct {
+	// BaseURL is the served instance under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// RPS is the open-loop arrival rate (default 10).
+	RPS float64
+	// Duration is how long arrivals are generated (default 10s); the run
+	// then waits for in-flight requests to finish.
+	Duration time.Duration
+	// Seed drives the class sequence and request parameters; equal seeds
+	// issue identical request sequences.
+	Seed int64
+	// Mix weights the request classes (default cold=1 envelope=3 fast=1
+	// hot=5). A class absent from the mix is not issued.
+	Mix map[string]int
+	// Workload is the spec workload every job names (default "gcc1").
+	Workload string
+	// Refs is the per-job trace length (default 20000 — small enough
+	// that a cold job completes in tens of milliseconds, so a smoke run
+	// exercises the full lifecycle at CI timescales).
+	Refs uint64
+	// SLOs are latency objectives evaluated over the client-side
+	// histograms (obs.ParseSLOs syntax). Class names alias their
+	// terminal-latency histograms ("p99:hot:500ms"); "<class>_first"
+	// aliases time-to-first-result ("p95:fast_first:100ms").
+	SLOs []obs.SLO
+	// PollOnly disables SSE consumption: job completion is observed by
+	// polling GET /v1/jobs/{id} instead (no first-result timings).
+	PollOnly bool
+	// RequestTimeout caps each request's whole lifecycle, submission to
+	// terminal (default 60s).
+	RequestTimeout time.Duration
+	// ScrapeServer embeds the server's final /metrics snapshot in the
+	// report, correlating client latency with server pressure (hot-tier
+	// hit rate, goroutines, GC pauses). Default true; the scrape failing
+	// is not a run failure.
+	ScrapeServer bool
+	// Client overrides the HTTP client (default: no client timeout —
+	// per-request contexts bound lifetimes; SSE streams outlive any
+	// fixed client timeout).
+	Client *http.Client
+	// Metrics receives the client-side instruments; default a private
+	// registry (the report reads whichever is used).
+	Metrics *obs.Registry
+	// Logf, when non-nil, receives one-line progress messages.
+	Logf func(format string, args ...any)
+}
+
+// normalize fills defaults, returning the effective config.
+func (c Config) normalize() (Config, error) {
+	if c.BaseURL == "" {
+		return c, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	c.BaseURL = strings.TrimRight(c.BaseURL, "/")
+	if c.RPS <= 0 {
+		c.RPS = 10
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = map[string]int{ClassCold: 1, ClassEnvelope: 3, ClassFast: 1, ClassHot: 5}
+	}
+	for class, weight := range c.Mix {
+		switch class {
+		case ClassCold, ClassHot, ClassEnvelope, ClassFast:
+		default:
+			return c, fmt.Errorf("loadgen: unknown class %q in mix", class)
+		}
+		if weight < 0 {
+			return c, fmt.Errorf("loadgen: negative weight %d for class %q", weight, class)
+		}
+	}
+	if c.Workload == "" {
+		c.Workload = "gcc1"
+	}
+	if c.Refs == 0 {
+		c.Refs = 20000
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c, nil
+}
+
+// Request is one planned arrival: an offset from run start, a class,
+// and the per-class ordinal (cold requests derive their unique
+// fingerprint from it).
+type Request struct {
+	At    time.Duration `json:"at"`
+	Class string        `json:"class"`
+	Index int           `json:"index"`
+}
+
+// Plan expands the config into the deterministic arrival schedule:
+// evenly spaced arrivals at RPS for Duration, classes drawn from the
+// weighted mix by a rand.Source seeded with Seed. Equal configs yield
+// identical plans — the property that makes loadgen runs comparable
+// across builds.
+func Plan(cfg Config) ([]Request, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	classes := make([]string, 0, len(cfg.Mix))
+	total := 0
+	for _, class := range Classes() {
+		if w := cfg.Mix[class]; w > 0 {
+			classes = append(classes, class)
+			total += w
+		}
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("loadgen: mix has no positive weights")
+	}
+	n := int(cfg.RPS * cfg.Duration.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	plan := make([]Request, n)
+	counts := map[string]int{}
+	for i := range plan {
+		draw := rng.Intn(total)
+		var class string
+		for _, cl := range classes {
+			if draw -= cfg.Mix[cl]; draw < 0 {
+				class = cl
+				break
+			}
+		}
+		plan[i] = Request{At: time.Duration(i) * interval, Class: class, Index: counts[class]}
+		counts[class]++
+	}
+	return plan, nil
+}
+
+// runner carries one run's state.
+type runner struct {
+	cfg   Config
+	met   *clientMetrics
+	start time.Time
+}
+
+// clientMetrics is the per-class instrument bundle on the client-side
+// registry.
+type clientMetrics struct {
+	latency map[string]*obs.Histogram // submit → terminal (or response)
+	first   map[string]*obs.Histogram // submit → first result (SSE)
+	errors  map[string]*obs.Counter
+	shed    map[string]*obs.Counter
+}
+
+// LatencyBuckets is the client-side histogram layout: 0.1ms to ~730s,
+// ×1.5 — fine enough to resolve a memoized re-query, wide enough for a
+// saturated cold sweep.
+func LatencyBuckets() []float64 { return obs.ExpBuckets(1e-4, 1.5, 40) }
+
+// latencyMetric names the terminal-latency histogram of a class.
+func latencyMetric(class string) string { return "loadgen_" + class + "_seconds" }
+
+// firstMetric names the time-to-first-result histogram of a class.
+func firstMetric(class string) string { return "loadgen_" + class + "_first_result_seconds" }
+
+func newClientMetrics(r *obs.Registry) *clientMetrics {
+	m := &clientMetrics{
+		latency: map[string]*obs.Histogram{},
+		first:   map[string]*obs.Histogram{},
+		errors:  map[string]*obs.Counter{},
+		shed:    map[string]*obs.Counter{},
+	}
+	for _, class := range Classes() {
+		m.latency[class] = r.Histogram(latencyMetric(class), LatencyBuckets())
+		m.first[class] = r.Histogram(firstMetric(class), LatencyBuckets())
+		m.errors[class] = r.Counter("loadgen_" + class + "_errors_total")
+		m.shed[class] = r.Counter("loadgen_" + class + "_shed_total")
+	}
+	return m
+}
+
+// SLOAliases maps class names (and "<class>_first") onto the
+// client-side histogram names, so -slo specs read naturally:
+// p99:hot:500ms, p95:fast_first:100ms.
+func SLOAliases() map[string]string {
+	a := make(map[string]string, 2*len(Classes()))
+	for _, class := range Classes() {
+		a[class] = latencyMetric(class)
+		a[class+"_first"] = firstMetric(class)
+	}
+	return a
+}
+
+// Run executes the plan against cfg.BaseURL and builds the report. The
+// context cancels the whole run (in-flight requests included); SLO
+// verdict failures are reported in Report.Pass, not as an error.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := Plan(cfg)
+	if err != nil {
+		return nil, err
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	r := &runner{cfg: cfg, met: newClientMetrics(cfg.Metrics), start: time.Now()}
+	logf("loadgen: %d requests at %.3g rps against %s (seed %d)", len(plan), cfg.RPS, cfg.BaseURL, cfg.Seed)
+
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+arrivals:
+	for _, rq := range plan {
+		timer.Reset(time.Until(r.start.Add(rq.At)))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			break arrivals
+		}
+		wg.Add(1)
+		go func(rq Request) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, cfg.RequestTimeout)
+			defer cancel()
+			r.do(rctx, rq)
+		}(rq)
+	}
+	wg.Wait()
+	elapsed := time.Since(r.start)
+	logf("loadgen: arrivals done, all requests terminal after %v", elapsed.Round(time.Millisecond))
+
+	rep := buildReport(cfg, plan, elapsed)
+	if cfg.ScrapeServer {
+		if snap, err := scrapeMetrics(ctx, cfg); err != nil {
+			logf("loadgen: server metrics scrape failed (report omits them): %v", err)
+		} else {
+			rep.ServerMetrics = snap
+		}
+	}
+	return rep, ctx.Err()
+}
+
+// do issues one request and records its timings.
+func (r *runner) do(ctx context.Context, rq Request) {
+	switch rq.Class {
+	case ClassEnvelope:
+		r.doEnvelope(ctx, rq)
+	default:
+		r.doJob(ctx, rq)
+	}
+}
+
+// doEnvelope measures one budget query round trip.
+func (r *runner) doEnvelope(ctx context.Context, rq Request) {
+	u := fmt.Sprintf("%s/v1/envelope?area=1e9&workload=%s", r.cfg.BaseURL, url.QueryEscape(r.cfg.Workload))
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // latency needs the full body read
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	r.met.latency[rq.Class].Observe(time.Since(t0).Seconds())
+}
+
+// jobBody renders the class's POST /v1/jobs body. Cold bodies fold the
+// per-class ordinal into offchip_ns — a result-determining option, so
+// every cold job has a distinct fingerprint and cannot be served from
+// the memoized store; hot and fast bodies are constant so re-queries
+// are memoized.
+func (r *runner) jobBody(rq Request) (body string, mode string) {
+	switch rq.Class {
+	case ClassCold:
+		// 100ns ± a unique fraction: same design space, unique pricing.
+		off := 100 + float64(rq.Index)*0.25
+		return fmt.Sprintf(`{"workloads":[%q],"options":{"refs":%d,"l1_kb":[1,2],"l2_kb":[0,16],"offchip_ns":%g}}`,
+			r.cfg.Workload, r.cfg.Refs, off), ""
+	case ClassFast:
+		return fmt.Sprintf(`{"workloads":[%q],"mode":"fast","options":{"refs":%d,"l1_kb":[1,2,4],"l2_kb":[0,32]}}`,
+			r.cfg.Workload, r.cfg.Refs), ModeFastQuery
+	default: // hot
+		return fmt.Sprintf(`{"workloads":[%q],"options":{"refs":%d,"l1_kb":[1,2,4],"l2_kb":[0,16]}}`,
+			r.cfg.Workload, r.cfg.Refs), ""
+	}
+}
+
+// ModeFastQuery tags fast-class submissions (informational; the mode
+// rides in the body).
+const ModeFastQuery = "fast"
+
+// jobStatus is the slice of the service Status the client reads.
+type jobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+}
+
+func terminal(state string) bool { return state != "" && state != "running" }
+
+// doJob submits one job and follows it to its terminal state, over SSE
+// by default or by polling under PollOnly.
+func (r *runner) doJob(ctx context.Context, rq Request) {
+	body, _ := r.jobBody(rq)
+	t0 := time.Now()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.cfg.BaseURL+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	var st jobStatus
+	decErr := json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		r.met.shed[rq.Class].Inc()
+		return
+	case resp.StatusCode != http.StatusAccepted || decErr != nil || st.ID == "":
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+
+	var firstAt, terminalAt time.Time
+	if r.cfg.PollOnly {
+		terminalAt = r.pollJob(ctx, st.ID)
+	} else {
+		firstAt, terminalAt = r.streamJob(ctx, st.ID)
+	}
+	if terminalAt.IsZero() {
+		r.met.errors[rq.Class].Inc()
+		return
+	}
+	r.met.latency[rq.Class].Observe(terminalAt.Sub(t0).Seconds())
+	if !firstAt.IsZero() {
+		r.met.first[rq.Class].Observe(firstAt.Sub(t0).Seconds())
+	}
+}
+
+// streamJob consumes GET /v1/jobs/{id}/events to the terminal state
+// event, reporting when the first result appeared (the first task event,
+// or the connect snapshot if it already carries completed points) and
+// when the job went terminal.
+func (r *runner) streamJob(ctx context.Context, id string) (firstAt, terminalAt time.Time) {
+	u := fmt.Sprintf("%s/v1/jobs/%s/events", r.cfg.BaseURL, url.PathEscape(id))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return firstAt, terminalAt
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := r.cfg.Client.Do(req)
+	if err != nil {
+		return firstAt, terminalAt
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return firstAt, terminalAt
+	}
+	err = readSSE(resp.Body, func(e sseEvent) bool {
+		switch e.Event {
+		case "snapshot":
+			var st jobStatus
+			if json.Unmarshal(e.Data, &st) == nil && st.Done > 0 && firstAt.IsZero() {
+				firstAt = time.Now()
+			}
+			// A job already terminal at connect still gets a "state" event;
+			// keep reading.
+		case "task":
+			if firstAt.IsZero() {
+				firstAt = time.Now()
+			}
+		case "state":
+			terminalAt = time.Now()
+			if firstAt.IsZero() {
+				firstAt = terminalAt
+			}
+			return false
+		}
+		return true
+	})
+	if err != nil && terminalAt.IsZero() {
+		return firstAt, terminalAt
+	}
+	return firstAt, terminalAt
+}
+
+// pollJob polls GET /v1/jobs/{id} until terminal (PollOnly mode).
+func (r *runner) pollJob(ctx context.Context, id string) (terminalAt time.Time) {
+	u := fmt.Sprintf("%s/v1/jobs/%s", r.cfg.BaseURL, url.PathEscape(id))
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return time.Time{}
+		}
+		resp, err := r.cfg.Client.Do(req)
+		if err != nil {
+			return time.Time{}
+		}
+		var st jobStatus
+		decErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if decErr != nil || resp.StatusCode != http.StatusOK {
+			return time.Time{}
+		}
+		if terminal(st.State) {
+			return time.Now()
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return time.Time{}
+		}
+	}
+}
+
+// scrapeMetrics fetches the server's JSON metrics snapshot.
+func scrapeMetrics(ctx context.Context, cfg Config) (*obs.Snapshot, error) {
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, cfg.BaseURL+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /metrics status %d", resp.StatusCode)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// sortedClasses returns the classes present in the mix, canonical
+// order.
+func sortedClasses(mix map[string]int) []string {
+	out := make([]string, 0, len(mix))
+	for class, w := range mix {
+		if w > 0 {
+			out = append(out, class)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

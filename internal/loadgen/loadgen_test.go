@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"twolevel/internal/obs"
+	"twolevel/internal/service"
+	"twolevel/internal/sweep"
+)
+
+func TestPlanDeterministic(t *testing.T) {
+	cfg := Config{BaseURL: "http://x", RPS: 50, Duration: time.Second, Seed: 7}
+	a, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("equal configs produced different plans")
+	}
+	if len(a) != 50 {
+		t.Fatalf("plan size = %d, want 50", len(a))
+	}
+
+	cfg.Seed = 8
+	c, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical class sequences")
+	}
+	// Arrival times are seed-independent: open-loop spacing is fixed.
+	for i := range a {
+		if a[i].At != c[i].At {
+			t.Fatalf("arrival %d differs across seeds: %v vs %v", i, a[i].At, c[i].At)
+		}
+	}
+}
+
+func TestPlanRespectsMix(t *testing.T) {
+	cfg := Config{BaseURL: "http://x", RPS: 100, Duration: time.Second, Mix: map[string]int{ClassHot: 1}}
+	plan, err := Plan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rq := range plan {
+		if rq.Class != ClassHot {
+			t.Fatalf("single-class mix produced class %q", rq.Class)
+		}
+	}
+
+	if _, err := Plan(Config{BaseURL: "http://x", Mix: map[string]int{"bogus": 1}}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, err := Plan(Config{BaseURL: "http://x", Mix: map[string]int{ClassHot: 0}}); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+}
+
+func TestSLOAliasesCoverClasses(t *testing.T) {
+	a := SLOAliases()
+	for _, class := range Classes() {
+		if a[class] == "" || a[class+"_first"] == "" {
+			t.Fatalf("class %q missing aliases: %v", class, a)
+		}
+	}
+}
+
+// TestRunEndToEnd drives a real manager through a short mixed run and
+// checks the report wiring: every planned request accounted for, no
+// errors, SSE-derived first-result timings, and SLO verdicts evaluated
+// over the client histograms.
+func TestRunEndToEnd(t *testing.T) {
+	m := service.New(service.Config{Workers: 2, StreamHeartbeat: 50 * time.Millisecond})
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	defer m.Close()
+
+	// Prime the store so envelope queries have points to answer from.
+	j, err := m.Submit(service.JobRequest{Workloads: []string{"gcc1"}, Options: sweep.Options{
+		Refs: 20000, L1Sizes: []int64{1 << 10, 2 << 10}, L2Sizes: []int64{0, 8 << 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+
+	slos, err := obs.ParseSLOs("p99:hot:30s,p99:cold:30s,p90:hot_first:30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		BaseURL:      srv.URL,
+		RPS:          40,
+		Duration:     500 * time.Millisecond,
+		Seed:         42,
+		Workload:     "gcc1",
+		Refs:         20000,
+		SLOs:         slos,
+		ScrapeServer: false, // the test handler mounts no /metrics
+	}
+	rep, err := Run(t.Context(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Format != ReportFormat {
+		t.Fatalf("format = %q", rep.Format)
+	}
+	if rep.Requests != 20 {
+		t.Fatalf("requests = %d, want 20", rep.Requests)
+	}
+	total, errs := 0, uint64(0)
+	for class, cr := range rep.Classes {
+		total += cr.Requests
+		errs += cr.Errors
+		if cr.Requests > 0 && cr.Latency.Count+cr.Errors+cr.Shed != uint64(cr.Requests) {
+			t.Fatalf("class %s: %d requests but %d measured + %d errors + %d shed",
+				class, cr.Requests, cr.Latency.Count, cr.Errors, cr.Shed)
+		}
+	}
+	if total != rep.Requests {
+		t.Fatalf("class requests sum to %d, want %d", total, rep.Requests)
+	}
+	if errs != 0 {
+		t.Fatalf("%d errors against a healthy server:\n%s", errs, rep.String())
+	}
+
+	// Job classes stream over SSE, so first-result timings exist.
+	hot := rep.Classes[ClassHot]
+	if hot.Latency.Count > 0 && (hot.FirstResult == nil || hot.FirstResult.Count == 0) {
+		t.Fatal("hot class has no SSE first-result timings")
+	}
+	if len(rep.Verdicts) != 3 || !rep.Pass {
+		t.Fatalf("verdicts = %+v pass = %v", rep.Verdicts, rep.Pass)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty summary rendering")
+	}
+}
+
+// TestRunSLOFailure asserts a violated objective flips Report.Pass.
+func TestRunSLOFailure(t *testing.T) {
+	m := service.New(service.Config{Workers: 2})
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	defer m.Close()
+
+	slos, err := obs.ParseSLOs("p50:hot:1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(t.Context(), Config{
+		BaseURL:      srv.URL,
+		RPS:          10,
+		Duration:     200 * time.Millisecond,
+		Mix:          map[string]int{ClassHot: 1},
+		SLOs:         slos,
+		ScrapeServer: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("1ns objective passed")
+	}
+}
+
+// TestRunPollOnly covers the SSE-less fallback.
+func TestRunPollOnly(t *testing.T) {
+	m := service.New(service.Config{Workers: 2})
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	defer m.Close()
+
+	rep, err := Run(t.Context(), Config{
+		BaseURL:      srv.URL,
+		RPS:          10,
+		Duration:     200 * time.Millisecond,
+		Mix:          map[string]int{ClassHot: 1},
+		PollOnly:     true,
+		ScrapeServer: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := rep.Classes[ClassHot]
+	if hot.Errors != 0 || hot.Latency.Count == 0 {
+		t.Fatalf("poll-only hot class = %+v", hot)
+	}
+	if hot.FirstResult != nil {
+		t.Fatal("poll-only run reported first-result timings")
+	}
+}
+
+// TestRunCancelled: a cancelled context stops arrivals and reports.
+func TestRunCancelled(t *testing.T) {
+	m := service.New(service.Config{Workers: 2})
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(t.Context(), 150*time.Millisecond)
+	defer cancel()
+	rep, err := Run(ctx, Config{
+		BaseURL:      srv.URL,
+		RPS:          5,
+		Duration:     time.Hour, // far beyond the context
+		Mix:          map[string]int{ClassHot: 1},
+		ScrapeServer: false,
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	if rep == nil {
+		t.Fatal("cancelled run dropped its partial report")
+	}
+}

@@ -1,0 +1,196 @@
+package loadgen
+
+// This file renders a run into the twolevel-loadgen/1 report: the
+// JSON document a CI job archives and a human reads to answer "did the
+// service meet its objectives under this load?". The per-class latency
+// summaries come from the client-side histograms (interpolated
+// quantiles, the same estimator the server's SLO layer uses), the
+// verdicts from obs.EvalSLOs over those histograms, and — when the
+// scrape succeeds — the server's own /metrics snapshot rides along so
+// client-perceived latency can be read against server pressure
+// (hot-tier hit rate, queue depth, GC pauses) in one artifact.
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"twolevel/internal/obs"
+)
+
+// ReportFormat identifies the report schema.
+const ReportFormat = "twolevel-loadgen/1"
+
+// Quantiles is the latency rollup of one client-side histogram.
+type Quantiles struct {
+	Count uint64  `json:"count"`
+	MeanS float64 `json:"mean_s"`
+	P50S  float64 `json:"p50_s"`
+	P90S  float64 `json:"p90_s"`
+	P99S  float64 `json:"p99_s"`
+}
+
+// ClassReport is one request class's measured behaviour.
+type ClassReport struct {
+	// Requests is the number of planned arrivals for the class.
+	Requests int `json:"requests"`
+	// Errors counts requests that failed outright (transport errors,
+	// unexpected statuses, streams that died before the terminal event).
+	Errors uint64 `json:"errors"`
+	// Shed counts submissions the server refused with 429 (admission
+	// control working as designed — not errors).
+	Shed uint64 `json:"shed"`
+	// ThroughputRPS is successful completions per second of run wall
+	// time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// Latency summarizes submit→terminal (jobs) or request→response
+	// (envelope) over successful requests.
+	Latency Quantiles `json:"latency"`
+	// FirstResult summarizes submit→first-result over the SSE stream
+	// (jobs only; omitted under PollOnly and for envelope requests).
+	FirstResult *Quantiles `json:"first_result,omitempty"`
+}
+
+// Report is the twolevel-loadgen/1 document.
+type Report struct {
+	Format    string  `json:"format"`
+	BaseURL   string  `json:"base_url"`
+	Seed      int64   `json:"seed"`
+	RPS       float64 `json:"rps"`
+	DurationS float64 `json:"duration_s"`
+	// ElapsedS is wall time from first arrival to last completion —
+	// greater than DurationS by however long the tail of in-flight
+	// requests outlived the arrival window.
+	ElapsedS float64                `json:"elapsed_s"`
+	Mix      map[string]int         `json:"mix"`
+	Requests int                    `json:"requests"`
+	Classes  map[string]ClassReport `json:"classes"`
+	// Verdicts is the evaluated SLO list (empty without -slo); Pass is
+	// their conjunction (vacuously true with none).
+	Verdicts []obs.SLOVerdict `json:"verdicts"`
+	Pass     bool             `json:"pass"`
+	// ServerMetrics is the server's /metrics?format=json snapshot taken
+	// after the run (nil if the scrape was disabled or failed).
+	ServerMetrics *obs.Snapshot `json:"server_metrics,omitempty"`
+}
+
+// quantiles rolls one histogram snapshot up.
+func quantiles(h obs.HistogramSnapshot) Quantiles {
+	return Quantiles{
+		Count: h.Count,
+		MeanS: h.Mean(),
+		P50S:  h.Quantile(0.50),
+		P90S:  h.Quantile(0.90),
+		P99S:  h.Quantile(0.99),
+	}
+}
+
+// buildReport assembles the document from the run's client-side
+// registry and plan.
+func buildReport(cfg Config, plan []Request, elapsed time.Duration) *Report {
+	snap := cfg.Metrics.Snapshot()
+	rep := &Report{
+		Format:    ReportFormat,
+		BaseURL:   cfg.BaseURL,
+		Seed:      cfg.Seed,
+		RPS:       cfg.RPS,
+		DurationS: cfg.Duration.Seconds(),
+		ElapsedS:  elapsed.Seconds(),
+		Mix:       cfg.Mix,
+		Requests:  len(plan),
+		Classes:   map[string]ClassReport{},
+		Pass:      true,
+	}
+	planned := map[string]int{}
+	for _, rq := range plan {
+		planned[rq.Class]++
+	}
+	for _, class := range sortedClasses(cfg.Mix) {
+		cr := ClassReport{
+			Requests: planned[class],
+			Errors:   snap.Counters["loadgen_"+class+"_errors_total"],
+			Shed:     snap.Counters["loadgen_"+class+"_shed_total"],
+			Latency:  quantiles(snap.Histograms[latencyMetric(class)]),
+		}
+		if elapsed > 0 {
+			cr.ThroughputRPS = float64(cr.Latency.Count) / elapsed.Seconds()
+		}
+		if fh := snap.Histograms[firstMetric(class)]; fh.Count > 0 {
+			q := quantiles(fh)
+			cr.FirstResult = &q
+		}
+		rep.Classes[class] = cr
+	}
+	rep.Verdicts = obs.EvalSLOs(cfg.SLOs, snap, SLOAliases())
+	for _, v := range rep.Verdicts {
+		rep.Pass = rep.Pass && v.Pass
+	}
+	return rep
+}
+
+// WriteSummary renders the human-readable run summary: a per-class
+// latency table and the verdict list, the console face of the JSON
+// report.
+func (rep *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %d requests @ %.3g rps over %.1fs (elapsed %.1fs) against %s\n",
+		rep.Requests, rep.RPS, rep.DurationS, rep.ElapsedS, rep.BaseURL)
+	fmt.Fprintf(w, "%-10s %6s %5s %5s %9s %9s %9s %9s %11s\n",
+		"class", "reqs", "err", "shed", "rps", "p50", "p90", "p99", "first-p50")
+	for _, class := range sortedClassNames(rep.Classes) {
+		cr := rep.Classes[class]
+		first := "-"
+		if cr.FirstResult != nil {
+			first = fmtSecs(cr.FirstResult.P50S)
+		}
+		fmt.Fprintf(w, "%-10s %6d %5d %5d %9.2f %9s %9s %9s %11s\n",
+			class, cr.Requests, cr.Errors, cr.Shed, cr.ThroughputRPS,
+			fmtSecs(cr.Latency.P50S), fmtSecs(cr.Latency.P90S), fmtSecs(cr.Latency.P99S), first)
+	}
+	for _, v := range rep.Verdicts {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(w, "slo %-28s measured %-9s burn %.2f  [%s]\n",
+			v.SLO, fmtSecs(v.MeasuredS), v.Burn, mark)
+	}
+	if len(rep.Verdicts) > 0 {
+		overall := "PASS"
+		if !rep.Pass {
+			overall = "FAIL"
+		}
+		fmt.Fprintf(w, "verdict: %s\n", overall)
+	}
+}
+
+// sortedClassNames orders the report's class keys canonically.
+func sortedClassNames(classes map[string]ClassReport) []string {
+	mix := make(map[string]int, len(classes))
+	for class := range classes {
+		mix[class] = 1
+	}
+	return sortedClasses(mix)
+}
+
+// fmtSecs renders a latency in the most readable unit.
+func fmtSecs(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d == 0:
+		return "0"
+	case d < time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(time.Millisecond).String()
+	}
+}
+
+// String renders the summary to a string (test convenience).
+func (rep *Report) String() string {
+	var sb strings.Builder
+	rep.WriteSummary(&sb)
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package loadgen
+
+// This file is the minimal client side of the service's SSE framing
+// (internal/service/sse.go): a line-oriented parser over the
+// text/event-stream wire format. It understands exactly what the
+// server emits — "event:" and "data:" fields, optional "id:", comment
+// keepalives (": hb"), blank-line dispatch — and ignores everything
+// else, per the WHATWG parsing rules.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// sseEvent is one dispatched server-sent event.
+type sseEvent struct {
+	ID    string
+	Event string
+	Data  []byte
+}
+
+// readSSE parses the stream, invoking fn per event until fn returns
+// false (clean stop, nil error) or the stream ends. io.EOF from a
+// server-closed stream is reported as nil; other read errors surface.
+func readSSE(r io.Reader, fn func(sseEvent) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var cur sseEvent
+	var data [][]byte
+	flush := func() bool {
+		if cur.Event == "" && len(data) == 0 {
+			return true // blank line with no pending event: keepalive spacing
+		}
+		cur.Data = bytes.Join(data, []byte("\n"))
+		ok := fn(cur)
+		cur = sseEvent{}
+		data = nil
+		return ok
+	}
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case len(line) == 0:
+			if !flush() {
+				return nil
+			}
+		case line[0] == ':':
+			// comment (heartbeat) — ignore
+		default:
+			field, value, _ := bytes.Cut(line, []byte(":"))
+			value = bytes.TrimPrefix(value, []byte(" "))
+			switch string(field) {
+			case "event":
+				cur.Event = string(value)
+			case "data":
+				data = append(data, append([]byte(nil), value...))
+			case "id":
+				cur.ID = string(value)
+			}
+		}
+	}
+	return sc.Err()
+}

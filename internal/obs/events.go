@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -69,21 +70,31 @@ const (
 	EventRunManifest     = "run_manifest"
 )
 
-// EventLog appends events to a writer as JSONL. It is safe for
-// concurrent use; a nil *EventLog is a valid no-op sink, so library code
-// emits unconditionally.
+// EventLog appends events to a writer as JSONL and fans them out to any
+// live subscribers (see Subscribe). It is safe for concurrent use; a nil
+// *EventLog is a valid no-op sink, so library code emits
+// unconditionally.
 type EventLog struct {
 	mu    sync.Mutex
-	w     io.Writer
-	f     *os.File // non-nil when file-backed; synced on Close
+	w     io.Writer // nil for a broadcast-only bus (NewEventBus)
+	f     *os.File  // non-nil when file-backed; synced on Close
 	start time.Time
 	seq   uint64
 	err   error // first write failure; later emits are dropped
+	subs  []*EventSub
 }
 
 // NewEventLog starts a journal on w. The monotonic clock starts now.
 func NewEventLog(w io.Writer) *EventLog {
 	return &EventLog{w: w, start: time.Now()}
+}
+
+// NewEventBus starts a broadcast-only journal: events are stamped and
+// fanned out to subscribers but never serialized or written anywhere.
+// The job service uses one when no event sink is configured, so live
+// SSE progress streams work regardless of journaling.
+func NewEventBus() *EventLog {
+	return &EventLog{start: time.Now()}
 }
 
 // OpenEventLogFile opens (or creates, or appends to) a JSONL journal at
@@ -99,29 +110,90 @@ func OpenEventLogFile(path string) (*EventLog, error) {
 }
 
 // Emit stamps e with the next sequence number and the monotonic
-// timestamp and appends it. No-op on a nil log. Write failures are
-// remembered (see Err) and silence the log rather than disrupting the
-// run being observed.
+// timestamp, appends it, and delivers a copy to every subscriber
+// (non-blocking: a subscriber whose buffer is full drops the event and
+// counts it, so a slow SSE client can never stall the instrumented
+// run). No-op on a nil log. Write failures are remembered (see Err) and
+// silence the journal — but not the subscribers — rather than
+// disrupting the run being observed.
 func (l *EventLog) Emit(e Event) {
 	if l == nil {
 		return
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.err != nil {
+	if l.err != nil && len(l.subs) == 0 {
 		return
 	}
 	l.seq++
 	e.Seq = l.seq
 	e.TNS = time.Since(l.start).Nanoseconds()
-	b, err := json.Marshal(e)
-	if err != nil {
-		l.err = err
+	if l.w != nil && l.err == nil {
+		b, err := json.Marshal(e)
+		if err != nil {
+			l.err = err
+		} else if _, err := l.w.Write(append(b, '\n')); err != nil {
+			l.err = err
+		}
+	}
+	for _, s := range l.subs {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// EventSub is one live subscription to an EventLog's stream. Events are
+// delivered on C in emission order; when the subscriber's buffer is
+// full, new events are dropped (and counted in Dropped) rather than
+// blocking the emitter.
+type EventSub struct {
+	l       *EventLog
+	ch      chan Event
+	dropped atomic.Uint64
+}
+
+// Subscribe attaches a new subscriber with the given channel buffer
+// (minimum 1). Events emitted after Subscribe returns are delivered on
+// C until Close. On a nil log the subscription is valid but never
+// delivers.
+func (l *EventLog) Subscribe(buf int) *EventSub {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &EventSub{l: l, ch: make(chan Event, buf)}
+	if l == nil {
+		return s
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, s)
+	return s
+}
+
+// C is the subscription's delivery channel. It is never closed; end the
+// stream with Close and stop reading.
+func (s *EventSub) C() <-chan Event { return s.ch }
+
+// Dropped reports how many events were discarded because the buffer was
+// full when they were emitted.
+func (s *EventSub) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription; no further events are delivered.
+// Safe to call more than once.
+func (s *EventSub) Close() {
+	if s.l == nil {
 		return
 	}
-	b = append(b, '\n')
-	if _, err := l.w.Write(b); err != nil {
-		l.err = err
+	s.l.mu.Lock()
+	defer s.l.mu.Unlock()
+	for i, sub := range s.l.subs {
+		if sub == s {
+			s.l.subs = append(s.l.subs[:i], s.l.subs[i+1:]...)
+			break
+		}
 	}
 }
 

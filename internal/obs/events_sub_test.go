@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestEventBusSubscribeDelivers(t *testing.T) {
+	bus := NewEventBus()
+	sub := bus.Subscribe(8)
+	defer sub.Close()
+
+	bus.Emit(Event{Type: "a", Job: "j1"})
+	bus.Emit(Event{Type: "b", Job: "j2"})
+
+	e := <-sub.C()
+	if e.Type != "a" || e.Job != "j1" || e.Seq != 1 {
+		t.Fatalf("first event = %+v", e)
+	}
+	e = <-sub.C()
+	if e.Type != "b" || e.Seq != 2 {
+		t.Fatalf("second event = %+v", e)
+	}
+}
+
+func TestEventSubSlowConsumerDropsNotBlocks(t *testing.T) {
+	bus := NewEventBus()
+	sub := bus.Subscribe(1)
+	defer sub.Close()
+
+	// Nothing drains the channel: the first emit fills the buffer, the
+	// rest must drop without blocking this goroutine.
+	for i := 0; i < 5; i++ {
+		bus.Emit(Event{Type: "e"})
+	}
+	if got := sub.Dropped(); got != 4 {
+		t.Fatalf("Dropped() = %d, want 4", got)
+	}
+	if e := <-sub.C(); e.Seq != 1 {
+		t.Fatalf("buffered event seq = %d, want 1", e.Seq)
+	}
+}
+
+func TestEventSubCloseDetaches(t *testing.T) {
+	bus := NewEventBus()
+	sub := bus.Subscribe(4)
+	other := bus.Subscribe(4)
+	defer other.Close()
+
+	sub.Close()
+	sub.Close() // second close is a no-op
+	bus.Emit(Event{Type: "after"})
+
+	select {
+	case e, ok := <-sub.C():
+		if ok {
+			t.Fatalf("closed sub received %+v", e)
+		}
+	default:
+		// no delivery: equally fine — the contract is only "never after Close"
+	}
+	if e := <-other.C(); e.Type != "after" {
+		t.Fatalf("surviving sub got %+v", e)
+	}
+}
+
+func TestEventSubNilLog(t *testing.T) {
+	var l *EventLog
+	sub := l.Subscribe(4)
+	select {
+	case e := <-sub.C():
+		t.Fatalf("nil-log sub delivered %+v", e)
+	default:
+	}
+	sub.Close() // must not panic
+	if sub.Dropped() != 0 {
+		t.Fatal("nil-log sub reports drops")
+	}
+}
+
+func TestEventLogJournalAndFanOut(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	sub := l.Subscribe(4)
+	defer sub.Close()
+
+	l.Emit(Event{Type: "both"})
+	if e := <-sub.C(); e.Type != "both" {
+		t.Fatalf("subscriber got %+v", e)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"both"`)) {
+		t.Fatalf("journal missing event: %q", buf.String())
+	}
+}

@@ -49,13 +49,24 @@ func NewMux(reg *Registry, summary func() any) *http.ServeMux {
 func NewMuxOptions(reg *Registry, o MuxOptions) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		build := ReadBuildInfo()
 		if !wantsProm(r) {
-			writeJSON(w, reg.Snapshot())
+			// The JSON dialect pins the build-info gauge into the snapshot
+			// and carries the identity strings in a sibling "build" object
+			// (additive: {counters,gauges,histograms} consumers are
+			// untouched).
+			snap := reg.Snapshot()
+			snap.Gauges[MetricBuildInfo] = 1
+			writeJSON(w, struct {
+				Snapshot
+				Build BuildInfo `json:"build"`
+			}{snap, build})
 			return
 		}
 		w.Header().Set("Content-Type", PromContentType)
 		pw := NewPromWriter(w)
 		pw.Snapshot(reg.Snapshot(), "", nil)
+		pw.Gauge(MetricBuildInfo, build.PromLabels(), 1)
 		if o.PromExtra != nil {
 			o.PromExtra(pw)
 		}

@@ -146,6 +146,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	samplers []func()
 }
 
 // NewRegistry builds an empty registry.
@@ -305,6 +306,22 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
+// AddSampler registers a hook run at the start of every Snapshot,
+// before the instruments are read — the seam for pull-style telemetry
+// (runtime stats, process gauges) that is only worth the cost when
+// someone is actually scraping. Samplers run outside the registration
+// lock, so they may freely touch the registry's instruments; they must
+// tolerate concurrent invocation (Snapshot can race with itself).
+// No-op on a nil registry.
+func (r *Registry) AddSampler(f func()) {
+	if r == nil || f == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.samplers = append(r.samplers, f)
+}
+
 // Snapshot atomically reads every instrument. Individual instruments are
 // read atomically; the set is collected under the registration lock, so
 // an instrument registered concurrently either appears fully or not at
@@ -317,6 +334,12 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	if r == nil {
 		return s
+	}
+	r.mu.Lock()
+	samplers := r.samplers
+	r.mu.Unlock()
+	for _, f := range samplers {
+		f()
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -1,0 +1,155 @@
+package obs
+
+// This file is the Go runtime telemetry collector: a Snapshot-time
+// sampler (see Registry.AddSampler) publishing goroutine count, heap
+// pressure, and a GC pause histogram, plus the build-identity info the
+// /metrics endpoints expose in both dialects as twolevel_build_info.
+// Together they let a load-test run correlate client-side latency with
+// server-side pressure — was that p99 spike a GC pause, a goroutine
+// pile-up, or genuine queueing? — without attaching a profiler.
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Metric names published by EnableRuntimeMetrics.
+const (
+	// MetricGoGoroutines gauges the live goroutine count.
+	MetricGoGoroutines = "go_goroutines"
+	// MetricGoHeapAllocBytes gauges bytes of allocated heap objects.
+	MetricGoHeapAllocBytes = "go_heap_alloc_bytes"
+	// MetricGoHeapSysBytes gauges bytes of heap obtained from the OS.
+	MetricGoHeapSysBytes = "go_heap_sys_bytes"
+	// MetricGoHeapObjects gauges the number of live heap objects.
+	MetricGoHeapObjects = "go_heap_objects"
+	// MetricGoGCCycles counts completed GC cycles.
+	MetricGoGCCycles = "go_gc_cycles_total"
+	// MetricGoGCPauseSeconds is the histogram of stop-the-world GC pause
+	// durations observed since the sampler was enabled.
+	MetricGoGCPauseSeconds = "go_gc_pause_seconds"
+	// MetricBuildInfo is the build-identity gauge served by every
+	// /metrics endpoint: always 1, carrying the Go version, module path,
+	// and VCS revision as labels on a Prometheus scrape; the JSON dialect
+	// pairs the gauge with a "build" object holding the same identity
+	// (JSON gauges carry no labels).
+	MetricBuildInfo = "twolevel_build_info"
+)
+
+// GCPauseBuckets is the bucket layout of go_gc_pause_seconds: 1µs to
+// ~1s, doubling — GC pauses below a microsecond are noise and one above
+// a second is an outage in its own right.
+func GCPauseBuckets() []float64 { return ExpBuckets(1e-6, 2, 20) }
+
+// EnableRuntimeMetrics registers a Snapshot-time sampler on r that
+// maintains the go_* runtime gauges, the go_gc_cycles_total counter,
+// and the go_gc_pause_seconds histogram (fed from the runtime's pause
+// ring, so pauses between scrapes are not lost). Calling it more than
+// once on the same registry stacks redundant samplers; call it once per
+// process. No-op on a nil registry.
+func EnableRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	var (
+		goroutines = r.Gauge(MetricGoGoroutines)
+		heapAlloc  = r.Gauge(MetricGoHeapAllocBytes)
+		heapSys    = r.Gauge(MetricGoHeapSysBytes)
+		heapObjs   = r.Gauge(MetricGoHeapObjects)
+		gcCycles   = r.Counter(MetricGoGCCycles)
+		gcPause    = r.Histogram(MetricGoGCPauseSeconds, GCPauseBuckets())
+	)
+
+	// The sampler keeps the last observed NumGC so each pause in the
+	// runtime's 256-entry ring is fed to the histogram exactly once, and
+	// a mutex so concurrent Snapshots cannot double-feed it.
+	var mu sync.Mutex
+	var lastGC uint32
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	lastGC = ms.NumGC
+
+	r.AddSampler(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		heapSys.Set(int64(ms.HeapSys))
+		heapObjs.Set(int64(ms.HeapObjects))
+		if n := ms.NumGC - lastGC; n > 0 {
+			gcCycles.Add(uint64(n))
+			// PauseNs is a circular buffer of the last 256 pauses; replay
+			// only the cycles since the previous sample (all of them when
+			// more than 256 elapsed — the ring holds no more).
+			if n > 256 {
+				n = 256
+			}
+			for i := uint32(0); i < n; i++ {
+				pause := ms.PauseNs[(ms.NumGC-i+255)%256]
+				gcPause.Observe(float64(pause) / 1e9)
+			}
+			lastGC = ms.NumGC
+		}
+	})
+}
+
+// BuildInfo is the process's build identity, read once from the
+// embedded runtime/debug build info.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary, e.g. "go1.22.1".
+	GoVersion string `json:"go_version"`
+	// Module is the main module path ("twolevel").
+	Module string `json:"module"`
+	// Revision is the VCS commit the binary was built from, when the
+	// build embedded one ("unknown" otherwise).
+	Revision string `json:"revision"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfoVal  BuildInfo
+)
+
+// ReadBuildInfo reports the process's build identity (cached after the
+// first call).
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfoVal = BuildInfo{GoVersion: runtime.Version(), Module: "unknown", Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Path != "" {
+			buildInfoVal.Module = bi.Main.Path
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoVal.Revision = s.Value
+			case "vcs.modified":
+				buildInfoVal.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildInfoVal
+}
+
+// PromLabels renders the build identity as Prometheus labels for the
+// twolevel_build_info series.
+func (b BuildInfo) PromLabels() []PromLabel {
+	modified := "false"
+	if b.Modified {
+		modified = "true"
+	}
+	return []PromLabel{
+		{Key: "go_version", Value: b.GoVersion},
+		{Key: "module", Value: b.Module},
+		{Key: "revision", Value: b.Revision},
+		{Key: "modified", Value: modified},
+	}
+}

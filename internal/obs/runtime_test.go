@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsSampled(t *testing.T) {
+	r := NewRegistry()
+	EnableRuntimeMetrics(r)
+
+	// Force at least one GC cycle so the pause histogram has material.
+	runtime.GC()
+	runtime.GC()
+
+	snap := r.Snapshot()
+	if g := snap.Gauges[MetricGoGoroutines]; g < 1 {
+		t.Fatalf("%s = %d, want >= 1", MetricGoGoroutines, g)
+	}
+	if g := snap.Gauges[MetricGoHeapAllocBytes]; g <= 0 {
+		t.Fatalf("%s = %d, want > 0", MetricGoHeapAllocBytes, g)
+	}
+	if c := snap.Counters[MetricGoGCCycles]; c < 2 {
+		t.Fatalf("%s = %d, want >= 2", MetricGoGCCycles, c)
+	}
+	h, ok := snap.Histograms[MetricGoGCPauseSeconds]
+	if !ok || h.Count == 0 {
+		t.Fatalf("%s missing or empty after runtime.GC()", MetricGoGCPauseSeconds)
+	}
+
+	// A second snapshot must not replay pauses already counted: the
+	// counter and histogram grow only with new GC cycles.
+	before := h.Count
+	snap2 := r.Snapshot()
+	if got := snap2.Histograms[MetricGoGCPauseSeconds].Count; got < before {
+		t.Fatalf("pause count shrank across snapshots: %d -> %d", before, got)
+	}
+	runtime.GC()
+	snap3 := r.Snapshot()
+	if got := snap3.Histograms[MetricGoGCPauseSeconds].Count; got <= before {
+		t.Fatalf("pause count did not grow after another GC: %d -> %d", before, got)
+	}
+}
+
+func TestRuntimeMetricsNilRegistry(t *testing.T) {
+	EnableRuntimeMetrics(nil) // must not panic
+}
+
+func TestReadBuildInfoPopulated(t *testing.T) {
+	b := ReadBuildInfo()
+	if b.GoVersion == "" || b.Module == "" || b.Revision == "" {
+		t.Fatalf("build info has empty fields: %+v", b)
+	}
+	labels := b.PromLabels()
+	if len(labels) == 0 {
+		t.Fatal("PromLabels returned no labels")
+	}
+}
+
+// TestMetricsBuildInfoBothDialects asserts the /metrics handler
+// surfaces twolevel_build_info in the JSON snapshot (gauge + build
+// object) and as a labeled gauge in the Prometheus exposition.
+func TestMetricsBuildInfoBothDialects(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	mux := NewMux(r, nil)
+
+	// JSON dialect.
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var doc struct {
+		Gauges map[string]int64 `json:"gauges"`
+		Build  BuildInfo        `json:"build"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decoding JSON metrics: %v", err)
+	}
+	if doc.Gauges[MetricBuildInfo] != 1 {
+		t.Fatalf("JSON %s = %d, want 1", MetricBuildInfo, doc.Gauges[MetricBuildInfo])
+	}
+	if doc.Build.GoVersion == "" {
+		t.Fatalf("JSON build object empty: %+v", doc.Build)
+	}
+
+	// Prometheus dialect: exactly one labeled build-info series.
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=prometheus", nil))
+	body := rec.Body.String()
+	if n := strings.Count(body, MetricBuildInfo+"{"); n != 1 {
+		t.Fatalf("want exactly 1 labeled %s series, got %d in:\n%s", MetricBuildInfo, n, body)
+	}
+	if strings.Contains(body, "\n"+MetricBuildInfo+" ") {
+		t.Fatalf("unlabeled %s series leaked into exposition:\n%s", MetricBuildInfo, body)
+	}
+	if !strings.Contains(body, `go_version="`) {
+		t.Fatalf("build-info series missing go_version label:\n%s", body)
+	}
+}

@@ -1,0 +1,173 @@
+package service
+
+// This file is the hot in-memory tier over a durable result store —
+// the repo dogfooding its own subject matter. The DiskStore already
+// keeps a full in-process index, but the hierarchy mirrors the paper's
+// two-level structure on purpose: a small, fast, bounded L1 (this LRU)
+// over a large, slow, durable L2 (the wrapped store), with hit/miss/
+// eviction counters and a hit-rate gauge so a loadgen run can size the
+// hot tier empirically — exactly the measured miss-ratio reasoning
+// Jouppi & Wilton apply to cache geometry.
+//
+// Invariants:
+//   - Read-through, byte-identical: Get answers from the hot tier only
+//     for keys it has seen; a miss reads the wrapped store and caches
+//     the point unchanged. A point served hot is the very value the
+//     wrapped store returned (sweep.Point is a value type; no
+//     re-marshaling), so documents built over a HotStore are
+//     byte-identical to ones built over the bare store.
+//   - Exact-only by construction: the manager's store Put is reachable
+//     only from exact completions (never the fast tier's approximate
+//     points), and HotStore adds no other write path, so the hot tier
+//     can never serve an approximation.
+//   - Eviction is strict LRU over Get/Put recency, bounded by capacity
+//     in points; the wrapped store is never evicted from.
+
+import (
+	"container/list"
+	"sync"
+
+	"twolevel/internal/obs"
+	"twolevel/internal/sweep"
+)
+
+// Metric names maintained by a HotStore on its registry.
+const (
+	// MetricHotHits counts Gets answered from the hot in-memory tier.
+	MetricHotHits = "store_hot_hits_total"
+	// MetricHotMisses counts Gets that fell through to the wrapped
+	// store (whether or not that store had the key).
+	MetricHotMisses = "store_hot_misses_total"
+	// MetricHotEvictions counts LRU evictions from the hot tier.
+	MetricHotEvictions = "store_hot_evictions_total"
+	// MetricHotSize gauges points currently resident in the hot tier.
+	MetricHotSize = "store_hot_size"
+	// MetricHotHitRateBP gauges the cumulative hot-tier hit rate in
+	// basis points (0..10000, i.e. hits*10000/(hits+misses)) — the
+	// number a loadgen run reads to size the tier.
+	MetricHotHitRateBP = "store_hot_hit_rate_bp"
+)
+
+// HotStore is a bounded LRU read-through tier over another Store. It is
+// safe for concurrent use and implements Store, so the Manager (and the
+// envelope endpoint) cannot tell it from the bare store.
+type HotStore struct {
+	inner Store
+
+	mu  sync.Mutex
+	cap int
+	lru *list.List               // front = most recent; values are *hotEntry
+	idx map[string]*list.Element // key → element
+
+	hits      *obs.Counter
+	misses    *obs.Counter
+	evictions *obs.Counter
+	size      *obs.Gauge
+	hitRate   *obs.Gauge
+}
+
+type hotEntry struct {
+	key string
+	p   sweep.Point
+}
+
+// NewHotStore wraps inner with a hot tier holding at most capacity
+// points (minimum 1). Metrics are registered on reg (nil-safe, like all
+// obs instrumentation).
+func NewHotStore(inner Store, capacity int, reg *obs.Registry) *HotStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &HotStore{
+		inner:     inner,
+		cap:       capacity,
+		lru:       list.New(),
+		idx:       make(map[string]*list.Element),
+		hits:      reg.Counter(MetricHotHits),
+		misses:    reg.Counter(MetricHotMisses),
+		evictions: reg.Counter(MetricHotEvictions),
+		size:      reg.Gauge(MetricHotSize),
+		hitRate:   reg.Gauge(MetricHotHitRateBP),
+	}
+}
+
+// Get answers from the hot tier when possible, reading through to the
+// wrapped store (and caching the result) otherwise.
+func (h *HotStore) Get(key string) (sweep.Point, bool) {
+	h.mu.Lock()
+	if el, ok := h.idx[key]; ok {
+		h.lru.MoveToFront(el)
+		p := el.Value.(*hotEntry).p
+		h.mu.Unlock()
+		h.hits.Inc()
+		h.updateRate()
+		return p, true
+	}
+	h.mu.Unlock()
+	h.misses.Inc()
+	h.updateRate()
+	p, ok := h.inner.Get(key)
+	if ok {
+		h.insert(key, p)
+	}
+	return p, ok
+}
+
+// Put writes through to the wrapped store and installs the point hot
+// (a point just computed is the likeliest next read: memoized
+// re-queries land here).
+func (h *HotStore) Put(key string, p sweep.Point) {
+	h.inner.Put(key, p)
+	h.insert(key, p)
+}
+
+// insert makes key most-recently-used, evicting from the tail over
+// capacity.
+func (h *HotStore) insert(key string, p sweep.Point) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if el, ok := h.idx[key]; ok {
+		el.Value.(*hotEntry).p = p
+		h.lru.MoveToFront(el)
+		return
+	}
+	h.idx[key] = h.lru.PushFront(&hotEntry{key: key, p: p})
+	for h.lru.Len() > h.cap {
+		tail := h.lru.Back()
+		h.lru.Remove(tail)
+		delete(h.idx, tail.Value.(*hotEntry).key)
+		h.evictions.Inc()
+	}
+	h.size.Set(int64(h.lru.Len()))
+}
+
+// updateRate refreshes the cumulative hit-rate gauge (basis points).
+func (h *HotStore) updateRate() {
+	hits, misses := h.hits.Value(), h.misses.Value()
+	if total := hits + misses; total > 0 {
+		h.hitRate.Set(int64(hits * 10000 / total))
+	}
+}
+
+// Len reports the wrapped store's point count (the hot tier is a cache,
+// not a second source of truth).
+func (h *HotStore) Len() int { return h.inner.Len() }
+
+// Points enumerates the wrapped store (bulk reads bypass the hot tier;
+// they would only thrash it).
+func (h *HotStore) Points(keep func(sweep.Point) bool) []sweep.Point {
+	return h.inner.Points(keep)
+}
+
+// Err surfaces the wrapped store's sticky persistence failure, if it
+// tracks one (DiskStore poisoning flows through to /readyz unchanged).
+func (h *HotStore) Err() error {
+	if e, ok := h.inner.(interface{ Err() error }); ok {
+		return e.Err()
+	}
+	return nil
+}
+
+// Inner exposes the wrapped store (cmd/served closes the DiskStore it
+// opened; tests compare tiers).
+func (h *HotStore) Inner() Store { return h.inner }

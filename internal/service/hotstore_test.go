@@ -1,0 +1,160 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"twolevel/internal/obs"
+	"twolevel/internal/sweep"
+)
+
+func hotPoint(i int) sweep.Point {
+	return sweep.Point{Workload: "gcc1", Label: fmt.Sprintf("p%d", i), TPINS: float64(i) * 0.5}
+}
+
+func TestHotStoreReadThroughIdentical(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := NewStore(0)
+	h := NewHotStore(inner, 4, reg)
+
+	want := hotPoint(1)
+	inner.Put("k1", want)
+
+	// First Get misses hot, reads through, caches.
+	got, ok := h.Get("k1")
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("read-through Get = %+v, %v", got, ok)
+	}
+	// Second Get is a hot hit and returns the identical value.
+	got2, ok := h.Get("k1")
+	if !ok || !reflect.DeepEqual(got2, want) {
+		t.Fatalf("hot Get = %+v, %v", got2, ok)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[MetricHotHits] != 1 || snap.Counters[MetricHotMisses] != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1",
+			snap.Counters[MetricHotHits], snap.Counters[MetricHotMisses])
+	}
+	if snap.Gauges[MetricHotHitRateBP] != 5000 {
+		t.Fatalf("hit rate = %d bp, want 5000", snap.Gauges[MetricHotHitRateBP])
+	}
+}
+
+func TestHotStoreMissingKey(t *testing.T) {
+	h := NewHotStore(NewStore(0), 4, nil)
+	if _, ok := h.Get("absent"); ok {
+		t.Fatal("Get reported a point for an absent key")
+	}
+	// A miss on an absent key must not cache anything.
+	if _, ok := h.Get("absent"); ok {
+		t.Fatal("absent key became present")
+	}
+}
+
+func TestHotStoreLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	inner := NewStore(0)
+	h := NewHotStore(inner, 2, reg)
+
+	h.Put("a", hotPoint(0))
+	h.Put("b", hotPoint(1))
+	if _, ok := h.Get("a"); !ok { // touch a: now b is least recent
+		t.Fatal("a missing")
+	}
+	h.Put("c", hotPoint(2)) // evicts b
+
+	snap := reg.Snapshot()
+	if snap.Counters[MetricHotEvictions] != 1 {
+		t.Fatalf("evictions = %d, want 1", snap.Counters[MetricHotEvictions])
+	}
+	if snap.Gauges[MetricHotSize] != 2 {
+		t.Fatalf("size gauge = %d, want 2", snap.Gauges[MetricHotSize])
+	}
+
+	// b was evicted hot but is still durable: the next Get reads through.
+	missesBefore := reg.Snapshot().Counters[MetricHotMisses]
+	if p, ok := h.Get("b"); !ok || !reflect.DeepEqual(p, hotPoint(1)) {
+		t.Fatalf("evicted key lost from wrapped store: %+v, %v", p, ok)
+	}
+	if got := reg.Snapshot().Counters[MetricHotMisses]; got != missesBefore+1 {
+		t.Fatalf("misses = %d, want %d", got, missesBefore+1)
+	}
+}
+
+func TestHotStoreDelegation(t *testing.T) {
+	inner := NewStore(0)
+	h := NewHotStore(inner, 2, nil)
+	h.Put("a", hotPoint(0))
+	h.Put("b", hotPoint(1))
+	h.Put("c", hotPoint(2)) // hot tier holds 2; inner holds 3
+
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want the wrapped store's 3", h.Len())
+	}
+	if pts := h.Points(nil); len(pts) != 3 {
+		t.Fatalf("Points = %d, want 3", len(pts))
+	}
+	if h.Inner() != Store(inner) {
+		t.Fatal("Inner() does not expose the wrapped store")
+	}
+}
+
+// errStore is a Store with a sticky error, standing in for a poisoned
+// DiskStore.
+type errStore struct {
+	Store
+	err error
+}
+
+func (s errStore) Err() error { return s.err }
+
+func TestHotStoreErrPassthrough(t *testing.T) {
+	sticky := errors.New("segment poisoned")
+	h := NewHotStore(errStore{Store: NewStore(0), err: sticky}, 2, nil)
+	if got := h.Err(); got != sticky {
+		t.Fatalf("Err() = %v, want the wrapped store's", got)
+	}
+	if got := NewHotStore(NewStore(0), 2, nil).Err(); got != nil {
+		t.Fatalf("Err() over an errorless store = %v", got)
+	}
+}
+
+// TestHotStoreServesManager wires a HotStore under a real manager and
+// asserts a memoized re-query hits the hot tier while results stay
+// byte-identical.
+func TestHotStoreServesManager(t *testing.T) {
+	reg := obs.NewRegistry()
+	hot := NewHotStore(NewStore(0), 64, reg)
+	m := New(Config{Workers: 2, Store: hot, Metrics: reg})
+	defer m.Close()
+
+	req := JobRequest{Workloads: []string{"gcc1"}, Options: sweep.Options{
+		Refs: 20000, L1Sizes: []int64{1 << 10, 2 << 10}, L2Sizes: []int64{0, 8 << 10},
+	}}
+	j1, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j1.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	pts1 := j1.Points()
+
+	j2, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Wait(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	pts2 := j2.Points()
+
+	if !reflect.DeepEqual(pts1, pts2) {
+		t.Fatal("re-query points differ from the original evaluation")
+	}
+	if hits := reg.Snapshot().Counters[MetricHotHits]; hits == 0 {
+		t.Fatal("memoized re-query produced no hot-tier hits")
+	}
+}

@@ -5,8 +5,19 @@ package service
 //	POST   /v1/jobs           submit a job (JSON body, see jobSpec;
 //	                          "mode":"fast" or ?mode=fast selects the
 //	                          two-tier fast serving path)
-//	GET    /v1/jobs           list job statuses
+//	GET    /v1/jobs           list job statuses (id, state, mode, point
+//	                          counts), optionally filtered with
+//	                          ?state=<running|done|failed|cancelled|
+//	                          deadline_exceeded>
 //	GET    /v1/jobs/{id}      one job's status
+//	GET    /v1/jobs/{id}/events  live progress as Server-Sent Events
+//	                          (text/event-stream): a "snapshot" status
+//	                          on connect, "task" events as evaluations
+//	                          complete (and as the fast tier predicts
+//	                          and refines), comment heartbeats, and a
+//	                          terminal "state" event matching the polled
+//	                          status, after which the stream closes
+//	                          (see sse.go for the schema)
 //	GET    /v1/jobs/{id}/result  completed points as a twolevel-sweep/1
 //	                          document (sweep.SaveJSON; 202 + status
 //	                          while the job is still running — except
@@ -222,14 +233,24 @@ func NewHandler(m *Manager) http.Handler {
 		w.Header().Set("Location", "/v1/jobs/"+j.ID())
 		writeJSON(w, http.StatusAccepted, j.Status())
 	})
-	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		want := State(r.URL.Query().Get("state"))
+		switch want {
+		case "", StateRunning, StateDone, StateFailed, StateCancelled, StateDeadlineExceeded:
+		default:
+			httpError(w, http.StatusBadRequest, fmt.Errorf("unknown state filter %q", want))
+			return
+		}
 		jobs := m.Jobs()
-		statuses := make([]Status, len(jobs))
-		for i, j := range jobs {
-			statuses[i] = j.Status()
+		statuses := make([]Status, 0, len(jobs))
+		for _, j := range jobs {
+			if st := j.Status(); want == "" || st.State == want {
+				statuses = append(statuses, st)
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/events", m.streamEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Job(r.PathValue("id"))
 		if !ok {

@@ -66,6 +66,13 @@ const (
 	// while appends reach disk. A poisoned store also flips /readyz to
 	// 503 so the degradation is routed around instead of silent.
 	MetricStorePoisoned = "service_store_poisoned"
+	// MetricProgressStreams gauges currently open SSE job-progress
+	// streams (GET /v1/jobs/{id}/events).
+	MetricProgressStreams = "service_progress_streams"
+	// MetricStreamEventsDropped counts events a slow SSE subscriber's
+	// buffer discarded (the stream stays live; the terminal state event
+	// is synthesized from the job, so nothing authoritative is lost).
+	MetricStreamEventsDropped = "service_stream_events_dropped_total"
 	// MetricJobSeconds is the per-job wall-time histogram (submission to
 	// completion).
 	MetricJobSeconds = "service_job_seconds"
@@ -108,40 +115,44 @@ type svcMetrics struct {
 	tasksRefined   *obs.Counter
 	// absTPIErr is the model-accuracy histogram (model.MetricAbsTPIError)
 	// observed at every fast→exact refinement.
-	absTPIErr     *obs.Histogram
-	queueDepth    *obs.Gauge
-	jobsActive    *obs.Gauge
-	workers       *obs.Gauge
-	storeSize     *obs.Gauge
-	ready         *obs.Gauge
-	storePoisoned *obs.Gauge
-	jobSeconds    *obs.Histogram
+	absTPIErr       *obs.Histogram
+	queueDepth      *obs.Gauge
+	jobsActive      *obs.Gauge
+	workers         *obs.Gauge
+	storeSize       *obs.Gauge
+	ready           *obs.Gauge
+	storePoisoned   *obs.Gauge
+	progressStreams *obs.Gauge
+	streamDropped   *obs.Counter
+	jobSeconds      *obs.Histogram
 }
 
 // newSvcMetrics resolves the service instruments (all nil on a nil
 // registry).
 func newSvcMetrics(r *obs.Registry) *svcMetrics {
 	return &svcMetrics{
-		jobsSubmitted:  r.Counter(MetricJobsSubmitted),
-		jobsDone:       r.Counter(MetricJobsDone),
-		jobsFailed:     r.Counter(MetricJobsFailed),
-		jobsCancelled:  r.Counter(MetricJobsCancelled),
-		jobsShed:       r.Counter(MetricJobsShed),
-		jobsExpired:    r.Counter(MetricJobsExpired),
-		storeHits:      r.Counter(MetricStoreHits),
-		storeMisses:    r.Counter(MetricStoreMisses),
-		coalesced:      r.Counter(MetricTasksCoalesced),
-		tasksDone:      r.Counter(MetricTasksDone),
-		tasksFailed:    r.Counter(MetricTasksFailed),
-		tasksPredicted: r.Counter(MetricTasksPredicted),
-		tasksRefined:   r.Counter(MetricTasksRefined),
-		absTPIErr:      r.Histogram(model.MetricAbsTPIError, model.AbsTPIErrorBounds()),
-		queueDepth:     r.Gauge(MetricQueueDepth),
-		jobsActive:     r.Gauge(MetricJobsActive),
-		workers:        r.Gauge(MetricWorkers),
-		storeSize:      r.Gauge(MetricStoreSize),
-		ready:          r.Gauge(MetricReady),
-		storePoisoned:  r.Gauge(MetricStorePoisoned),
+		jobsSubmitted:   r.Counter(MetricJobsSubmitted),
+		jobsDone:        r.Counter(MetricJobsDone),
+		jobsFailed:      r.Counter(MetricJobsFailed),
+		jobsCancelled:   r.Counter(MetricJobsCancelled),
+		jobsShed:        r.Counter(MetricJobsShed),
+		jobsExpired:     r.Counter(MetricJobsExpired),
+		storeHits:       r.Counter(MetricStoreHits),
+		storeMisses:     r.Counter(MetricStoreMisses),
+		coalesced:       r.Counter(MetricTasksCoalesced),
+		tasksDone:       r.Counter(MetricTasksDone),
+		tasksFailed:     r.Counter(MetricTasksFailed),
+		tasksPredicted:  r.Counter(MetricTasksPredicted),
+		tasksRefined:    r.Counter(MetricTasksRefined),
+		absTPIErr:       r.Histogram(model.MetricAbsTPIError, model.AbsTPIErrorBounds()),
+		queueDepth:      r.Gauge(MetricQueueDepth),
+		jobsActive:      r.Gauge(MetricJobsActive),
+		workers:         r.Gauge(MetricWorkers),
+		storeSize:       r.Gauge(MetricStoreSize),
+		ready:           r.Gauge(MetricReady),
+		storePoisoned:   r.Gauge(MetricStorePoisoned),
+		progressStreams: r.Gauge(MetricProgressStreams),
+		streamDropped:   r.Counter(MetricStreamEventsDropped),
 		// Jobs run from milliseconds (fully cached) to hours.
 		jobSeconds: r.Histogram(MetricJobSeconds, obs.ExpBuckets(0.001, 2, 24)),
 	}

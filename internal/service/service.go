@@ -62,9 +62,16 @@ type Config struct {
 	// of every evaluation. Nil costs nothing.
 	Metrics *obs.Registry
 	// Events, when non-nil, receives the job/task lifecycle journal (see
-	// the Event* constants) plus the sweep-level evaluation events. Nil
-	// costs nothing.
+	// the Event* constants) plus the sweep-level evaluation events. When
+	// nil the manager keeps a private broadcast-only bus so the SSE
+	// progress streams (GET /v1/jobs/{id}/events) work regardless; pass
+	// one explicitly to also journal the events to a sink.
 	Events *obs.EventLog
+	// StreamHeartbeat is the keepalive interval of SSE progress streams:
+	// a comment line is written whenever the interval passes without an
+	// event, so idle streams survive proxies and dead clients are
+	// detected. 0 means the 15s default.
+	StreamHeartbeat time.Duration
 	// Trace, when non-nil, receives the span tree of every job (job →
 	// evaluate → store-{hit,miss}). When nil the manager keeps a private
 	// tracer so GET /v1/jobs/{id}/trace works regardless; pass one
@@ -155,6 +162,7 @@ type Manager struct {
 	maxQueue   int
 	maxTimeout time.Duration
 	maxBody    int64
+	heartbeat  time.Duration
 	// workersN is the local pool size (0 under external execution);
 	// retryAfter scales its backoff hint by it.
 	workersN int
@@ -252,6 +260,14 @@ func New(cfg Config) *Manager {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
+	if cfg.Events == nil {
+		// A broadcast-only bus: never serialized, feeds only live SSE
+		// subscribers, so progress streaming works without a journal.
+		cfg.Events = obs.NewEventBus()
+	}
+	if cfg.StreamHeartbeat <= 0 {
+		cfg.StreamHeartbeat = 15 * time.Second
+	}
 	m := &Manager{
 		store:      cfg.Store,
 		met:        newSvcMetrics(cfg.Metrics),
@@ -263,6 +279,7 @@ func New(cfg Config) *Manager {
 		maxQueue:   cfg.MaxQueue,
 		maxTimeout: cfg.MaxTimeout,
 		maxBody:    cfg.MaxBodyBytes,
+		heartbeat:  cfg.StreamHeartbeat,
 		workersN:   cfg.Workers,
 		profiles:   model.NewCache(),
 		inflight:   make(map[string]*task),

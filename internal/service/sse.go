@@ -1,0 +1,140 @@
+package service
+
+// This file implements live job-progress streaming over Server-Sent
+// Events: GET /v1/jobs/{id}/events holds the connection open and pushes
+// the job's lifecycle as it happens — clients stop polling
+// GET /v1/jobs/{id}.
+//
+// The stream is fed from the manager's obs event journal (every task
+// completion, cache hit, coalesce, fast-tier prediction and refinement
+// carries the job id) and framed as:
+//
+//	event: snapshot          on connect: the job's Status (so a client
+//	data: {Status JSON}      joining late starts from truth, not zero)
+//
+//	event: task              one per journal event for this job while
+//	data: {obs.Event JSON}   the stream is open ("type" tags it:
+//	                         task_done, task_cached, task_predicted,
+//	                         task_refined, task_error, ...)
+//
+//	event: state             exactly once, when the job reaches a
+//	data: {Status JSON}      terminal state; the stream closes after it
+//
+//	: hb                     comment keepalive whenever
+//	                         Config.StreamHeartbeat passes without an
+//	                         event
+//
+// Delivery of task events is at-least-once from the subscription
+// onward and lossy under backpressure (a slow client's buffer drops
+// events — counted in service_stream_events_dropped_total — rather than
+// stalling the evaluation plane); the snapshot and terminal state
+// events are synthesized from the job itself, so the stream's final
+// word always matches what polling GET /v1/jobs/{id} would report.
+// Teardown is clean on client disconnect, job cancel, and manager
+// drain: the handler returns, the subscription detaches, and the
+// service_progress_streams gauge falls back.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// streamEvents is the GET /v1/jobs/{id}/events handler body.
+func (m *Manager) streamEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := m.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+
+	// Subscribe before the snapshot: an event racing the connect is then
+	// either in the snapshot, in the channel, or both — never lost.
+	// 256 events of buffer rides out transient client stalls; a truly
+	// slow client drops task events (counted) but still gets the
+	// authoritative terminal state.
+	sub := m.events.Subscribe(256)
+	defer func() {
+		sub.Close()
+		m.met.streamDropped.Add(sub.Dropped())
+	}()
+	m.met.progressStreams.Add(1)
+	defer m.met.progressStreams.Add(-1)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+
+	if !writeSSE(w, flusher, 0, "snapshot", j.Status()) {
+		return
+	}
+
+	hb := time.NewTicker(m.heartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case e := <-sub.C():
+			if e.Job != j.ID() {
+				continue
+			}
+			if !writeSSE(w, flusher, e.Seq, "task", e) {
+				return
+			}
+			hb.Reset(m.heartbeat)
+		case <-j.Done():
+			// Drain task events already buffered for this job, then close
+			// with the terminal state — synthesized from the job, so it
+			// matches the polled status even if journal events were
+			// dropped.
+			for drained := false; !drained; {
+				select {
+				case e := <-sub.C():
+					if e.Job == j.ID() {
+						if !writeSSE(w, flusher, e.Seq, "task", e) {
+							return
+						}
+					}
+				default:
+					drained = true
+				}
+			}
+			writeSSE(w, flusher, 0, "state", j.Status())
+			return
+		case <-hb.C:
+			if _, err := fmt.Fprint(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			// Client went away (or the HTTP server is shutting down hard).
+			return
+		}
+	}
+}
+
+// writeSSE frames one event (id optional: 0 omits it), reporting false
+// once the client is gone.
+func writeSSE(w http.ResponseWriter, f http.Flusher, id uint64, event string, v any) bool {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return false
+	}
+	if id > 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", id); err != nil {
+			return false
+		}
+	}
+	if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+		return false
+	}
+	f.Flush()
+	return true
+}

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# loadgen_smoke.sh is the serving observatory's end-to-end check: it
+# boots cmd/served with a durable store and the hot LRU tier, replays a
+# deterministic mixed workload against it with cmd/loadgen at a fixed
+# rate, and asserts the loop closes — the run produces a well-formed
+# twolevel-loadgen/1 report, every SLO verdict passes, the memoized
+# re-queries actually hit the hot tier (store_hot_hits_total >= 1), the
+# SSE streams delivered first-result timings, and the runtime telemetry
+# and build info surface on /metrics. The report is kept (ARTIFACT_DIR)
+# so CI uploads the latency baseline of every run.
+#
+# Requires: go, curl, jq. Run via `make loadgen-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() {
+	echo "loadgen-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+TMP="$(mktemp -d)"
+LOG="$TMP/served.log"
+STORE="$TMP/store"
+go build -o "$TMP/served" ./cmd/served
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+"$TMP/served" -listen 127.0.0.1:0 -workers 2 \
+	-store-dir "$STORE" -hot-cache 256 -sse-heartbeat 2s 2>"$LOG" &
+PID=$!
+cleanup() {
+	kill -INT "$PID" 2>/dev/null || true
+	wait "$PID" 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+	ADDR="$(sed -n 's#^served: listening on http://\([^ ]*\).*#\1#p' "$LOG")"
+	[ -n "$ADDR" ] && break
+	sleep 0.1
+done
+[ -n "$ADDR" ] || { cat "$LOG" >&2; fail "server never announced its address"; }
+BASE="http://$ADDR"
+grep -q "hot tier enabled" "$LOG" || fail "served did not announce the hot tier"
+echo "loadgen-smoke: server up at $BASE (hot tier on)"
+
+# Prime the store so envelope queries in the mix have points to answer
+# from on a brand-new store directory.
+PRIME='{"workloads":["gcc1"],"options":{"refs":20000,"l1_kb":[1,2,4],"l2_kb":[0,16]}}'
+JOB="$(curl -fsS -X POST "$BASE/v1/jobs" -d "$PRIME" | jq -r .id)"
+for _ in $(seq 1 300); do
+	STATE="$(curl -fsS "$BASE/v1/jobs/$JOB" | jq -r .state)"
+	[ "$STATE" = running ] || break
+	sleep 0.1
+done
+[ "$STATE" = done ] || fail "priming job state $STATE, want done"
+
+ARTIFACT_DIR="${ARTIFACT_DIR:-$TMP}"
+mkdir -p "$ARTIFACT_DIR"
+REPORT="$ARTIFACT_DIR/loadgen_report.json"
+
+# Replay the mixed workload: 10 rps for 6 seconds, seed-pinned, with
+# deliberately generous CI-grade objectives (the point here is the
+# machinery end to end, not a latency benchmark on shared runners).
+"$TMP/loadgen" -base "$BASE" -rps 10 -duration 6s -seed 42 \
+	-mix cold=1,hot=5,envelope=3,fast=1 \
+	-slo p99:hot:20s,p99:cold:30s,p99:envelope:10s,p90:hot_first:20s \
+	-o "$REPORT" || fail "loadgen exited nonzero (SLO violation or run error)"
+
+# The report must be the versioned format with a passing verdict and a
+# fully accounted request ledger.
+jq -e '
+	(.format == "twolevel-loadgen/1")
+	and .pass
+	and (.requests == 60)
+	and ([.classes[].requests] | add == 60)
+	and ([.classes[].errors] | add == 0)
+	and (.verdicts | length == 4)
+	and (.verdicts | all(.pass))
+' <"$REPORT" >/dev/null || { jq . <"$REPORT" >&2; fail "report malformed, errored, or failing SLOs"; }
+echo "loadgen-smoke: report ok ($(jq -r '[.classes[].latency.count] | add' <"$REPORT") measured requests, all SLOs pass)"
+
+# SSE streams must have produced first-result timings for the hot class.
+jq -e '.classes.hot.first_result.count >= 1' <"$REPORT" >/dev/null \
+	|| { jq .classes.hot <"$REPORT" >&2; fail "no SSE first-result timings for the hot class"; }
+
+# The hot tier must have been exercised by the memoized re-queries, and
+# the server snapshot embedded in the report is where that shows up.
+HOT_HITS="$(jq '.server_metrics.counters.store_hot_hits_total // 0' <"$REPORT")"
+[ "$HOT_HITS" -ge 1 ] || { jq '.server_metrics.counters' <"$REPORT" >&2; fail "store_hot_hits_total = $HOT_HITS, want >= 1"; }
+RATE_BP="$(jq '.server_metrics.gauges.store_hot_hit_rate_bp // 0' <"$REPORT")"
+echo "loadgen-smoke: hot tier hit $HOT_HITS times (hit rate ${RATE_BP}bp)"
+
+# Streams opened and closed cleanly: the gauge is back to 0.
+METRICS="$(curl -fsS "$BASE/metrics")"
+jq -e '.gauges.service_progress_streams == 0' <<<"$METRICS" >/dev/null \
+	|| fail "service_progress_streams != 0 after the run"
+
+# Runtime telemetry and build info ride the same scrape, both dialects.
+jq -e '
+	(.gauges.go_goroutines >= 1)
+	and (.gauges.go_heap_alloc_bytes > 0)
+	and (.gauges.twolevel_build_info == 1)
+	and (.build.go_version != "")
+' <<<"$METRICS" >/dev/null || { jq '.gauges' <<<"$METRICS" >&2; fail "runtime/build telemetry missing from JSON metrics"; }
+curl -fsS "$BASE/metrics?format=prometheus" | grep -q '^twolevel_build_info{' \
+	|| fail "labeled twolevel_build_info missing from Prometheus exposition"
+
+echo "loadgen-smoke: PASS (report at $REPORT)"

@@ -41,6 +41,7 @@ import (
 	"twolevel/internal/cluster"
 	"twolevel/internal/core"
 	"twolevel/internal/figures"
+	"twolevel/internal/loadgen"
 	"twolevel/internal/model"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
@@ -373,6 +374,12 @@ func EvalLatencySLOs(slos []LatencySLO, snap MetricsSnapshot) []SLOVerdict {
 	return obs.EvalSLOs(slos, snap, nil)
 }
 
+// EnableRuntimeMetrics attaches Go runtime telemetry to a registry:
+// goroutine count, heap gauges, GC cycle counter, and the GC pause
+// histogram, sampled lazily at each Snapshot. The /metrics handlers add
+// twolevel_build_info alongside them.
+func EnableRuntimeMetrics(reg *MetricsRegistry) { obs.EnableRuntimeMetrics(reg) }
+
 // SpanTracer collects a span tree of run execution (run → sweep →
 // config → attempt → simulate; job → evaluate → store-{hit,miss} in the
 // job service) and exports it as Chrome trace_event JSON loadable in
@@ -556,9 +563,43 @@ func OpenResultStore(dir string, opt DiskResultStoreOptions) (*DiskResultStore, 
 // NewJobServiceHandler builds the /v1 HTTP JSON API over a job service.
 func NewJobServiceHandler(m *JobService) http.Handler { return service.NewHandler(m) }
 
+// HotResultStore is a bounded in-memory LRU read-through tier over
+// another result store — the paper's two-level hierarchy applied to the
+// serving plane. It implements ResultStore, serves byte-identical
+// points, and reports store_hot_* hit/miss/eviction metrics.
+type HotResultStore = service.HotStore
+
+// NewHotResultStore wraps inner with a hot tier of at most capacity
+// points (minimum 1), instrumented on reg (nil-safe).
+func NewHotResultStore(inner ResultStore, capacity int, reg *MetricsRegistry) *HotResultStore {
+	return service.NewHotStore(inner, capacity, reg)
+}
+
 // ErrServiceOverloaded reports a job refused by admission control
 // (JobServiceConfig.MaxActiveJobs / MaxQueue); back off and resubmit.
 var ErrServiceOverloaded = service.ErrOverloaded
+
+// ---- Serving observatory ----
+
+// LoadGenConfig parameterizes a deterministic open-loop load-generation
+// run against a live job service (internal/loadgen): arrival rate,
+// duration, seed, request-class mix, and latency SLOs.
+type LoadGenConfig = loadgen.Config
+
+// LoadGenReport is the twolevel-loadgen/1 result document: per-class
+// latency quantiles, first-result timings from the SSE progress
+// streams, SLO verdicts, and the server's own metrics snapshot.
+type LoadGenReport = loadgen.Report
+
+// PlanLoad expands a config into its deterministic arrival schedule
+// (equal configs yield identical plans).
+func PlanLoad(cfg LoadGenConfig) ([]loadgen.Request, error) { return loadgen.Plan(cfg) }
+
+// RunLoad replays the planned mix against cfg.BaseURL and reports. SLO
+// failures surface in Report.Pass, not as an error.
+func RunLoad(ctx context.Context, cfg LoadGenConfig) (*LoadGenReport, error) {
+	return loadgen.Run(ctx, cfg)
+}
 
 // ChaosInjector is the deterministic fault injector of internal/chaos:
 // seed-driven panics, delays, errors, and short/corrupted I/O fired at
