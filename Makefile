@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race cover staticcheck serve-smoke loadgen-smoke explain-smoke chaos-smoke cluster-smoke fast-smoke ci clean
+.PHONY: all build vet test test-short race cover staticcheck serve-smoke loadgen-smoke explain-smoke chaos-smoke cluster-smoke failover-smoke fast-smoke ci clean
 
 all: build
 
@@ -58,6 +58,16 @@ chaos-smoke:
 # double-counted evaluations. Requires curl and jq.
 cluster-smoke:
 	bash scripts/cluster_smoke.sh
+
+# failover-smoke proves coordinator crash-tolerance from outside the
+# processes: a journaled coordinator plus two workers run a sweep, the
+# COORDINATOR is killed -9 mid-job and restarted against the same
+# journal and store directories, and the final result document must be
+# byte-identical to a standalone run with zero lost and zero
+# re-evaluated points and at least one orphaned lease reconciled.
+# Requires curl and jq.
+failover-smoke:
+	bash scripts/failover_smoke.sh
 
 # fast-smoke gates the analytical fast tier: cmd/sweep -accuracy runs
 # both tiers over all seven workloads at the default trace length and

@@ -48,7 +48,14 @@
 //	             /cluster/v1/status reports workers, leases, fleet
 //	             latency quantiles, and -slo verdicts; worker heartbeats
 //	             federate metrics and completion pushes carry worker
-//	             spans, stitched under each job's trace.
+//	             spans, stitched under each job's trace. With
+//	             -cluster-journal DIR the coordinator itself is
+//	             crash-tolerant: cluster state changes are journaled and
+//	             a restarted coordinator replays them atop the durable
+//	             store, holds /readyz at 503 "journal-replaying" until
+//	             orphaned leases reconcile with re-registering workers
+//	             (or -orphan-grace lapses), and finishes the sweep with
+//	             zero lost and zero re-evaluated points.
 //	worker       no job API: registers with -coordinator, heartbeats,
 //	             pulls leases, evaluates, pushes results. Serves only
 //	             the observability mux locally, with /readyz answering
@@ -111,6 +118,9 @@ func run() int {
 		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "no-contact deadline before a worker is declared dead and its leases stolen (-role coordinator)")
 		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat interval assigned to workers (-role coordinator; 0 = lease-ttl/4)")
 		leasePoints = flag.Int("lease-points", 0, "maximum evaluation points per lease (-role coordinator: cap, default 8; -role worker: points requested per lease)")
+
+		journalDir  = flag.String("cluster-journal", "", "cluster-state journal directory (-role coordinator): admissions, leases, and completions are journaled and replayed on restart, so a killed coordinator resumes its sweep with zero lost or re-evaluated points")
+		orphanGrace = flag.Duration("orphan-grace", 0, "how long journal-replayed orphaned leases wait for their worker to re-register before being stolen (-role coordinator; 0 = 2×lease-ttl)")
 	)
 	flag.Parse()
 
@@ -169,11 +179,34 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "served: hot tier enabled (%d points, LRU) over %s\n", *hotCache, *storeDir)
 	}
 
+	// The coordinator's cluster-state journal opens (and replays) before
+	// the manager exists, because the manager's admission/terminal hooks
+	// write to it from the first submission on.
+	var journal *cluster.Journal
+	if *journalDir != "" {
+		if *role != "coordinator" {
+			return fail(fmt.Errorf("-cluster-journal requires -role coordinator"))
+		}
+		var err error
+		if journal, err = cluster.OpenJournal(*journalDir, cluster.JournalOptions{Metrics: reg}); err != nil {
+			return fail(err)
+		}
+		rep := journal.Replayed()
+		if rep.Records > 0 || rep.TornRepaired > 0 || rep.CorruptDropped > 0 {
+			fmt.Fprintf(os.Stderr, "served: cluster journal %s replayed %d records (%d live jobs, %d in-flight leases",
+				*journalDir, rep.Records, len(rep.Jobs), len(rep.Leases))
+			if rep.TornRepaired > 0 || rep.CorruptDropped > 0 {
+				fmt.Fprintf(os.Stderr, "; repaired %d torn, dropped %d corrupt", rep.TornRepaired, rep.CorruptDropped)
+			}
+			fmt.Fprintln(os.Stderr, ")")
+		}
+	}
+
 	// The manager traces every job regardless (GET /v1/jobs/{id}/trace
 	// serves per-job subtrees live); -trace additionally persists the
 	// whole accumulated tree at shutdown.
 	tr := span.NewTracer()
-	mgr := service.New(service.Config{
+	cfg := service.Config{
 		Workers:           *workers,
 		ExternalExecution: *role == "coordinator",
 		Store:             store,
@@ -185,7 +218,12 @@ func run() int {
 		MaxTimeout:        *maxTimeout,
 		MaxBodyBytes:      *maxBody,
 		StreamHeartbeat:   *sseHB,
-	})
+	}
+	if journal != nil {
+		cfg.OnJobAdmitted = func(id string, req service.JobRequest) { journal.RecordAdmission(id, req) }
+		cfg.OnJobTerminal = func(id string, state service.State) { journal.RecordJobEnd(id, string(state)) }
+	}
+	mgr := service.New(cfg)
 
 	// One mux serves the job API and the observability endpoints; the
 	// obs mux holds "/" so /metrics, /debug/pprof, and the index work
@@ -208,11 +246,24 @@ func run() int {
 			LeaseTTL:       *leaseTTL,
 			Heartbeat:      *heartbeat,
 			MaxLeasePoints: *leasePoints,
+			Journal:        journal,
+			OrphanGrace:    *orphanGrace,
 			Metrics:        reg,
 			Events:         elog,
 			SLOs:           slos,
 		})
 		root.Handle("/cluster/v1/", obs.InstrumentHTTP(reg, coord.Handler()))
+		if journal != nil {
+			// /readyz answers 503 "journal-replaying" until the replayed
+			// orphan leases reconcile (workers re-register or the grace
+			// lapses), and degrades if the journal stops persisting.
+			mgr.AddReadyCheck("journal-replaying", coord.RecoveryErr)
+			mgr.AddReadyCheck("journal-poisoned", journal.Err)
+			if st := coord.Stats(); st.PointsOrphaned > 0 || st.PointsReady > 0 {
+				fmt.Fprintf(os.Stderr, "served: recovered %d pending points (%d orphaned awaiting their workers, %d ready to lease)\n",
+					st.PointsPending, st.PointsOrphaned, st.PointsReady)
+			}
+		}
 	}
 	// A coordinator's Prometheus scrape federates the fleet (per-worker
 	// series, cluster_agg_* rollups, SLO verdicts); a standalone node
@@ -253,6 +304,10 @@ func run() int {
 	}
 	if coord != nil {
 		coord.Close()
+	}
+	if err := journal.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "served: closing cluster journal: %v\n", err)
+		code = 1
 	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		fmt.Fprintf(os.Stderr, "served: http shutdown: %v\n", err)
@@ -316,10 +371,16 @@ func runWorker(o workerOpts) int {
 		Events:         elog,
 	})
 
-	// The worker's mux exposes /readyz backed by Worker.Ready, so the
-	// smoke script (and any orchestrator) waits for registration and
-	// live lease loops instead of sleeping.
-	srv, err := obs.ServeHandler(o.listen, obs.NewMuxOptions(reg, obs.MuxOptions{Ready: w.Ready}))
+	// The worker's mux exposes /readyz backed by Worker.Ready — so the
+	// smoke script (and any orchestrator) waits for registration and live
+	// lease loops instead of sleeping — with the failover state (circuit
+	// breaker, buffered pushes, reconnect count) merged into the body.
+	srv, err := obs.ServeHandler(o.listen, obs.NewMuxOptions(reg, obs.MuxOptions{
+		Ready: w.Ready,
+		ReadyDetail: func() map[string]any {
+			return map[string]any{"failover": w.Failover()}
+		},
+	}))
 	if err != nil {
 		return fail(err)
 	}

@@ -1,0 +1,87 @@
+package cluster
+
+// This file is the worker's reconnect backoff: a jittered exponential
+// schedule over a seeded randomness source, so coordinator-outage
+// probing spreads across a fleet (jitter) while staying reproducible in
+// tests (seed). The schedule is deterministic given (parameters, seed):
+// the torn-tail/backoff table tests in failover_test.go pin that.
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff parameterizes a jittered exponential backoff schedule. The
+// zero value gets the defaults noted per field.
+type Backoff struct {
+	// Base is the first delay (default 100ms).
+	Base time.Duration
+	// Max caps the grown delay before jitter (default 5s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized: a delay d
+	// becomes d*(1-Jitter) + U[0,1)*d*Jitter (default 0.5; 0 disables,
+	// yielding the bare exponential).
+	Jitter float64
+	// Seed seeds the jitter source (0: a time-derived seed, the
+	// production default; tests pass a fixed seed for determinism).
+	Seed int64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 5 * time.Second
+	}
+	if b.Factor <= 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.5
+	}
+	return b
+}
+
+// BackoffSchedule is one bound instance of a Backoff: Next yields the
+// successive delays, Reset starts the progression over (the jitter
+// source keeps advancing, so post-reset delays stay spread). Not
+// goroutine-safe; each reconnect loop owns its own schedule.
+type BackoffSchedule struct {
+	b       Backoff
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoffSchedule binds a schedule to the backoff's seeded source.
+func NewBackoffSchedule(b Backoff) *BackoffSchedule {
+	seed := b.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &BackoffSchedule{b: b.withDefaults(), rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the delay before the next attempt and advances the
+// schedule.
+func (s *BackoffSchedule) Next() time.Duration {
+	d := float64(s.b.Base)
+	for i := 0; i < s.attempt; i++ {
+		d *= s.b.Factor
+		if d >= float64(s.b.Max) {
+			d = float64(s.b.Max)
+			break
+		}
+	}
+	s.attempt++
+	if s.b.Jitter > 0 {
+		d = d*(1-s.b.Jitter) + s.rng.Float64()*d*s.b.Jitter
+	}
+	return time.Duration(d)
+}
+
+// Reset restarts the progression at Base (called after a successful
+// reconnect so the next outage probes promptly again).
+func (s *BackoffSchedule) Reset() { s.attempt = 0 }

@@ -60,6 +60,18 @@ type CoordinatorConfig struct {
 	// workers don't hammer the queue.
 	GrantWait time.Duration
 
+	// Journal, when non-nil, is the coordinator's crash journal: every
+	// scheduling state change (admission via the manager hooks, lease
+	// grant/renew/expiry, completion acceptance) is appended to it, and
+	// NewCoordinator replays whatever a previous process journaled —
+	// rebuilding the job table and ready queue atop the store and marking
+	// the leases that were in flight at the crash as orphaned.
+	Journal *Journal
+	// OrphanGrace is how long a journal-replayed orphaned lease waits for
+	// its worker to re-register (reclaiming the work) before its points
+	// are stolen back to the ready queue (default 2×LeaseTTL).
+	OrphanGrace time.Duration
+
 	// Metrics, Events, Trace, and Chaos follow the obs nil-safety
 	// contract: nil costs nothing. Chaos fires at the ChaosSite* sites
 	// of the coordinator's handlers.
@@ -86,6 +98,9 @@ func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
 	}
 	if c.GrantWait <= 0 {
 		c.GrantWait = 500 * time.Millisecond
+	}
+	if c.OrphanGrace <= 0 {
+		c.OrphanGrace = 2 * c.LeaseTTL
 	}
 	return c
 }
@@ -121,6 +136,24 @@ type workerState struct {
 	leases   map[string]*lease
 }
 
+// orphan is one journal-replayed unit whose lease was in flight when the
+// previous coordinator process died. It sits in c.pending (so a buffered
+// completion push still lands) but not in c.ready (so it is not handed
+// to another worker during the grace window). It resolves one of three
+// ways: its worker re-registers with the key in flight (reclaimed into a
+// fresh lease), a completion push arrives for the key, or the grace
+// deadline passes and the point is stolen back to the ready queue.
+type orphan struct {
+	u *unit
+	// lease and worker are the journaled origin: the lease id and holder
+	// at the crash. The refcount in c.orphanLeases keys on lease, so
+	// cluster_orphan_leases_reconciled_total counts origin leases, not
+	// units.
+	lease    string
+	worker   string
+	deadline time.Time
+}
+
 // Coordinator owns the cluster scheduling state. NewCoordinator builds
 // one; Handler exposes the worker protocol; Close stops the reaper.
 type Coordinator struct {
@@ -130,11 +163,20 @@ type Coordinator struct {
 	events *obs.EventLog
 	inj    *chaos.Injector
 
+	// journal is the optional crash journal (nil-safe: every Record* call
+	// on a nil journal is a no-op, so the hooks below are unconditional).
+	journal *Journal
+
 	mu      sync.Mutex
 	workers map[string]*workerState
 	leases  map[string]*lease
 	pending map[string]*unit // key → unit, everything drawn and unfinished
 	ready   []*unit          // stolen/returned units awaiting re-lease
+	// orphans (key → orphan) and orphanLeases (origin lease id →
+	// unresolved orphan count) are the journal-replay reconciliation
+	// state; the coordinator reports unready while orphans is non-empty.
+	orphans      map[string]*orphan
+	orphanLeases map[string]int
 	// feeds holds each worker's last metrics snapshot (federation.go).
 	// Unlike workers, entries survive death — marked stale, not deleted —
 	// because a dead node's counters are still cluster history.
@@ -151,20 +193,163 @@ type Coordinator struct {
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		mgr:      cfg.Manager,
-		cfg:      cfg,
-		met:      newCoordMetrics(cfg.Metrics),
-		events:   cfg.Events,
-		inj:      cfg.Chaos,
-		workers:  make(map[string]*workerState),
-		leases:   make(map[string]*lease),
-		pending:  make(map[string]*unit),
-		feeds:    make(map[string]*workerFeed),
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		mgr:          cfg.Manager,
+		cfg:          cfg,
+		met:          newCoordMetrics(cfg.Metrics),
+		events:       cfg.Events,
+		inj:          cfg.Chaos,
+		journal:      cfg.Journal,
+		workers:      make(map[string]*workerState),
+		leases:       make(map[string]*lease),
+		pending:      make(map[string]*unit),
+		orphans:      make(map[string]*orphan),
+		orphanLeases: make(map[string]int),
+		feeds:        make(map[string]*workerFeed),
+		reapStop:     make(chan struct{}),
+		reapDone:     make(chan struct{}),
+	}
+	if c.journal != nil {
+		c.recover()
 	}
 	go c.reaper()
 	return c
+}
+
+// recover replays the journal's live state into the scheduler: admitted
+// jobs are re-submitted under their original ids (their already-stored
+// points land as store hits, so nothing re-evaluates), and every unit
+// that comes back out of the manager's queue is either orphaned (its key
+// was out under a journaled lease at the crash — held for its worker to
+// reclaim) or queued ready for lease. Runs before the reaper starts and
+// before the handler is mounted, so no locking is needed.
+func (c *Coordinator) recover() {
+	rep := c.journal.Replayed()
+	if rep.Records == 0 {
+		return
+	}
+	c.met.restarts.Inc()
+
+	type origin struct{ lease, worker string }
+	owners := make(map[string]origin)
+	for _, l := range rep.Leases {
+		for _, k := range l.Keys {
+			owners[k] = origin{l.ID, l.Worker}
+		}
+	}
+	jobs := 0
+	for _, jj := range rep.Jobs {
+		if _, err := c.mgr.Rehydrate(jj.ID, jj.Req); err != nil {
+			// An admission the manager now refuses (duplicate id from a
+			// corrupt journal, workload gone) is dropped, not fatal: the
+			// rest of the cluster state still recovers.
+			c.events.Emit(obs.Event{Type: EventJournalReplayed, Job: jj.ID, Err: err.Error()})
+			continue
+		}
+		jobs++
+	}
+	// Drain what rehydration queued. Points the store already holds were
+	// consumed as store hits inside Rehydrate and never reach the queue —
+	// that is the zero-re-evaluation guarantee.
+	now := time.Now()
+	for {
+		t, ok := c.mgr.NextTask(expiredContext)
+		if !ok {
+			break
+		}
+		u := unitFromTask(t)
+		c.pending[u.key] = u
+		if o, held := owners[u.key]; held {
+			c.orphans[u.key] = &orphan{
+				u: u, lease: o.lease, worker: o.worker,
+				deadline: now.Add(c.cfg.OrphanGrace),
+			}
+			c.orphanLeases[o.lease]++
+		} else {
+			c.ready = append(c.ready, u)
+		}
+	}
+	c.met.pointsInflight.Set(int64(len(c.pending)))
+	c.met.orphanUnits.Set(int64(len(c.orphans)))
+	c.events.Emit(obs.Event{
+		Type: EventJournalReplayed, Total: jobs, Done: len(c.orphans),
+	})
+}
+
+// RecoveryErr reports whether journal-replay reconciliation is still in
+// progress: non-nil while orphaned units await their workers (or the
+// grace deadline). service.Manager.AddReadyCheck wires it into /readyz,
+// which answers 503 "journal-replaying" until this clears.
+func (c *Coordinator) RecoveryErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.orphans); n > 0 {
+		return fmt.Errorf("replayed %d orphaned units across %d leases await reconciliation",
+			n, len(c.orphanLeases))
+	}
+	return nil
+}
+
+// resolveOrphanLocked removes a key from the orphan table, crediting its
+// origin lease; the lease counts as reconciled when its last orphan
+// resolves. Returns nil if the key was not orphaned. Caller holds c.mu.
+func (c *Coordinator) resolveOrphanLocked(key string) *orphan {
+	o := c.orphans[key]
+	if o == nil {
+		return nil
+	}
+	delete(c.orphans, key)
+	if n := c.orphanLeases[o.lease] - 1; n > 0 {
+		c.orphanLeases[o.lease] = n
+	} else {
+		delete(c.orphanLeases, o.lease)
+		c.met.orphansReconciled.Inc()
+	}
+	c.met.orphanUnits.Set(int64(len(c.orphans)))
+	return o
+}
+
+// reclaimOrphansLocked re-attaches a re-registering worker's in-flight
+// keys: every orphan matching one becomes part of a fresh lease granted
+// to the worker, continuing the evaluation it never stopped running.
+// Returns the new lease id and unit count (zero when nothing matched).
+// Caller holds c.mu.
+func (c *Coordinator) reclaimOrphansLocked(ws *workerState, keys []string, now time.Time) (string, int) {
+	var matched []*orphan
+	for _, k := range keys {
+		if o := c.orphans[k]; o != nil {
+			matched = append(matched, o)
+		}
+	}
+	if len(matched) == 0 {
+		return "", 0
+	}
+	c.seq++
+	l := &lease{
+		id:       fmt.Sprintf("l%d", c.seq),
+		worker:   ws.id,
+		units:    make(map[string]*unit, len(matched)),
+		deadline: now.Add(c.cfg.LeaseTTL),
+	}
+	leaseKeys := make([]string, 0, len(matched))
+	for _, o := range matched {
+		u := o.u
+		u.leased++
+		u.sp = u.task.Span("remote-evaluate",
+			span.Attr{Key: "key", Value: u.key},
+			span.Attr{Key: "worker", Value: ws.id},
+			span.Attr{Key: "lease", Value: l.id},
+			span.Attr{Key: "attempt", Value: fmt.Sprint(u.leased)},
+			span.Attr{Key: "reclaimed", Value: "true"})
+		l.units[u.key] = u
+		leaseKeys = append(leaseKeys, u.key)
+		c.resolveOrphanLocked(u.key)
+	}
+	c.leases[l.id] = l
+	ws.leases[l.id] = l
+	c.met.leasesGranted.Inc()
+	c.met.leasesActive.Set(int64(len(c.leases)))
+	c.journal.RecordGrant(l.id, ws.id, leaseKeys)
+	return l.id, len(leaseKeys)
 }
 
 // Close stops the lease reaper. Outstanding leases stay in the maps;
@@ -224,6 +409,33 @@ func (c *Coordinator) reap(now time.Time) {
 			c.expireLeaseLocked(l, "lease-expired")
 		}
 	}
+	// Orphans past the reconciliation grace: their worker never came
+	// back, so the points are stolen to the ready queue for anyone alive.
+	// All orphans of one origin lease share a deadline (recover stamped
+	// them together), so the whole lease lapses in one pass and one
+	// journal expire record retires its grant.
+	var lapsed []*orphan
+	for _, o := range c.orphans {
+		if !now.Before(o.deadline) {
+			lapsed = append(lapsed, o)
+		}
+	}
+	lapsedLeases := make(map[string]*orphan)
+	for _, o := range lapsed {
+		c.resolveOrphanLocked(o.u.key)
+		c.ready = append(c.ready, o.u)
+		c.met.pointsStolen.Inc()
+		if prev, ok := lapsedLeases[o.lease]; !ok || prev == nil {
+			lapsedLeases[o.lease] = o
+		}
+	}
+	for leaseID, o := range lapsedLeases {
+		c.journal.RecordExpire(leaseID)
+		c.events.Emit(obs.Event{
+			Type: EventOrphanExpired, Lease: leaseID, Worker: o.worker,
+			Err: "orphan-grace-expired",
+		})
+	}
 	// Drop queued units nobody wants anymore (their jobs were cancelled);
 	// completing them with the cancellation keeps the manager's
 	// in-flight table clean.
@@ -266,6 +478,7 @@ func (c *Coordinator) expireLeaseLocked(l *lease, why string) {
 	c.met.leasesExpired.Inc()
 	c.met.leasesActive.Set(int64(len(c.leases)))
 	c.met.pointsStolen.Add(uint64(stolen))
+	c.journal.RecordExpire(l.id)
 	c.events.Emit(obs.Event{
 		Type: EventLeaseExpired, Worker: l.worker, Lease: l.id,
 		Total: stolen, Err: why,
@@ -311,12 +524,22 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		c.met.workersLive.Set(int64(len(c.workers)))
 	}
 	ws.lastBeat = time.Now()
+	// A re-registration that reports in-flight keys reclaims any matching
+	// orphans: the worker kept evaluating through the coordinator outage,
+	// so the work re-attaches to it instead of being stolen.
+	reclaimedLease, reclaimed := c.reclaimOrphansLocked(ws, req.InflightKeys, ws.lastBeat)
 	// (Re-)registration opens the worker's federation feed: it shows up
 	// in scrapes and status immediately, and a comeback after being
 	// declared dead clears the stale mark.
 	c.ingestFeedLocked(req.ID, nil, ws.lastBeat)
 	c.mu.Unlock()
 	c.events.Emit(obs.Event{Type: EventWorkerRegistered, Worker: req.ID})
+	if reclaimed > 0 {
+		c.events.Emit(obs.Event{
+			Type: EventOrphanReclaimed, Worker: req.ID, Lease: reclaimedLease,
+			Total: reclaimed,
+		})
+	}
 	writeJSON(w, http.StatusOK, registerResponse{
 		HeartbeatMS: c.cfg.Heartbeat.Milliseconds(),
 		LeaseTTLMS:  c.cfg.LeaseTTL.Milliseconds(),
@@ -346,6 +569,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	// means loss of contact, not slow evaluation.
 	for _, l := range ws.leases {
 		l.deadline = now.Add(c.cfg.LeaseTTL)
+		c.journal.RecordRenew(l.id)
 	}
 	c.ingestFeedLocked(req.ID, req.Metrics, now)
 	c.mu.Unlock()
@@ -429,6 +653,13 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	c.met.leasesActive.Set(int64(len(c.leases)))
 	c.met.pointsLeased.Add(uint64(len(units)))
 	c.met.pointsInflight.Set(int64(len(c.pending)))
+	leaseKeys := make([]string, 0, len(units))
+	for _, u := range units {
+		leaseKeys = append(leaseKeys, u.key)
+	}
+	// Journaled under c.mu so the journal's grant order matches the
+	// scheduler's: a grant always precedes the completions that trim it.
+	c.journal.RecordGrant(l.id, req.ID, leaseKeys)
 	c.mu.Unlock()
 	c.events.Emit(obs.Event{
 		Type: EventLeaseGranted, Worker: req.ID, Lease: l.id, Total: len(wire),
@@ -473,15 +704,20 @@ func (c *Coordinator) pullFromManager(r *http.Request, n int, wait bool) []*unit
 		if !ok {
 			break
 		}
-		wu := workUnit{
-			Key:      t.Key(),
-			Workload: t.Workload(),
-			Options:  optionsToWire(t.Options()),
-			Config:   t.Config(),
-		}
-		units = append(units, &unit{key: t.Key(), task: t, wire: wu})
+		units = append(units, unitFromTask(t))
 	}
 	return units
+}
+
+// unitFromTask builds the scheduling unit (and its wire form) for one
+// manager task.
+func unitFromTask(t *service.ExternalTask) *unit {
+	return &unit{key: t.Key(), task: t, wire: workUnit{
+		Key:      t.Key(),
+		Workload: t.Workload(),
+		Options:  optionsToWire(t.Options()),
+		Config:   t.Config(),
+	}}
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -542,6 +778,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 					u.sp = nil
 				}
 				c.detachLocked(u)
+				c.resolveOrphanLocked(u.key)
 				c.ready = append(c.ready, u)
 				continue
 			}
@@ -564,6 +801,10 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 			u.sp = nil
 		}
 		c.detachLocked(u)
+		// A buffered push completing an orphaned key is one of the three
+		// reconciliation paths (worker flushed after the restart, or after
+		// a circuit-breaker outage, before re-registering got to it).
+		c.resolveOrphanLocked(u.key)
 		delete(c.pending, u.key)
 		resp.Accepted++
 		if d.err != nil {
@@ -573,26 +814,38 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		}
 		deliveries = append(deliveries, d)
 	}
-	// A lease whose units are all gone is complete.
-	if l := c.leases[req.LeaseID]; l != nil && len(l.units) == 0 {
-		delete(c.leases, req.LeaseID)
+	// A lease whose units are all gone is complete. The push's own lease
+	// is the usual case, but detachLocked can also empty another lease —
+	// a worker pushing under its pre-crash lease id drains the fresh
+	// lease reclamation opened — so every emptied lease retires here
+	// rather than lingering renewed-but-idle.
+	for id, l := range c.leases {
+		if len(l.units) != 0 {
+			continue
+		}
+		delete(c.leases, id)
 		if ws := c.workers[l.worker]; ws != nil {
-			delete(ws.leases, l.id)
+			delete(ws.leases, id)
 		}
 		c.met.leasesCompleted.Inc()
-		c.met.leasesActive.Set(int64(len(c.leases)))
 		c.events.Emit(obs.Event{
-			Type: EventLeaseCompleted, Worker: l.worker, Lease: l.id,
+			Type: EventLeaseCompleted, Worker: l.worker, Lease: id,
 			Done: resp.Accepted,
 		})
 	}
+	c.met.leasesActive.Set(int64(len(c.leases)))
 	c.met.pointsInflight.Set(int64(len(c.pending)))
 	c.mu.Unlock()
 
 	// Deliveries run outside c.mu: Manager.Complete takes the manager
-	// and job locks and may finalize jobs.
+	// and job locks and may finalize jobs. The completion is journaled
+	// only after Complete returns — the store has fsynced the point by
+	// then, so a crash between the two replays as a store hit (the point
+	// re-queues, finds its bytes stored, never re-evaluates), not as a
+	// lost point.
 	for _, d := range deliveries {
 		c.mgr.Complete(d.u.task, d.p, d.err)
+		c.journal.RecordComplete(d.u.key, d.err == nil)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -632,6 +885,9 @@ type Stats struct {
 	LeasesActive  int `json:"leases_active"`
 	PointsPending int `json:"points_pending"`
 	PointsReady   int `json:"points_ready"`
+	// PointsOrphaned counts journal-replayed units still awaiting
+	// reconciliation with their pre-restart workers.
+	PointsOrphaned int `json:"points_orphaned"`
 }
 
 // Stats snapshots the coordinator.
@@ -639,10 +895,11 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		WorkersLive:   len(c.workers),
-		LeasesActive:  len(c.leases),
-		PointsPending: len(c.pending),
-		PointsReady:   len(c.ready),
+		WorkersLive:    len(c.workers),
+		LeasesActive:   len(c.leases),
+		PointsPending:  len(c.pending),
+		PointsReady:    len(c.ready),
+		PointsOrphaned: len(c.orphans),
 	}
 }
 

@@ -150,6 +150,20 @@ type ClusterStatus struct {
 	Workers    []WorkerStatus                 `json:"workers"`
 	Quantiles  map[string]obs.QuantileSummary `json:"quantiles"`
 	SLOs       []obs.SLOVerdict               `json:"slos,omitempty"`
+	// Failover is present when the coordinator runs with a crash journal:
+	// replay/reconciliation progress plus the journal's own health.
+	Failover *FailoverStatus `json:"failover,omitempty"`
+}
+
+// FailoverStatus is the crash-tolerance section of the status document.
+type FailoverStatus struct {
+	// Recovering is true while journal-replayed orphaned leases await
+	// reconciliation — the same condition that holds /readyz at 503
+	// "journal-replaying".
+	Recovering   bool         `json:"recovering"`
+	OrphanUnits  int          `json:"orphan_units"`
+	OrphanLeases int          `json:"orphan_leases"`
+	Journal      JournalStats `json:"journal"`
 }
 
 // Status assembles the cluster status document.
@@ -157,11 +171,13 @@ func (c *Coordinator) Status() ClusterStatus {
 	now := time.Now()
 	c.mu.Lock()
 	st := Stats{
-		WorkersLive:   len(c.workers),
-		LeasesActive:  len(c.leases),
-		PointsPending: len(c.pending),
-		PointsReady:   len(c.ready),
+		WorkersLive:    len(c.workers),
+		LeasesActive:   len(c.leases),
+		PointsPending:  len(c.pending),
+		PointsReady:    len(c.ready),
+		PointsOrphaned: len(c.orphans),
 	}
+	orphanLeases := len(c.orphanLeases)
 	roster := make(map[string]*WorkerStatus)
 	for id, w := range c.workers {
 		roster[id] = &WorkerStatus{
@@ -201,6 +217,14 @@ func (c *Coordinator) Status() ClusterStatus {
 	}
 	if len(c.cfg.SLOs) > 0 {
 		doc.SLOs = obs.EvalSLOs(c.cfg.SLOs, fed, SLOAliases)
+	}
+	if c.journal != nil {
+		doc.Failover = &FailoverStatus{
+			Recovering:   st.PointsOrphaned > 0,
+			OrphanUnits:  st.PointsOrphaned,
+			OrphanLeases: orphanLeases,
+			Journal:      c.journal.Stats(),
+		}
 	}
 	return doc
 }

@@ -1,0 +1,777 @@
+package cluster
+
+// This file is the coordinator's crash journal: an append-only
+// CRC32-framed JSONL log of cluster state changes (job admission, lease
+// grant/renew/expiry, completion acceptance) under the same framing
+// discipline as the durable store's segments (service/diskstore.go). A
+// restarted coordinator replays it atop the DiskStore to rebuild the
+// job table and the ready queue, and to mark the leases that were in
+// flight at the crash as orphaned for reconciliation (coordinator.go).
+//
+// Durability discipline, mirroring the store:
+//
+//   - One record per line, {"crc": <IEEE CRC32 of rec>, "rec": {...}},
+//     fsynced per append. A failed or torn append poisons the journal
+//     (Err goes sticky, /readyz degrades) instead of risking framing on
+//     top of a partial record — the next boot's replay truncates it.
+//   - Replay truncates a newline-less tail (a torn final record cut off
+//     by a crash) and skips CRC-failing complete lines (silent media
+//     corruption), counting both.
+//   - Compaction is crash-atomic checkpoint+truncate: the live state
+//     (admitted jobs, outstanding leases, the job-id sequence) is
+//     rewritten to a temp file, fsynced, and renamed over the journal,
+//     so renewals and completed work stop accumulating forever. A crash
+//     anywhere during compaction leaves either the old or the new file,
+//     never a mix.
+//
+// The journal is ordering-correct by construction: every record is
+// appended under the coordinator's own mutex, so grants precede the
+// completions that trim them, and a "complete" record is appended only
+// after Manager.Complete returned — i.e. after the point reached the
+// store — so a crash between the two replays as a store hit, never as a
+// lost point.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"twolevel/internal/chaos"
+	"twolevel/internal/obs"
+	"twolevel/internal/service"
+)
+
+// JournalFormat is the format tag of the journal's header line.
+const JournalFormat = "twolevel-cluster-journal/1"
+
+// journalFile is the journal's file name inside its directory.
+const journalFile = "journal.jsonl"
+
+// Journal record operations.
+const (
+	// journalOpJob records a job admission: id plus the full
+	// serializable request, enough to re-Submit it on replay.
+	journalOpJob = "job"
+	// journalOpJobEnd records a job reaching a terminal state; on replay
+	// the job is not rehydrated.
+	journalOpJobEnd = "job-end"
+	// journalOpGrant records a lease grant (or the re-grant that
+	// supersedes an orphaned lease after reconciliation).
+	journalOpGrant = "grant"
+	// journalOpRenew records a heartbeat renewal; replay ignores it, but
+	// it keeps the journal an honest change log and feeds compaction.
+	journalOpRenew = "renew"
+	// journalOpExpire records a lease expiry or steal; its keys are no
+	// longer attributed to the worker.
+	journalOpExpire = "expire"
+	// journalOpComplete records one accepted completion, appended after
+	// the point reached the store; replay trims it from any live lease.
+	journalOpComplete = "complete"
+)
+
+// journalHeader is the first line of the journal. Seq persists the
+// manager's job-id sequence across compactions, so job ids stay unique
+// even after the admissions that produced them are compacted away.
+type journalHeader struct {
+	Format string `json:"format"`
+	Seq    int    `json:"seq"`
+}
+
+// journalRecord is the rec payload of one framed line.
+type journalRecord struct {
+	Op string `json:"op"`
+
+	// job / job-end
+	Job   string   `json:"job,omitempty"`
+	State string   `json:"state,omitempty"`
+	Req   *jobWire `json:"req,omitempty"`
+
+	// grant / renew / expire
+	Lease  string   `json:"lease,omitempty"`
+	Worker string   `json:"worker,omitempty"`
+	Keys   []string `json:"keys,omitempty"`
+
+	// complete
+	Key string `json:"key,omitempty"`
+	OK  bool   `json:"ok,omitempty"`
+}
+
+// journalFrame is one framed line: CRC32 (IEEE) over the raw rec bytes.
+type journalFrame struct {
+	CRC uint32          `json:"crc"`
+	Rec json.RawMessage `json:"rec"`
+}
+
+// JournalOptions parameterizes OpenJournal.
+type JournalOptions struct {
+	// CompactMinDead is how many dead records (renewals, expired leases,
+	// completed work, ended jobs) accumulate before an append triggers
+	// checkpoint+truncate compaction (default 4096; <0 disables).
+	CompactMinDead int
+	// Metrics, when non-nil, receives the journal instrumentation (see
+	// the MetricJournal* names). Nil costs nothing.
+	Metrics *obs.Registry
+	// Chaos fires at ChaosSiteJournalAppend / Replay / Compact.
+	Chaos *chaos.Injector
+}
+
+// JournaledJob is one job that was live (admitted, not terminal) when
+// the journal was last written; Recover re-submits it under its
+// original id, where already-stored points land as store hits.
+type JournaledJob struct {
+	ID  string
+	Req service.JobRequest
+}
+
+// JournaledLease is one lease that was outstanding at the crash. Its
+// keys are the orphan candidates: each is either reclaimed by its
+// worker re-registering with the key in flight, completed by a buffered
+// push, or stolen back to the ready queue when the grace TTL expires.
+type JournaledLease struct {
+	ID     string
+	Worker string
+	Keys   []string
+}
+
+// JournalReplay is what replaying the journal recovered.
+type JournalReplay struct {
+	Jobs   []JournaledJob
+	Leases []JournaledLease
+	// Seq is the job-id sequence floor (max of the header's checkpoint
+	// and every replayed admission).
+	Seq int
+	// Records counts good records replayed; TornRepaired counts
+	// newline-less tails truncated; CorruptDropped counts CRC-failing
+	// complete lines skipped.
+	Records        int
+	TornRepaired   int
+	CorruptDropped int
+}
+
+// JournalStats is the journal's live status, surfaced in
+// GET /cluster/v1/status (failover section).
+type JournalStats struct {
+	Path           string  `json:"path"`
+	Records        int     `json:"records"`
+	Appends        uint64  `json:"appends_total"`
+	Compactions    uint64  `json:"compactions_total"`
+	TornRepaired   int     `json:"torn_repaired"`
+	CorruptDropped int     `json:"corrupt_dropped"`
+	LastCompactAgo float64 `json:"last_compaction_ago_s"` // -1: never compacted
+	Error          string  `json:"error,omitempty"`
+}
+
+// journalState is the incremental mirror of the journal's live content:
+// admitted-not-ended jobs and granted-not-expired leases (with their
+// uncompleted keys). It is both the replay product and the compaction
+// checkpoint source.
+type journalState struct {
+	jobOrder   []string
+	jobs       map[string]*jobWire
+	leaseOrder []string
+	leases     map[string]*journalLease
+	maxSeq     int
+}
+
+type journalLease struct {
+	worker string
+	keys   map[string]struct{}
+}
+
+func newJournalState() *journalState {
+	return &journalState{
+		jobs:   make(map[string]*jobWire),
+		leases: make(map[string]*journalLease),
+	}
+}
+
+// apply folds one record into the state, returning how many previously
+// live records it made dead (compaction pressure).
+func (s *journalState) apply(rec journalRecord) int {
+	dead := 0
+	switch rec.Op {
+	case journalOpJob:
+		if rec.Req == nil || rec.Job == "" {
+			return 1 // malformed admission: nothing to rehydrate
+		}
+		if _, ok := s.jobs[rec.Job]; !ok {
+			s.jobOrder = append(s.jobOrder, rec.Job)
+		}
+		s.jobs[rec.Job] = rec.Req
+		if n, ok := jobSeq(rec.Job); ok && n > s.maxSeq {
+			s.maxSeq = n
+		}
+	case journalOpJobEnd:
+		if _, ok := s.jobs[rec.Job]; ok {
+			delete(s.jobs, rec.Job)
+			dead += 2 // the admission and this record
+		} else {
+			dead++
+		}
+	case journalOpGrant:
+		// A re-grant supersedes: the keys leave whatever lease held them
+		// (reconciliation re-leasing an orphan, or a steal re-lease), and
+		// a lease emptied that way is dead.
+		for _, k := range rec.Keys {
+			dead += s.dropKey(k)
+		}
+		l := &journalLease{worker: rec.Worker, keys: make(map[string]struct{}, len(rec.Keys))}
+		for _, k := range rec.Keys {
+			l.keys[k] = struct{}{}
+		}
+		if _, ok := s.leases[rec.Lease]; !ok {
+			s.leaseOrder = append(s.leaseOrder, rec.Lease)
+		}
+		s.leases[rec.Lease] = l
+	case journalOpRenew:
+		dead++ // replay ignores renewals entirely
+	case journalOpExpire:
+		if _, ok := s.leases[rec.Lease]; ok {
+			s.dropLease(rec.Lease)
+			dead += 2 // the grant and this record
+		} else {
+			dead++
+		}
+	case journalOpComplete:
+		dead += 1 + s.dropKey(rec.Key) // this record, plus any emptied lease
+	default:
+		dead++ // unknown op from a future writer: ignore, compactable
+	}
+	return dead
+}
+
+// dropKey removes a key from every lease holding it, dropping leases
+// that empty out; it returns how many lease grants became dead.
+func (s *journalState) dropKey(key string) int {
+	dead := 0
+	for id, l := range s.leases {
+		if _, ok := l.keys[key]; !ok {
+			continue
+		}
+		delete(l.keys, key)
+		if len(l.keys) == 0 {
+			s.dropLease(id)
+			dead++
+		}
+	}
+	return dead
+}
+
+func (s *journalState) dropLease(id string) {
+	delete(s.leases, id)
+	for i, v := range s.leaseOrder {
+		if v == id {
+			s.leaseOrder = append(s.leaseOrder[:i], s.leaseOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// live counts the records a checkpoint of this state would write.
+func (s *journalState) live() int { return len(s.jobs) + len(s.leases) }
+
+// jobSeq parses the numeric sequence out of a manager job id ("j17").
+func jobSeq(id string) (int, bool) {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	return n, err == nil && strings.HasPrefix(id, "j")
+}
+
+// Journal is the coordinator's crash journal. OpenJournal replays and
+// returns one; a nil *Journal is valid and inert, so the coordinator
+// calls the Record* hooks unconditionally.
+type Journal struct {
+	dir  string
+	path string
+	opt  JournalOptions
+	inj  *chaos.Injector
+	met  *journalMetrics
+
+	mu          sync.Mutex
+	f           *os.File
+	state       *journalState
+	replay      JournalReplay
+	records     int // good records currently framed in the file
+	dead        int // records a checkpoint would drop
+	appends     uint64
+	compactions uint64
+	lastCompact time.Time // zero: never compacted since open
+	err         error     // sticky: the journal no longer persists
+	closed      bool
+}
+
+type journalMetrics struct {
+	appends        *obs.Counter
+	compactions    *obs.Counter
+	tornRepaired   *obs.Counter
+	corruptDropped *obs.Counter
+}
+
+func newJournalMetrics(r *obs.Registry) *journalMetrics {
+	return &journalMetrics{
+		appends:        r.Counter(MetricJournalAppends),
+		compactions:    r.Counter(MetricJournalCompactions),
+		tornRepaired:   r.Counter(MetricJournalTornRepaired),
+		corruptDropped: r.Counter(MetricJournalCorruptDropped),
+	}
+}
+
+// OpenJournal opens (creating if needed) the cluster journal in dir and
+// replays it. The replayed state is available from Replayed until the
+// journal is closed; Record* appends require the returned journal.
+func OpenJournal(dir string, opt JournalOptions) (*Journal, error) {
+	if opt.CompactMinDead == 0 {
+		opt.CompactMinDead = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: journal dir: %w", err)
+	}
+	j := &Journal{
+		dir:   dir,
+		path:  filepath.Join(dir, journalFile),
+		opt:   opt,
+		inj:   opt.Chaos,
+		met:   newJournalMetrics(opt.Metrics),
+		state: newJournalState(),
+	}
+	if err := j.inj.Hit(ChaosSiteJournalReplay); err != nil {
+		return nil, fmt.Errorf("cluster: journal replay: %w", err)
+	}
+	if err := j.open(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// open reads, repairs, and replays the journal file, leaving j.f
+// positioned for appends.
+func (j *Journal) open() error {
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: opening journal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close() //nolint:errcheck // error path
+		return fmt.Errorf("cluster: journal stat: %w", err)
+	}
+	if info.Size() == 0 {
+		if err := j.writeHeader(f, 0); err != nil {
+			f.Close() //nolint:errcheck // error path
+			return err
+		}
+		j.f = f
+		return nil
+	}
+
+	// Replay. A torn tail (final line without its newline — a record cut
+	// off mid-write by a crash) is truncated; a complete line that fails
+	// JSON or CRC is silent corruption the frame checksum exists to
+	// catch: skipped and counted, replay continues.
+	r := bufio.NewReaderSize(f, 1<<16)
+	var offset int64
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		// The header itself is torn: the crash hit the very first write.
+		// Start the journal over — there were no records to lose.
+		if terr := f.Truncate(0); terr != nil {
+			f.Close() //nolint:errcheck // error path
+			return fmt.Errorf("cluster: repairing torn journal header: %w", terr)
+		}
+		if _, serr := f.Seek(0, 0); serr != nil {
+			f.Close() //nolint:errcheck // error path
+			return fmt.Errorf("cluster: repairing torn journal header: %w", serr)
+		}
+		j.replay.TornRepaired++
+		j.met.tornRepaired.Inc()
+		if err := j.writeHeader(f, 0); err != nil {
+			f.Close() //nolint:errcheck // error path
+			return err
+		}
+		j.f = f
+		return nil
+	}
+	var hdr journalHeader
+	if jerr := json.Unmarshal(line, &hdr); jerr != nil || hdr.Format != JournalFormat {
+		f.Close() //nolint:errcheck // error path
+		return fmt.Errorf("cluster: %s is not a %s journal", j.path, JournalFormat)
+	}
+	j.state.maxSeq = hdr.Seq
+	offset += int64(len(line))
+
+	for {
+		line, err = r.ReadBytes('\n')
+		if err != nil {
+			if len(line) > 0 {
+				// Newline-less tail at EOF: the torn final record.
+				if terr := f.Truncate(offset); terr != nil {
+					f.Close() //nolint:errcheck // error path
+					return fmt.Errorf("cluster: truncating torn journal tail: %w", terr)
+				}
+				j.replay.TornRepaired++
+				j.met.tornRepaired.Inc()
+			}
+			break
+		}
+		rec, derr := decodeJournalLine(line)
+		if derr != nil {
+			j.replay.CorruptDropped++
+			j.met.corruptDropped.Inc()
+			offset += int64(len(line))
+			continue
+		}
+		j.dead += j.state.apply(rec)
+		j.records++
+		j.replay.Records++
+		offset += int64(len(line))
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close() //nolint:errcheck // error path
+		return fmt.Errorf("cluster: seeking journal end: %w", err)
+	}
+	j.f = f
+	j.snapshotReplay()
+	return nil
+}
+
+// snapshotReplay freezes the replayed live state into j.replay.
+func (j *Journal) snapshotReplay() {
+	j.replay.Seq = j.state.maxSeq
+	for _, id := range j.state.jobOrder {
+		jw, ok := j.state.jobs[id]
+		if !ok {
+			continue
+		}
+		j.replay.Jobs = append(j.replay.Jobs, JournaledJob{ID: id, Req: jw.toRequest()})
+	}
+	for _, id := range j.state.leaseOrder {
+		l, ok := j.state.leases[id]
+		if !ok {
+			continue
+		}
+		keys := make([]string, 0, len(l.keys))
+		for k := range l.keys {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		j.replay.Leases = append(j.replay.Leases, JournaledLease{ID: id, Worker: l.worker, Keys: keys})
+	}
+}
+
+func (j *Journal) writeHeader(f *os.File, seq int) error {
+	b, err := json.Marshal(journalHeader{Format: JournalFormat, Seq: seq})
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("cluster: writing journal header: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("cluster: syncing journal header: %w", err)
+	}
+	return nil
+}
+
+func encodeJournalLine(rec journalRecord) ([]byte, error) {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(journalFrame{CRC: crc32.ChecksumIEEE(body), Rec: body})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+func decodeJournalLine(line []byte) (journalRecord, error) {
+	var fr journalFrame
+	var rec journalRecord
+	if err := json.Unmarshal(line, &fr); err != nil {
+		return rec, err
+	}
+	if crc32.ChecksumIEEE(fr.Rec) != fr.CRC {
+		return rec, fmt.Errorf("cluster: journal record crc mismatch")
+	}
+	if err := json.Unmarshal(fr.Rec, &rec); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Replayed returns what opening the journal recovered. Nil-safe.
+func (j *Journal) Replayed() JournalReplay {
+	if j == nil {
+		return JournalReplay{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replay
+}
+
+// Err reports the journal's sticky persistence failure: non-nil means
+// state changes are no longer reaching disk and a restart would replay
+// a stale tail. The coordinator surfaces it through /readyz. Nil-safe.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Stats snapshots the journal for the status document. Nil-safe.
+func (j *Journal) Stats() JournalStats {
+	if j == nil {
+		return JournalStats{}
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JournalStats{
+		Path:           j.path,
+		Records:        j.records,
+		Appends:        j.appends,
+		Compactions:    j.compactions,
+		TornRepaired:   j.replay.TornRepaired,
+		CorruptDropped: j.replay.CorruptDropped,
+		LastCompactAgo: -1,
+	}
+	if !j.lastCompact.IsZero() {
+		st.LastCompactAgo = time.Since(j.lastCompact).Seconds()
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Close fsyncs and closes the journal. Nil-safe.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return j.err
+	}
+	j.closed = true
+	if j.f != nil {
+		j.f.Sync()  //nolint:errcheck // appends already synced
+		j.f.Close() //nolint:errcheck // read side done
+		j.f = nil
+	}
+	return j.err
+}
+
+// --- the coordinator-facing record hooks --------------------------------
+
+// RecordAdmission journals a job admission with its full request, so a
+// restart can re-submit it. Nil-safe.
+func (j *Journal) RecordAdmission(id string, req service.JobRequest) {
+	jw := jobToWire(req)
+	j.append(journalRecord{Op: journalOpJob, Job: id, Req: &jw})
+}
+
+// RecordJobEnd journals a job's terminal transition. Nil-safe.
+func (j *Journal) RecordJobEnd(id string, state string) {
+	j.append(journalRecord{Op: journalOpJobEnd, Job: id, State: state})
+}
+
+// RecordGrant journals a lease grant. Nil-safe.
+func (j *Journal) RecordGrant(leaseID, worker string, keys []string) {
+	j.append(journalRecord{Op: journalOpGrant, Lease: leaseID, Worker: worker, Keys: keys})
+}
+
+// RecordRenew journals a heartbeat renewal of a lease. Nil-safe.
+func (j *Journal) RecordRenew(leaseID string) {
+	j.append(journalRecord{Op: journalOpRenew, Lease: leaseID})
+}
+
+// RecordExpire journals a lease expiry or steal. Nil-safe.
+func (j *Journal) RecordExpire(leaseID string) {
+	j.append(journalRecord{Op: journalOpExpire, Lease: leaseID})
+}
+
+// RecordComplete journals one accepted completion. Callers append it
+// only after Manager.Complete returned, so the store already holds the
+// point and a crash between the two replays as a store hit. Nil-safe.
+func (j *Journal) RecordComplete(key string, ok bool) {
+	j.append(journalRecord{Op: journalOpComplete, Key: key, OK: ok})
+}
+
+// append frames, writes, fsyncs, and folds one record, compacting when
+// enough dead records accumulated. Nil-safe; a persistence failure
+// poisons the journal (appends stop, Err goes sticky) rather than
+// leaving a half-framed line for the next replay to misread.
+func (j *Journal) append(rec journalRecord) {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || j.f == nil {
+		return
+	}
+	line, err := encodeJournalLine(rec)
+	if err != nil {
+		j.failLocked(fmt.Errorf("cluster: encoding journal record: %w", err))
+		return
+	}
+	if _, err := j.inj.Writer(ChaosSiteJournalAppend, j.f).Write(line); err != nil {
+		// A torn or failed append is crash-equivalent: whatever partial
+		// bytes landed are exactly what replay's torn-tail truncation
+		// repairs. Stop writing instead of framing on top of them.
+		j.failLocked(fmt.Errorf("cluster: journal append: %w", err))
+		return
+	}
+	if err := j.f.Sync(); err != nil {
+		j.failLocked(fmt.Errorf("cluster: journal sync: %w", err))
+		return
+	}
+	j.appends++
+	j.met.appends.Inc()
+	j.records++
+	j.dead += j.state.apply(rec)
+	if j.opt.CompactMinDead > 0 && j.dead >= j.opt.CompactMinDead {
+		j.compactLocked()
+	}
+}
+
+func (j *Journal) failLocked(err error) {
+	j.err = err
+	if j.f != nil {
+		j.f.Close() //nolint:errcheck // already failing
+		j.f = nil
+	}
+}
+
+// Compact forces a checkpoint+truncate compaction. Nil-safe.
+func (j *Journal) Compact() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil || j.f == nil {
+		return j.err
+	}
+	j.compactLocked()
+	return j.err
+}
+
+// compactLocked rewrites the journal to just its live state: header
+// (carrying the job-id sequence), one admission per live job, one grant
+// per live lease. The rewrite goes to a temp file, is fsynced, and is
+// renamed over the journal — crash-atomic, exactly like the store's
+// segment compaction. Caller holds j.mu.
+func (j *Journal) compactLocked() {
+	if err := j.inj.Hit(ChaosSiteJournalCompact); err != nil {
+		// An injected compaction fault aborts the compaction, not the
+		// journal: appends continue on the uncompacted file.
+		j.dead = 0 // don't retrigger on every append
+		return
+	}
+	tmp, err := os.CreateTemp(j.dir, "journal-compact-*.tmp")
+	if err != nil {
+		j.failLocked(fmt.Errorf("cluster: journal compact: %w", err))
+		return
+	}
+	defer os.Remove(tmp.Name()) //nolint:errcheck // no-op after rename
+	w := bufio.NewWriter(tmp)
+	hdr, err := json.Marshal(journalHeader{Format: JournalFormat, Seq: j.state.maxSeq})
+	if err == nil {
+		_, err = w.Write(append(hdr, '\n'))
+	}
+	records := 0
+	if err == nil {
+		for _, id := range j.state.jobOrder {
+			jw, ok := j.state.jobs[id]
+			if !ok {
+				continue
+			}
+			line, lerr := encodeJournalLine(journalRecord{Op: journalOpJob, Job: id, Req: jw})
+			if lerr == nil {
+				_, lerr = w.Write(line)
+			}
+			if lerr != nil {
+				err = lerr
+				break
+			}
+			records++
+		}
+	}
+	if err == nil {
+		for _, id := range j.state.leaseOrder {
+			l, ok := j.state.leases[id]
+			if !ok {
+				continue
+			}
+			keys := make([]string, 0, len(l.keys))
+			for k := range l.keys {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			line, lerr := encodeJournalLine(journalRecord{Op: journalOpGrant, Lease: id, Worker: l.worker, Keys: keys})
+			if lerr == nil {
+				_, lerr = w.Write(line)
+			}
+			if lerr != nil {
+				err = lerr
+				break
+			}
+			records++
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		j.failLocked(fmt.Errorf("cluster: journal compact: %w", err))
+		return
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		j.failLocked(fmt.Errorf("cluster: journal compact rename: %w", err))
+		return
+	}
+	syncJournalDir(j.dir)
+	// Swap the append handle onto the compacted file.
+	j.f.Close() //nolint:errcheck // replaced by rename
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		j.failLocked(fmt.Errorf("cluster: reopening compacted journal: %w", err))
+		return
+	}
+	j.f = f
+	j.records = records
+	j.dead = 0
+	j.compactions++
+	j.met.compactions.Inc()
+	j.lastCompact = time.Now()
+}
+
+// syncJournalDir best-effort fsyncs the journal directory so the
+// compaction rename is durable.
+func syncJournalDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()  //nolint:errcheck // best-effort
+	d.Close() //nolint:errcheck // read side
+}

@@ -55,6 +55,32 @@ const (
 	MetricBadResults = "cluster_bad_results_total"
 )
 
+// Failover metric names (coordinator side).
+const (
+	// MetricCoordinatorRestarts counts coordinator boots that replayed a
+	// non-empty journal — i.e. restarts recovering prior cluster state.
+	MetricCoordinatorRestarts = "cluster_coordinator_restarts_total"
+	// MetricOrphanLeasesReconciled counts journaled leases fully
+	// resolved after a restart: every key reclaimed by its re-registering
+	// worker, completed by a buffered push, or stolen on grace expiry.
+	MetricOrphanLeasesReconciled = "cluster_orphan_leases_reconciled_total"
+	// MetricOrphanUnits gauges units still orphaned — replayed from
+	// journaled leases and awaiting reconciliation. The coordinator's
+	// /readyz answers 503 journal-replaying while this is nonzero.
+	MetricOrphanUnits = "cluster_orphan_units"
+
+	// MetricJournalAppends counts records fsynced to the cluster journal.
+	MetricJournalAppends = "cluster_journal_appends_total"
+	// MetricJournalCompactions counts checkpoint+truncate compactions.
+	MetricJournalCompactions = "cluster_journal_compactions_total"
+	// MetricJournalTornRepaired counts torn journal tails truncated on
+	// replay.
+	MetricJournalTornRepaired = "cluster_journal_torn_repaired_total"
+	// MetricJournalCorruptDropped counts CRC-failing journal lines
+	// skipped on replay.
+	MetricJournalCorruptDropped = "cluster_journal_corrupt_dropped_total"
+)
+
 // Worker metric names.
 const (
 	// MetricWorkerConnected gauges 1 while the worker is registered with
@@ -73,6 +99,16 @@ const (
 	MetricWorkerPushFailures = "cluster_worker_push_failures_total"
 	// MetricWorkerRPCRetries counts retried coordinator RPCs.
 	MetricWorkerRPCRetries = "cluster_worker_rpc_retries_total"
+	// MetricWorkerReconnects counts successful re-registrations after the
+	// circuit breaker opened on a coordinator outage.
+	MetricWorkerReconnects = "cluster_worker_reconnects_total"
+	// MetricCompletionsBuffered gauges completion pushes held locally
+	// while the coordinator is unreachable, flushed on reconnect.
+	MetricCompletionsBuffered = "cluster_completions_buffered"
+	// MetricWorkerCircuitState gauges the coordinator-link circuit
+	// breaker: 0 closed (healthy), 1 half-open (probing), 2 open
+	// (outage).
+	MetricWorkerCircuitState = "cluster_worker_circuit_state"
 )
 
 // Event type tags emitted on the cluster journal. Worker identity rides
@@ -84,6 +120,17 @@ const (
 	EventLeaseCompleted   = "cluster_lease_completed"
 	EventLeaseExpired     = "cluster_lease_expired"
 	EventResultDuplicate  = "cluster_result_duplicate"
+
+	// Failover lifecycle. EventJournalReplayed marks a coordinator boot
+	// that recovered journaled state; EventOrphanReclaimed, one journaled
+	// lease re-attached to its re-registering worker; EventOrphanExpired,
+	// one journaled lease whose units were stolen back to the ready
+	// queue on grace expiry; EventWorkerReconnected, a worker closing its
+	// circuit breaker after an outage (Total carries the flushed pushes).
+	EventJournalReplayed  = "cluster_journal_replayed"
+	EventOrphanReclaimed  = "cluster_orphan_reclaimed"
+	EventOrphanExpired    = "cluster_orphan_expired"
+	EventWorkerReconnected = "cluster_worker_reconnected"
 )
 
 // Chaos-injection sites of the cluster. Tests install internal/chaos
@@ -118,6 +165,22 @@ const (
 	// mid-lease with results unpushed, heartbeats stop, and the
 	// coordinator must steal the lease.
 	ChaosSiteWorkerCrash = "cluster.worker.crash"
+	// ChaosSiteWorkerReconnect fires before each reconnect probe while
+	// the worker's circuit breaker is open; an injected error fails the
+	// probe and the backoff schedule advances.
+	ChaosSiteWorkerReconnect = "cluster.worker.reconnect"
+
+	// ChaosSiteJournalAppend fires on every cluster-journal append (Hit,
+	// then as the record write's fault writer): an Err rule poisons the
+	// journal, a Short rule tears the record mid-write exactly as a
+	// crash would — the next replay truncates it.
+	ChaosSiteJournalAppend = "cluster.journal.append"
+	// ChaosSiteJournalReplay fires at journal open, before replay.
+	ChaosSiteJournalReplay = "cluster.journal.replay"
+	// ChaosSiteJournalCompact fires at the start of checkpoint+truncate
+	// compaction; an injected error aborts the compaction (the journal
+	// keeps appending to the uncompacted file).
+	ChaosSiteJournalCompact = "cluster.journal.compact"
 )
 
 // coordMetrics is the coordinator's instrument bundle.
@@ -137,6 +200,9 @@ type coordMetrics struct {
 	duplicateResults  *obs.Counter
 	badResults        *obs.Counter
 	feedUpdates       *obs.Counter
+	restarts          *obs.Counter
+	orphansReconciled *obs.Counter
+	orphanUnits       *obs.Gauge
 }
 
 func newCoordMetrics(r *obs.Registry) *coordMetrics {
@@ -156,6 +222,9 @@ func newCoordMetrics(r *obs.Registry) *coordMetrics {
 		duplicateResults:  r.Counter(MetricDuplicateResults),
 		badResults:        r.Counter(MetricBadResults),
 		feedUpdates:       r.Counter(MetricFeedUpdates),
+		restarts:          r.Counter(MetricCoordinatorRestarts),
+		orphansReconciled: r.Counter(MetricOrphanLeasesReconciled),
+		orphanUnits:       r.Gauge(MetricOrphanUnits),
 	}
 }
 
@@ -167,6 +236,9 @@ type workerMetrics struct {
 	pointFailures *obs.Counter
 	pushFailures  *obs.Counter
 	rpcRetries    *obs.Counter
+	reconnects    *obs.Counter
+	buffered      *obs.Gauge
+	circuitState  *obs.Gauge
 }
 
 func newWorkerMetrics(r *obs.Registry) *workerMetrics {
@@ -177,5 +249,8 @@ func newWorkerMetrics(r *obs.Registry) *workerMetrics {
 		pointFailures: r.Counter(MetricWorkerPointFailures),
 		pushFailures:  r.Counter(MetricWorkerPushFailures),
 		rpcRetries:    r.Counter(MetricWorkerRPCRetries),
+		reconnects:    r.Counter(MetricWorkerReconnects),
+		buffered:      r.Gauge(MetricCompletionsBuffered),
+		circuitState:  r.Gauge(MetricWorkerCircuitState),
 	}
 }

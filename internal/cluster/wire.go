@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"time"
 
+	"twolevel/internal/cache"
 	"twolevel/internal/core"
 	"twolevel/internal/obs"
 	"twolevel/internal/obs/span"
+	"twolevel/internal/service"
 	"twolevel/internal/spec"
 	"twolevel/internal/sweep"
 	"twolevel/internal/timing"
@@ -104,6 +106,12 @@ func validateUnit(u workUnit) error {
 
 type registerRequest struct {
 	ID string `json:"id"`
+	// InflightKeys are the unit keys the worker currently holds — active
+	// leases still evaluating plus completion pushes buffered during a
+	// coordinator outage. A restarted coordinator matches them against
+	// its orphaned (journal-replayed) leases and re-attaches the work to
+	// this worker instead of stealing it.
+	InflightKeys []string `json:"inflight_keys,omitempty"`
 }
 
 type registerResponse struct {
@@ -168,6 +176,86 @@ type completeResponse struct {
 // errorResponse is the JSON error body of every non-2xx answer.
 type errorResponse struct {
 	Error string `json:"error"`
+}
+
+// jobWire is the journaled form of a service.JobRequest: the workload
+// list, mode, and job deadline, plus the enumeration and
+// result-determining fields of sweep.Options — everything Submit reads
+// (the runtime plumbing fields are owned by the manager on both the
+// original and the rehydrated submission). Round-tripping a request
+// through jobWire preserves its option fingerprint, so a rehydrated
+// job's keys equal the original's and its stored points land as store
+// hits.
+type jobWire struct {
+	Workloads []string `json:"workloads"`
+	Mode      string   `json:"mode,omitempty"`
+	TimeoutNS int64    `json:"timeout_ns,omitempty"`
+
+	TechScale       float64 `json:"tech_scale,omitempty"`
+	TechAddrBits    int     `json:"tech_addr_bits,omitempty"`
+	OffChipNS       float64 `json:"offchip_ns,omitempty"`
+	L2Assoc         int     `json:"l2_assoc,omitempty"`
+	L2Policy        int     `json:"l2_policy,omitempty"`
+	Policy          int     `json:"policy,omitempty"`
+	DualPorted      bool    `json:"dual_ported,omitempty"`
+	Refs            uint64  `json:"refs,omitempty"`
+	L1Sizes         []int64 `json:"l1_sizes,omitempty"`
+	L2Sizes         []int64 `json:"l2_sizes,omitempty"`
+	SingleLevelOnly bool    `json:"single_level_only,omitempty"`
+	TwoLevelOnly    bool    `json:"two_level_only,omitempty"`
+	LineSize        int     `json:"line_size,omitempty"`
+	CfgTimeoutNS    int64   `json:"cfg_timeout_ns,omitempty"`
+	Retries         int     `json:"retries,omitempty"`
+}
+
+// jobToWire captures the journaled form of a job request.
+func jobToWire(req service.JobRequest) jobWire {
+	o := req.Options
+	return jobWire{
+		Workloads:       append([]string(nil), req.Workloads...),
+		Mode:            req.Mode,
+		TimeoutNS:       int64(req.Timeout),
+		TechScale:       o.Tech.Scale,
+		TechAddrBits:    o.Tech.AddrBits,
+		OffChipNS:       o.OffChipNS,
+		L2Assoc:         o.L2Assoc,
+		L2Policy:        int(o.L2Policy),
+		Policy:          int(o.Policy),
+		DualPorted:      o.DualPorted,
+		Refs:            o.Refs,
+		L1Sizes:         append([]int64(nil), o.L1Sizes...),
+		L2Sizes:         append([]int64(nil), o.L2Sizes...),
+		SingleLevelOnly: o.SingleLevelOnly,
+		TwoLevelOnly:    o.TwoLevelOnly,
+		LineSize:        o.LineSize,
+		CfgTimeoutNS:    int64(o.Timeout),
+		Retries:         o.Retries,
+	}
+}
+
+// toRequest rebuilds the job request for rehydration.
+func (jw jobWire) toRequest() service.JobRequest {
+	return service.JobRequest{
+		Workloads: append([]string(nil), jw.Workloads...),
+		Mode:      jw.Mode,
+		Timeout:   time.Duration(jw.TimeoutNS),
+		Options: sweep.Options{
+			Tech:            timing.Tech{Scale: jw.TechScale, AddrBits: jw.TechAddrBits},
+			OffChipNS:       jw.OffChipNS,
+			L2Assoc:         jw.L2Assoc,
+			L2Policy:        cache.ReplacementPolicy(jw.L2Policy),
+			Policy:          core.Policy(jw.Policy),
+			DualPorted:      jw.DualPorted,
+			Refs:            jw.Refs,
+			L1Sizes:         append([]int64(nil), jw.L1Sizes...),
+			L2Sizes:         append([]int64(nil), jw.L2Sizes...),
+			SingleLevelOnly: jw.SingleLevelOnly,
+			TwoLevelOnly:    jw.TwoLevelOnly,
+			LineSize:        jw.LineSize,
+			Timeout:         time.Duration(jw.CfgTimeoutNS),
+			Retries:         jw.Retries,
+		},
+	}
 }
 
 func errKeyMismatch(want, got string) error {

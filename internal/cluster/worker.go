@@ -53,6 +53,21 @@ type WorkerConfig struct {
 	// Client is the HTTP client (default: 30s timeout).
 	Client *http.Client
 
+	// Backoff shapes the reconnect schedule after the circuit breaker
+	// opens (defaults per Backoff's fields: 100ms base, 5s cap, ×2
+	// growth, 50% jitter; Seed 0 derives from the clock so a fleet's
+	// probes spread).
+	Backoff Backoff
+	// FailThreshold is how many consecutive transport-level RPC failures
+	// open the circuit breaker (default 3). An exhausted completion push
+	// opens it immediately regardless.
+	FailThreshold int
+	// BufferLimit caps the completion pushes held locally while the
+	// coordinator is unreachable (default 64). Overflow drops the oldest
+	// push — not lost work: the coordinator's orphan grace steals and
+	// re-runs those points.
+	BufferLimit int
+
 	// Metrics, Events, and Chaos follow the obs nil-safety contract.
 	// Chaos fires at the ChaosSiteWorker* sites and is also handed to
 	// every evaluation (sweep.ChaosSiteEvaluate).
@@ -78,7 +93,32 @@ func (c WorkerConfig) withDefaults() WorkerConfig {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.BufferLimit <= 0 {
+		c.BufferLimit = 64
+	}
 	return c
+}
+
+// Circuit breaker states, matching the cluster_worker_circuit_state
+// gauge values.
+const (
+	circuitClosed   = 0
+	circuitHalfOpen = 1
+	circuitOpen     = 2
+)
+
+func circuitName(s int) string {
+	switch s {
+	case circuitHalfOpen:
+		return "half-open"
+	case circuitOpen:
+		return "open"
+	default:
+		return "closed"
+	}
 }
 
 // Worker is one cluster evaluation node. NewWorker builds one; Run
@@ -100,16 +140,33 @@ type Worker struct {
 
 	mu    sync.Mutex
 	evals map[string]*sweep.Evaluator // (workload|options) → evaluator
+
+	// Failover state, under cmu. The worker survives coordinator outages
+	// rather than dying with them: consecutive transport failures open
+	// the circuit (RPCs stop, evaluation of already-held leases
+	// continues, completion pushes buffer locally), and a dedicated
+	// reconnect loop probes on the jittered backoff schedule until
+	// re-registration — carrying every in-flight unit key so a restarted
+	// coordinator re-attaches the work — and the buffer flush succeed.
+	cmu         sync.Mutex
+	circuit     int
+	consecFails int
+	buffered    []completeRequest
+	inflight    map[string][]string // lease id → unit keys being evaluated
+	reconnects  uint64
+	reconnectCh chan struct{}
 }
 
 // NewWorker builds a worker.
 func NewWorker(cfg WorkerConfig) *Worker {
 	cfg = cfg.withDefaults()
 	return &Worker{
-		cfg:   cfg,
-		met:   newWorkerMetrics(cfg.Metrics),
-		inj:   cfg.Chaos,
-		evals: make(map[string]*sweep.Evaluator),
+		cfg:         cfg,
+		met:         newWorkerMetrics(cfg.Metrics),
+		inj:         cfg.Chaos,
+		evals:       make(map[string]*sweep.Evaluator),
+		inflight:    make(map[string][]string),
+		reconnectCh: make(chan struct{}, 1),
 	}
 }
 
@@ -121,6 +178,11 @@ func (w *Worker) ID() string { return w.cfg.ID }
 // probe behind obs.MuxOptions.Ready, so orchestration (and the smoke
 // script) can wait on worker readiness instead of sleeping.
 func (w *Worker) Ready() error {
+	if s := w.circuitState(); s != circuitClosed {
+		f := w.Failover()
+		return fmt.Errorf("cluster: coordinator circuit %s (%d pushes buffered)",
+			circuitName(s), f.BufferedPushes)
+	}
 	if !w.registered.Load() {
 		return errors.New("cluster: not registered with coordinator")
 	}
@@ -128,6 +190,127 @@ func (w *Worker) Ready() error {
 		return fmt.Errorf("cluster: %d/%d lease loops live", n, w.cfg.Concurrency)
 	}
 	return nil
+}
+
+// WorkerFailoverStatus is the worker's failover surface: the /readyz
+// detail block (obs.MuxOptions.ReadyDetail) and anything else that wants
+// to watch an outage ride out.
+type WorkerFailoverStatus struct {
+	Circuit        string `json:"circuit"` // closed | half-open | open
+	BufferedPushes int    `json:"buffered_pushes"`
+	BufferedPoints int    `json:"buffered_points"`
+	InflightLeases int    `json:"inflight_leases"`
+	Reconnects     uint64 `json:"reconnects_total"`
+}
+
+// Failover snapshots the worker's failover state.
+func (w *Worker) Failover() WorkerFailoverStatus {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	st := WorkerFailoverStatus{
+		Circuit:        circuitName(w.circuit),
+		BufferedPushes: len(w.buffered),
+		InflightLeases: len(w.inflight),
+		Reconnects:     w.reconnects,
+	}
+	for _, req := range w.buffered {
+		st.BufferedPoints += len(req.Results)
+	}
+	return st
+}
+
+func (w *Worker) circuitState() int {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	return w.circuit
+}
+
+// rpcOK records a successful coordinator contact, resetting the failure
+// streak. (Closing an open circuit is the reconnect loop's job — a
+// success it observes — so ordinary RPC paths never race it.)
+func (w *Worker) rpcOK() {
+	w.cmu.Lock()
+	w.consecFails = 0
+	w.cmu.Unlock()
+}
+
+// rpcFailed records a transport-level coordinator failure; crossing the
+// threshold opens the circuit.
+func (w *Worker) rpcFailed() {
+	w.cmu.Lock()
+	w.consecFails++
+	if w.circuit == circuitClosed && w.consecFails >= w.cfg.FailThreshold {
+		w.tripLocked()
+	}
+	w.cmu.Unlock()
+}
+
+// tripLocked opens the circuit and wakes the reconnect loop. Caller
+// holds w.cmu.
+func (w *Worker) tripLocked() {
+	if w.circuit == circuitOpen {
+		return
+	}
+	w.circuit = circuitOpen
+	w.met.circuitState.Set(circuitOpen)
+	w.registered.Store(false)
+	w.met.connected.Set(0)
+	select {
+	case w.reconnectCh <- struct{}{}:
+	default:
+	}
+}
+
+// trackLease remembers a pulled lease's unit keys so register calls can
+// report them in flight; untrackLease forgets them once their results
+// were delivered (or buffered, which keeps the keys via the buffer).
+func (w *Worker) trackLease(leaseID string, units []workUnit) {
+	keys := make([]string, 0, len(units))
+	for _, u := range units {
+		keys = append(keys, u.Key)
+	}
+	w.cmu.Lock()
+	w.inflight[leaseID] = keys
+	w.cmu.Unlock()
+}
+
+func (w *Worker) untrackLease(leaseID string) {
+	w.cmu.Lock()
+	delete(w.inflight, leaseID)
+	w.cmu.Unlock()
+}
+
+// inflightKeys is every unit key the worker is responsible for: leases
+// still evaluating plus results buffered awaiting flush.
+func (w *Worker) inflightKeys() []string {
+	w.cmu.Lock()
+	defer w.cmu.Unlock()
+	var keys []string
+	for _, ks := range w.inflight {
+		keys = append(keys, ks...)
+	}
+	for _, req := range w.buffered {
+		for _, res := range req.Results {
+			keys = append(keys, res.Key)
+		}
+	}
+	return keys
+}
+
+// bufferPush parks a completion push locally (the coordinator is gone or
+// going) and opens the circuit. The lease's keys move from the inflight
+// table to the buffer — inflightKeys reports them either way.
+func (w *Worker) bufferPush(req completeRequest) {
+	w.cmu.Lock()
+	delete(w.inflight, req.LeaseID)
+	w.buffered = append(w.buffered, req)
+	if len(w.buffered) > w.cfg.BufferLimit {
+		w.buffered = w.buffered[1:]
+		w.met.pushFailures.Inc()
+	}
+	w.met.buffered.Set(int64(len(w.buffered)))
+	w.tripLocked()
+	w.cmu.Unlock()
 }
 
 // Run registers, heartbeats, and evaluates leases until ctx is
@@ -147,6 +330,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer w.met.connected.Set(0)
 
 	go w.heartbeatLoop(ctx)
+	go w.reconnectLoop(ctx)
 
 	// Lease loops run as goroutines so Concurrency scales the node; a
 	// panic in any loop (evaluation bugs are isolated by the evaluator,
@@ -190,7 +374,11 @@ func (w *Worker) register(ctx context.Context) error {
 		err := w.inj.Hit(ChaosSiteWorkerRegister)
 		if err == nil {
 			var resp registerResponse
-			_, err = w.post(ctx, "/cluster/v1/register", registerRequest{ID: w.cfg.ID}, &resp)
+			// Every registration — first boot or a 404-triggered re-register
+			// — reports the keys in flight, so a restarted coordinator
+			// reclaims its journal-replayed orphans immediately.
+			_, err = w.post(ctx, "/cluster/v1/register",
+				registerRequest{ID: w.cfg.ID, InflightKeys: w.inflightKeys()}, &resp)
 			if err == nil {
 				w.heartbeat = time.Duration(resp.HeartbeatMS) * time.Millisecond
 				if w.heartbeat <= 0 {
@@ -223,6 +411,9 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			return
 		case <-t.C:
 		}
+		if w.circuitState() != circuitClosed {
+			continue // outage: the reconnect loop owns coordinator contact
+		}
 		if err := w.inj.Hit(ChaosSiteWorkerHeartbeat); err != nil {
 			continue // beat dropped on the floor
 		}
@@ -232,15 +423,104 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		code, err := w.post(ctx, "/cluster/v1/heartbeat", req, nil)
 		switch {
 		case code == http.StatusNotFound:
+			// The coordinator is alive but doesn't know us (restarted, or
+			// we were declared dead): re-register, reporting in-flight keys.
+			w.rpcOK()
 			w.register(ctx) //nolint:errcheck // retried forever; ctx exit caught above
 		case err != nil:
 			w.met.rpcRetries.Inc()
-		case snap != nil:
-			// Only a delivered snapshot advances the fingerprint, so a
-			// dropped beat re-sends rather than silently skipping a state.
-			w.lastFeedFP = fp
+			if code == 0 {
+				w.rpcFailed()
+			}
+		default:
+			w.rpcOK()
+			if snap != nil {
+				// Only a delivered snapshot advances the fingerprint, so a
+				// dropped beat re-sends rather than silently skipping a state.
+				w.lastFeedFP = fp
+			}
 		}
 	}
+}
+
+// reconnectLoop rides out coordinator outages: woken by the circuit
+// opening, it probes on the jittered exponential backoff schedule; each
+// probe re-registers with the in-flight keys and flushes the buffered
+// completion pushes (idempotent, content-addressed — re-delivery is a
+// no-op), and only a fully successful probe closes the circuit.
+func (w *Worker) reconnectLoop(ctx context.Context) {
+	bo := NewBackoffSchedule(w.cfg.Backoff)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-w.reconnectCh:
+		}
+		bo.Reset()
+		for ctx.Err() == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(bo.Next()):
+			}
+			w.cmu.Lock()
+			w.circuit = circuitHalfOpen
+			w.cmu.Unlock()
+			w.met.circuitState.Set(circuitHalfOpen)
+			err := w.inj.Hit(ChaosSiteWorkerReconnect)
+			if err == nil {
+				err = w.reconnect(ctx)
+			}
+			if err != nil {
+				w.met.rpcRetries.Inc()
+				w.cmu.Lock()
+				w.circuit = circuitOpen
+				w.cmu.Unlock()
+				w.met.circuitState.Set(circuitOpen)
+				continue
+			}
+			break
+		}
+	}
+}
+
+// reconnect is one reconnection probe: register (with in-flight keys),
+// then flush the buffer oldest-first. Any failure aborts the probe; the
+// flushed prefix stays flushed (safe — completion is idempotent).
+func (w *Worker) reconnect(ctx context.Context) error {
+	var resp registerResponse
+	if _, err := w.post(ctx, "/cluster/v1/register",
+		registerRequest{ID: w.cfg.ID, InflightKeys: w.inflightKeys()}, &resp); err != nil {
+		return err
+	}
+	for {
+		w.cmu.Lock()
+		if len(w.buffered) == 0 {
+			w.cmu.Unlock()
+			break
+		}
+		req := w.buffered[0]
+		w.cmu.Unlock()
+		var cr completeResponse
+		if _, err := w.post(ctx, "/cluster/v1/complete", req, &cr); err != nil {
+			return err
+		}
+		w.cmu.Lock()
+		w.buffered = w.buffered[1:]
+		w.met.buffered.Set(int64(len(w.buffered)))
+		w.cmu.Unlock()
+	}
+	w.cmu.Lock()
+	w.circuit = circuitClosed
+	w.consecFails = 0
+	w.reconnects++
+	w.cmu.Unlock()
+	w.met.circuitState.Set(circuitClosed)
+	w.met.reconnects.Inc()
+	w.registered.Store(true)
+	w.met.connected.Set(1)
+	w.cfg.Events.Emit(obs.Event{Type: EventWorkerReconnected, Worker: w.cfg.ID})
+	return nil
 }
 
 // feedPayload decides the heartbeat's federation piggyback: the
@@ -275,6 +555,7 @@ func (w *Worker) leaseLoop(ctx context.Context) {
 			continue
 		}
 		w.met.leases.Inc()
+		w.trackLease(lease.LeaseID, lease.Units)
 		// Each lease gets its own tracer; its spans travel back inside the
 		// completion push (with the tracer's wall-clock epoch) and are
 		// grafted under the owning jobs' remote-evaluate spans on the
@@ -303,6 +584,7 @@ func (w *Worker) leaseLoop(ctx context.Context) {
 			}
 		}
 		if ctx.Err() != nil {
+			w.untrackLease(lease.LeaseID)
 			return // shutdown mid-lease: the coordinator will steal it
 		}
 		w.pushResults(ctx, lease.LeaseID, results, tr)
@@ -313,6 +595,9 @@ func (w *Worker) leaseLoop(ctx context.Context) {
 // the RPC failed and should be retried after the poll interval).
 func (w *Worker) pullLease(ctx context.Context) (leaseResponse, bool) {
 	var lease leaseResponse
+	if w.circuitState() != circuitClosed {
+		return lease, false // outage: poll-wait until the circuit closes
+	}
 	if err := w.inj.Hit(ChaosSiteWorkerLease); err != nil {
 		w.met.rpcRetries.Inc()
 		return lease, false
@@ -321,14 +606,21 @@ func (w *Worker) pullLease(ctx context.Context) (leaseResponse, bool) {
 		leaseRequest{ID: w.cfg.ID, MaxPoints: w.cfg.MaxLeasePoints}, &lease)
 	switch {
 	case code == http.StatusNotFound:
+		w.rpcOK()
 		w.register(ctx) //nolint:errcheck // retried forever
 		return lease, false
 	case code == http.StatusNoContent || err != nil:
 		if err != nil {
 			w.met.rpcRetries.Inc()
+			if code == 0 {
+				w.rpcFailed()
+			}
+		} else {
+			w.rpcOK()
 		}
 		return lease, false
 	}
+	w.rpcOK()
 	return lease, len(lease.Units) > 0
 }
 
@@ -396,13 +688,18 @@ func (w *Worker) evaluator(u workUnit) (*sweep.Evaluator, error) {
 }
 
 // pushResults posts a lease's results and the lease tracer's spans,
-// retrying transient failures. If every attempt fails the push is
-// abandoned — the lease expires and the points are stolen, so the job
-// still completes (the work just runs again elsewhere).
+// retrying transient failures. If every attempt fails — or the circuit
+// is already open — the push is buffered locally and flushed when the
+// coordinator comes back (completion is idempotent, so a steal-and-rerun
+// racing the flush still cannot double-deliver).
 func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resultWire, tr *span.Tracer) {
 	req := completeRequest{
 		ID: w.cfg.ID, LeaseID: leaseID, Results: results,
 		Spans: tr.Snapshot(), EpochNS: tr.EpochWallNS(),
+	}
+	if w.circuitState() != circuitClosed {
+		w.bufferPush(req)
+		return
 	}
 	backoff := 50 * time.Millisecond
 	for attempt := 0; attempt < 5; attempt++ {
@@ -410,6 +707,8 @@ func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resu
 		if err == nil {
 			var resp completeResponse
 			if _, err = w.post(ctx, "/cluster/v1/complete", req, &resp); err == nil {
+				w.rpcOK()
+				w.untrackLease(leaseID)
 				return
 			}
 		}
@@ -417,12 +716,15 @@ func (w *Worker) pushResults(ctx context.Context, leaseID string, results []resu
 		select {
 		case <-ctx.Done():
 			w.met.pushFailures.Inc()
+			w.untrackLease(leaseID)
 			return
 		case <-time.After(backoff):
 		}
 		backoff *= 2
 	}
-	w.met.pushFailures.Inc()
+	// Out of retries: the coordinator is (most likely) down. Keep the
+	// finished work instead of discarding it.
+	w.bufferPush(req)
 }
 
 // post sends one JSON RPC and decodes the response into out (when

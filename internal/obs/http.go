@@ -29,6 +29,11 @@ type MuxOptions struct {
 	// Worker nodes use this so orchestration waits on readiness instead
 	// of sleeping.
 	Ready func() error
+	// ReadyDetail, when non-nil, merges extra keys into the /readyz JSON
+	// body (both 200 and 503) — cluster workers surface their failover
+	// state (circuit breaker, buffered pushes) through it. "status" and
+	// "error" stay reserved.
+	ReadyDetail func() map[string]any
 }
 
 // NewMux builds the observability mux:
@@ -81,14 +86,23 @@ func NewMuxOptions(reg *Registry, o MuxOptions) *http.ServeMux {
 			writeJSON(w, map[string]string{"status": "ok"})
 		})
 		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			doc := map[string]any{}
+			if o.ReadyDetail != nil {
+				for k, v := range o.ReadyDetail() {
+					doc[k] = v
+				}
+			}
 			if err := o.Ready(); err != nil {
-				b, _ := json.MarshalIndent(map[string]string{"status": "unready", "error": err.Error()}, "", "  ")
+				doc["status"] = "unready"
+				doc["error"] = err.Error()
+				b, _ := json.MarshalIndent(doc, "", "  ")
 				w.Header().Set("Content-Type", "application/json")
 				w.WriteHeader(http.StatusServiceUnavailable)
 				w.Write(append(b, '\n')) //nolint:errcheck // best-effort body
 				return
 			}
-			writeJSON(w, map[string]string{"status": "ready"})
+			doc["status"] = "ready"
+			writeJSON(w, doc)
 		})
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

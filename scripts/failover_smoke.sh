@@ -1,0 +1,261 @@
+#!/usr/bin/env bash
+# failover_smoke.sh proves coordinator crash-tolerance end to end, with
+# real processes and a real kill -9 of the COORDINATOR (the cluster's
+# single point of failure — cluster_smoke.sh kills a worker):
+#
+#   1. Standalone reference: boot cmd/served -role standalone, run the
+#      sweep, save the result document.
+#   2. Journaled cluster under fire: boot a coordinator with
+#      -cluster-journal and -store-dir plus two worker processes,
+#      submit the same job, and kill -9 the coordinator mid-sweep.
+#   3. Restart the coordinator on the same address against the same
+#      journal and store directories. It must replay the journal,
+#      rehydrate the job under its original id, orphan the in-flight
+#      leases, reconcile them as the workers reconnect, and finish the
+#      sweep with a result document byte-identical to the standalone
+#      run — zero lost points (store hits + fresh completions == the
+#      sweep size) and at least one orphaned lease reconciled, proven
+#      from the coordinator metrics.
+#
+# Requires: go, curl, jq. Run via `make failover-smoke`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail() {
+	echo "failover-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+TMP="$(mktemp -d)"
+go build -o "$TMP/served" ./cmd/served
+
+PIDS=()
+cleanup() {
+	for pid in "${PIDS[@]:-}"; do
+		kill -9 "$pid" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# start LOGFILE ARGS... boots served, waits for its address in BASE, and
+# appends the pid to PIDS (also exported as PID).
+start() {
+	local log="$1"
+	shift
+	"$TMP/served" "$@" 2>"$log" &
+	PID=$!
+	PIDS+=("$PID")
+	local addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's#^served: .*listening on http://\([^ ]*\).*#\1#p' "$log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	[ -n "$addr" ] || { cat "$log" >&2; fail "server never announced its address"; }
+	BASE="http://$addr"
+}
+
+start_worker() {
+	local log="$1" id="$2" coord="$3"
+	"$TMP/served" -role worker -listen 127.0.0.1:0 -coordinator "$coord" \
+		-worker-id "$id" -workers 1 2>"$log" &
+	PID=$!
+	PIDS+=("$PID")
+	local addr=""
+	for _ in $(seq 1 100); do
+		addr="$(sed -n 's#^served: worker .*metrics on http://\([^)]*\).*#\1#p' "$log")"
+		[ -n "$addr" ] && break
+		sleep 0.1
+	done
+	[ -n "$addr" ] || { cat "$log" >&2; fail "worker $id never announced its address"; }
+	WADDR="$addr"
+	for _ in $(seq 1 100); do
+		curl -fsS "http://$addr/readyz" >/dev/null 2>&1 && return
+		sleep 0.1
+	done
+	curl -sS "http://$addr/readyz" >&2 || true
+	cat "$log" >&2
+	fail "worker $id never became ready"
+}
+
+wait_done() {
+	local state=running
+	for _ in $(seq 1 600); do
+		state="$(curl -fsS "$1/v1/jobs/$2" 2>/dev/null | jq -r '.state // "running"')"
+		[ "$state" = running ] || break
+		sleep 0.2
+	done
+	echo "$state"
+}
+
+# Enough work per point that the sweep is mid-flight when the kill lands.
+JOB_BODY='{
+  "workloads": ["gcc1"],
+  "options": {"refs": 2000000, "l1_kb": [1, 2, 4], "l2_kb": [0, 16, 32]}
+}'
+EVALS=9
+
+# ---- Phase 1: standalone reference run ----
+
+start "$TMP/solo.log" -listen 127.0.0.1:0 -role standalone -workers 2
+SOLO="$BASE"
+JOB="$(curl -fsS -X POST "$SOLO/v1/jobs" -d "$JOB_BODY" | jq -r .id)"
+[ -n "$JOB" ] && [ "$JOB" != null ] || fail "standalone submission returned no id"
+STATE="$(wait_done "$SOLO" "$JOB")"
+[ "$STATE" = done ] || fail "standalone job state $STATE, want done"
+curl -fsS "$SOLO/v1/jobs/$JOB/result" >"$TMP/solo.json"
+kill -INT "$PID"
+wait "$PID" || fail "standalone clean shutdown exited nonzero"
+echo "failover-smoke: standalone reference doc saved"
+
+# ---- Phase 2: journaled coordinator + 2 workers, kill -9 the coordinator ----
+
+STORE="$TMP/store"
+JOURNAL="$TMP/journal"
+
+# Long lease TTL and orphan grace: recovery must come from the journal
+# and the workers' reconnect, not from lease expiry racing the test.
+start "$TMP/coord1.log" -listen 127.0.0.1:0 -role coordinator \
+	-store-dir "$STORE" -cluster-journal "$JOURNAL" \
+	-lease-ttl 10s -orphan-grace 60s -lease-points 2
+COORD="$BASE"
+COORD_PID="$PID"
+PORT="${COORD##*:}"
+echo "failover-smoke: journaled coordinator up at $COORD"
+
+start_worker "$TMP/w1.log" fo-w1 "$COORD"
+W1="http://$WADDR"
+start_worker "$TMP/w2.log" fo-w2 "$COORD"
+W2="http://$WADDR"
+echo "failover-smoke: 2 workers joined"
+
+JOB="$(curl -fsS -X POST "$COORD/v1/jobs" -d "$JOB_BODY" | jq -r .id)"
+[ -n "$JOB" ] && [ "$JOB" != null ] || fail "cluster submission returned no id"
+
+# Kill once genuinely mid-flight: at least one point durably completed,
+# not all of them.
+DONE=0
+for _ in $(seq 1 300); do
+	DONE="$(curl -fsS "$COORD/v1/jobs/$JOB" | jq -r '.done // 0')"
+	[ "$DONE" -ge 1 ] && break
+	sleep 0.1
+done
+[ "$DONE" -ge 1 ] || fail "no evaluation completed before the kill window"
+[ "$DONE" -lt "$EVALS" ] || echo "failover-smoke: warning: sweep finished before the kill (still checking identity)"
+
+kill -9 "$COORD_PID"
+echo "failover-smoke: killed -9 the coordinator mid-sweep ($DONE/$EVALS done)"
+
+# The workers' /readyz must flip unready (circuit open) while the
+# coordinator is down — the failover detail rides the same document.
+for _ in $(seq 1 100); do
+	CODE="$(curl -s -o "$TMP/w1ready.json" -w '%{http_code}' "$W1/readyz" || echo 000)"
+	[ "$CODE" = 503 ] && break
+	sleep 0.1
+done
+[ "$CODE" = 503 ] || fail "worker /readyz stayed $CODE with the coordinator dead, want 503"
+jq -e '.failover.circuit' "$TMP/w1ready.json" >/dev/null \
+	|| fail "worker /readyz body lacks the failover detail"
+echo "failover-smoke: worker circuit opened (readyz 503, circuit=$(jq -r .failover.circuit "$TMP/w1ready.json"))"
+
+# ---- Phase 3: restart the coordinator on the same address, same dirs ----
+
+# The dead process's port may linger briefly; retry the bind.
+BOUND=""
+for _ in $(seq 1 50); do
+	"$TMP/served" -listen "127.0.0.1:$PORT" -role coordinator \
+		-store-dir "$STORE" -cluster-journal "$JOURNAL" \
+		-lease-ttl 10s -orphan-grace 60s -lease-points 2 2>"$TMP/coord2.log" &
+	PID=$!
+	PIDS+=("$PID")
+	for _ in $(seq 1 50); do
+		if grep -q 'listening on' "$TMP/coord2.log"; then
+			BOUND=yes
+			break
+		fi
+		kill -0 "$PID" 2>/dev/null || break
+		sleep 0.1
+	done
+	[ -n "$BOUND" ] && break
+	sleep 0.2
+done
+[ -n "$BOUND" ] || { cat "$TMP/coord2.log" >&2; fail "restarted coordinator never bound $COORD"; }
+COORD2_PID="$PID"
+grep -q 'cluster journal .* replayed' "$TMP/coord2.log" \
+	|| { cat "$TMP/coord2.log" >&2; fail "restart log shows no journal replay"; }
+echo "failover-smoke: coordinator restarted from journal on $COORD"
+sed -n 's/^served: \(cluster journal.*\|recovered.*\)/failover-smoke:   \1/p' "$TMP/coord2.log"
+
+# Best-effort: catch /readyz at 503 "journal-replaying" before the
+# workers reconcile. The window closes as fast as the workers
+# reconnect, so a miss is not a failure.
+CODE="$(curl -s -o "$TMP/ready.json" -w '%{http_code}' "$COORD/readyz" || echo 000)"
+if [ "$CODE" = 503 ] && grep -q journal-replaying "$TMP/ready.json"; then
+	echo "failover-smoke: observed /readyz 503 journal-replaying during reconciliation"
+else
+	echo "failover-smoke: journal-replaying readyz window missed (workers reconnected fast)"
+fi
+
+STATE="$(wait_done "$COORD" "$JOB")"
+[ "$STATE" = done ] || { cat "$TMP/coord2.log" >&2; fail "post-failover job state $STATE, want done"; }
+
+curl -fsS "$COORD/v1/jobs/$JOB/result" >"$TMP/cluster.json"
+cmp -s "$TMP/solo.json" "$TMP/cluster.json" \
+	|| { diff "$TMP/solo.json" "$TMP/cluster.json" >&2 || true; fail "post-failover result differs from standalone"; }
+echo "failover-smoke: post-failover result byte-identical to standalone"
+
+# Zero lost, zero re-evaluated, and the crash recovery really happened:
+# the restarted process's store hits (pre-kill work replayed from disk)
+# plus its fresh completions must cover the sweep exactly, with at
+# least one orphaned lease reconciled by a reconnecting worker.
+METRICS="$(curl -fsS "$COORD/metrics")"
+RESTARTS="$(jq '.counters.cluster_coordinator_restarts_total // 0' <<<"$METRICS")"
+RECONCILED="$(jq '.counters.cluster_orphan_leases_reconciled_total // 0' <<<"$METRICS")"
+HITS="$(jq '.counters.service_store_hits_total // 0' <<<"$METRICS")"
+COMPLETED="$(jq '.counters.cluster_points_completed_total // 0' <<<"$METRICS")"
+FAILED="$(jq '.counters.cluster_points_failed_total // 0' <<<"$METRICS")"
+[ "$RESTARTS" -ge 1 ] || fail "cluster_coordinator_restarts_total = $RESTARTS, want >= 1"
+[ "$RECONCILED" -ge 1 ] || fail "cluster_orphan_leases_reconciled_total = $RECONCILED, want >= 1"
+[ "$FAILED" -eq 0 ] || fail "points failed = $FAILED, want 0"
+[ "$HITS" -ge 1 ] || fail "no store hits on restart: pre-kill work was lost or re-run"
+[ $((HITS + COMPLETED)) -eq "$EVALS" ] || fail "store hits ($HITS) + completions ($COMPLETED) != $EVALS: points lost or double-counted"
+echo "failover-smoke: $HITS pre-kill points served from the store, $COMPLETED completed after restart, $RECONCILED orphaned lease(s) reconciled"
+
+# The fleet evaluated each point exactly once across the entire
+# kill-and-restart: the federated rollup sums both workers' counters.
+AGG=0
+for _ in $(seq 1 100); do
+	AGG="$(curl -fsS "$COORD/metrics?format=prometheus" |
+		sed -n 's/^cluster_agg_cluster_worker_points_total \([0-9]*\)$/\1/p')"
+	[ "${AGG:-0}" -eq "$EVALS" ] && break
+	sleep 0.2
+done
+[ "${AGG:-0}" -eq "$EVALS" ] || fail "federated worker points rollup = ${AGG:-0}, want exactly $EVALS (zero re-evaluation)"
+
+# The status document's failover section reports the recovery settled.
+STATUS="$(curl -fsS "$COORD/cluster/v1/status")"
+jq -e '.failover' <<<"$STATUS" >/dev/null || fail "status document lacks the failover section"
+jq -e '.failover.recovering == false and .failover.orphan_units == 0' <<<"$STATUS" >/dev/null \
+	|| { jq .failover <<<"$STATUS" >&2; fail "failover status still recovering after completion"; }
+jq -e '.failover.journal.records >= 1' <<<"$STATUS" >/dev/null \
+	|| fail "failover status reports an empty journal"
+echo "failover-smoke: status failover section settled ($(jq -c .failover.journal <<<"$STATUS"))"
+
+# Both workers ride out the failover: circuits closed, readyz 200,
+# reconnects counted.
+for W in "$W1" "$W2"; do
+	curl -fsS "$W/readyz" >"$TMP/wready.json" || fail "worker $W unready after failover"
+	CIRCUIT="$(jq -r '.failover.circuit' "$TMP/wready.json")"
+	[ "$CIRCUIT" = closed ] || fail "worker $W circuit $CIRCUIT after failover, want closed"
+done
+RECONNECTS="$(curl -fsS "$W1/metrics" | jq '.counters.cluster_worker_reconnects_total // 0')"
+[ "$RECONNECTS" -ge 1 ] || fail "worker never counted a reconnect"
+echo "failover-smoke: both worker circuits closed again ($RECONNECTS reconnect(s) on w1)"
+
+kill -INT "$COORD2_PID"
+wait "$COORD2_PID" || fail "restarted coordinator clean shutdown exited nonzero"
+
+echo "failover-smoke: PASS"

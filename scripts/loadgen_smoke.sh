@@ -108,4 +108,23 @@ jq -e '
 curl -fsS "$BASE/metrics?format=prometheus" | grep -q '^twolevel_build_info{' \
 	|| fail "labeled twolevel_build_info missing from Prometheus exposition"
 
+# Regression guard: each class's measured p99 must stay within a
+# tolerance band of the committed BENCH_serve.json baseline. The band
+# is wide (default 25x) because shared CI runners are noisy — this
+# catches order-of-magnitude regressions (a lost hot tier, an
+# accidental re-simulation on the memoized path), not percent drift.
+# Tighten locally with LOADGEN_P99_TOLERANCE=3 on a quiet machine.
+TOL="${LOADGEN_P99_TOLERANCE:-25}"
+BASELINE="BENCH_serve.json"
+for CLASS in cold hot envelope fast; do
+	BASE_P99="$(jq -r ".classes.$CLASS.latency.p99_s" "$BASELINE")"
+	GOT_P99="$(jq -r ".classes.$CLASS.latency.p99_s // empty" "$REPORT")"
+	[ -n "$GOT_P99" ] || fail "report has no $CLASS p99 to compare against the baseline"
+	awk -v got="$GOT_P99" -v base="$BASE_P99" -v tol="$TOL" \
+		'BEGIN { exit !(got <= base * tol) }' \
+		|| fail "$CLASS p99 ${GOT_P99}s exceeds ${TOL}x the baseline ${BASE_P99}s (BENCH_serve.json)"
+	printf 'loadgen-smoke: %-8s p99 %.4fs vs baseline %.4fs (band %sx) ok\n' \
+		"$CLASS" "$GOT_P99" "$BASE_P99" "$TOL"
+done
+
 echo "loadgen-smoke: PASS (report at $REPORT)"
